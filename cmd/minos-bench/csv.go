@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"github.com/minos-ddp/minos/internal/experiments"
+)
+
+// writeCSV saves rows under dir/name.csv so the figures can be re-plotted
+// outside Go.
+func writeCSV(dir, name string, header []string, rows [][]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func csvFig4(dir string, rows []experiments.Fig4Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Model.String(), f(r.CommNs), f(r.CompNs), f(r.TotalNs), f(r.CommFrac)}
+	}
+	return writeCSV(dir, "fig4", []string{"model", "comm_ns", "comp_ns", "total_ns", "comm_frac"}, out)
+}
+
+func csvFig9(dir string, res *experiments.Fig9Result) error {
+	header := []string{"chart", "model", "system", "mix", "lat_ns", "thr_ops", "lat_norm", "thr_norm"}
+	var out [][]string
+	add := func(chart string, rows []experiments.Fig9Row) {
+		for _, r := range rows {
+			out = append(out, []string{chart, r.Model.String(), r.System,
+				f(r.Ratio), f(r.LatNs), f(r.Thr), f(r.LatNorm), f(r.ThrNorm)})
+		}
+	}
+	add("writes", res.Writes)
+	add("reads", res.Reads)
+	return writeCSV(dir, "fig9", header, out)
+}
+
+func csvFig10(dir string, res *experiments.Fig10Result) error {
+	header := []string{"model", "system", "nodes", "wr_lat_ns", "wr_thr", "rd_lat_ns", "rd_thr",
+		"wr_lat_norm", "wr_thr_norm", "rd_lat_norm", "rd_thr_norm"}
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{r.Model.String(), r.System, strconv.Itoa(r.Nodes),
+			f(r.WriteLatNs), f(r.WriteThr), f(r.ReadLatNs), f(r.ReadThr),
+			f(r.WriteNorm), f(r.WThrNorm), f(r.ReadNorm), f(r.RThrNorm)}
+	}
+	return writeCSV(dir, "fig10", header, out)
+}
+
+func csvFig11(dir string, res *experiments.Fig11Result) error {
+	out := make([][]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = []string{r.Model.String(), r.Function, r.System, f(r.E2ENs), f(r.Norm)}
+	}
+	return writeCSV(dir, "fig11", []string{"model", "function", "system", "e2e_ns", "norm"}, out)
+}
+
+func csvFig12(dir string, rows []experiments.Fig12Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Name, f(r.LatNs), f(r.Norm)}
+	}
+	return writeCSV(dir, "fig12", []string{"configuration", "write_lat_ns", "norm"}, out)
+}
+
+func csvFig13(dir string, rows []experiments.Fig13Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{strconv.Itoa(r.Entries), f(r.LatNs), f(r.Norm)}
+	}
+	return writeCSV(dir, "fig13", []string{"entries", "write_lat_ns", "norm"}, out)
+}
+
+func csvFig14(dir string, rows []experiments.Fig14Row) error {
+	out := make([][]string, len(rows))
+	for i, r := range rows {
+		out[i] = []string{r.Group, r.Setting, f(r.BLatNs), f(r.OLatNs), f(r.Speedup)}
+	}
+	return writeCSV(dir, "fig14", []string{"group", "setting", "b_write_ns", "o_write_ns", "speedup"}, out)
+}
+
+func warnCSV(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minos-bench: csv:", err)
+	}
+}

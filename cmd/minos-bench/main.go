@@ -1,0 +1,139 @@
+// Command minos-bench regenerates the paper's evaluation figures
+// (Fig 4, 9, 10, 11, 12, 13, 14) on the simulated distributed machine
+// and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	minos-bench                 # all figures at the standard scale
+//	minos-bench -fig 12         # one figure
+//	minos-bench -requests 100000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (4, 9, 10, 11, 12, 13, 14); 0 = all")
+	requests := flag.Int("requests", experiments.Standard.Requests,
+		"requests per node per configuration (paper: 100000)")
+	seed := flag.Int64("seed", experiments.Standard.Seed, "simulation seed")
+	ablations := flag.Bool("ablations", false,
+		"also run the design-choice ablations (SmartNIC cores, drain engines, host cores, YCSB presets)")
+	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
+	flag.Parse()
+
+	sc := experiments.Scale{Requests: *requests, Seed: *seed}
+	if *ablations {
+		runAblations(sc)
+		if *fig == 0 {
+			return
+		}
+	}
+	dir := *csvDir
+	runners := map[int]func(){
+		4: func() {
+			rows, tab := experiments.Fig4(sc)
+			fmt.Println(tab)
+			if dir != "" {
+				warnCSV(csvFig4(dir, rows))
+			}
+		},
+		9: func() {
+			res, tab := experiments.Fig9(sc)
+			fmt.Println(tab)
+			fig9Summary(res)
+			if dir != "" {
+				warnCSV(csvFig9(dir, res))
+			}
+		},
+		10: func() {
+			res, tab := experiments.Fig10(sc)
+			fmt.Println(tab)
+			fig10Summary(res)
+			if dir != "" {
+				warnCSV(csvFig10(dir, res))
+			}
+		},
+		11: func() {
+			res, tab := experiments.Fig11(sc)
+			fmt.Println(tab)
+			fig11Summary(res)
+			if dir != "" {
+				warnCSV(csvFig11(dir, res))
+			}
+		},
+		12: func() {
+			rows, tab := experiments.Fig12(sc)
+			fmt.Println(tab)
+			if dir != "" {
+				warnCSV(csvFig12(dir, rows))
+			}
+		},
+		13: func() {
+			rows, tab := experiments.Fig13(sc)
+			fmt.Println(tab)
+			if dir != "" {
+				warnCSV(csvFig13(dir, rows))
+			}
+		},
+		14: func() {
+			rows, tab := experiments.Fig14(sc)
+			fmt.Println(tab)
+			if dir != "" {
+				warnCSV(csvFig14(dir, rows))
+			}
+		},
+	}
+
+	order := []int{4, 9, 10, 11, 12, 13, 14}
+	if *fig != 0 {
+		run, ok := runners[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "minos-bench: no figure %d (have 4,9,10,11,12,13,14)\n", *fig)
+			os.Exit(2)
+		}
+		timed(*fig, run)
+		return
+	}
+	for _, f := range order {
+		timed(f, runners[f])
+	}
+}
+
+func timed(fig int, run func()) {
+	start := time.Now()
+	run()
+	fmt.Printf("(figure %d regenerated in %v)\n\n", fig, time.Since(start).Round(time.Millisecond))
+}
+
+func fig9Summary(res *experiments.Fig9Result) {
+	fmt.Printf("§VIII-A averages — write lat %.1fx lower, read lat %.1fx lower, throughput %.1fx higher (paper: 2.1x / 2.2x / 2.3x)\n",
+		res.SpeedupWriteLat, res.SpeedupReadLat, res.SpeedupThr)
+}
+
+func fig10Summary(res *experiments.Fig10Result) {
+	fmt.Printf("§VIII-B averages — write lat %.1fx lower, read lat %.1fx lower, throughput %.1fx higher (paper: 2.3x / 3.1x / 2.4x)\n",
+		res.SpeedupWriteLat, res.SpeedupReadLat, res.SpeedupThr)
+}
+
+func fig11Summary(res *experiments.Fig11Result) {
+	fmt.Printf("§VIII-C average — MINOS-O reduces end-to-end latency by %.0f%% with the full 500µs client RTT, %.0f%% storage-only (paper: 35%%)\n",
+		res.AvgReduction*100, res.AvgReductionStorage*100)
+}
+
+func runAblations(sc experiments.Scale) {
+	_, t1 := experiments.AblationSNICCores(sc)
+	fmt.Println(t1)
+	_, t2 := experiments.AblationDrainEngines(sc)
+	fmt.Println(t2)
+	_, t3 := experiments.AblationHostCores(sc)
+	fmt.Println(t3)
+	_, t4 := experiments.YCSBPresets(sc)
+	fmt.Println(t4)
+}

@@ -1,0 +1,148 @@
+// Command minos-client talks to a minos-server's client port.
+//
+// Usage:
+//
+//	minos-client -addr :8100 set 42 "hello world"
+//	minos-client -addr :8101 get 42
+//	minos-client -addr :8100 scope
+//	minos-client -addr :8100 sets 43 "scoped" 1099511627777
+//	minos-client -addr :8100 persist 1099511627777
+//	minos-client -addr :8100 stats
+//	minos-client -addr :8100 bench -n 1000 -writes 0.5
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "server client-API address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fatal("dial %s: %v", *addr, err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+
+	switch strings.ToLower(args[0]) {
+	case "get":
+		need(args, 2)
+		fmt.Println(roundTrip(conn, rd, "GET "+args[1], true))
+	case "set":
+		need(args, 3)
+		fmt.Println(roundTrip(conn, rd, fmt.Sprintf("SET %s %s", args[1], hex.EncodeToString([]byte(args[2]))), false))
+	case "sets":
+		need(args, 4)
+		fmt.Println(roundTrip(conn, rd,
+			fmt.Sprintf("SETS %s %s %s", args[1], hex.EncodeToString([]byte(args[2])), args[3]), false))
+	case "scope":
+		fmt.Println(roundTrip(conn, rd, "SCOPE", false))
+	case "persist":
+		need(args, 2)
+		fmt.Println(roundTrip(conn, rd, "PERSIST "+args[1], false))
+	case "stats":
+		fmt.Println(roundTrip(conn, rd, "STATS", false))
+	case "bench":
+		bench(conn, rd, args[1:])
+	default:
+		usage()
+	}
+}
+
+// roundTrip sends one command and returns the reply; decodeHex turns an
+// "OK <hex>" reply into "OK <text>".
+func roundTrip(conn net.Conn, rd *bufio.Reader, cmd string, decodeHex bool) string {
+	if _, err := fmt.Fprintln(conn, cmd); err != nil {
+		fatal("send: %v", err)
+	}
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		fatal("recv: %v", err)
+	}
+	line = strings.TrimSpace(line)
+	if decodeHex && strings.HasPrefix(line, "OK ") {
+		if raw, err := hex.DecodeString(line[3:]); err == nil {
+			return "OK " + string(raw)
+		}
+	}
+	return line
+}
+
+// bench drives a closed-loop mixed workload through one server and
+// reports client-observed latency and throughput.
+func bench(conn net.Conn, rd *bufio.Reader, args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	n := fs.Int("n", 1000, "operations")
+	writes := fs.Float64("writes", 0.5, "write ratio")
+	keys := fs.Int("keys", 1000, "key space")
+	size := fs.Int("size", 64, "value bytes")
+	fs.Parse(args)
+
+	val := hex.EncodeToString([]byte(strings.Repeat("x", *size)))
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	var wlat, rlat time.Duration
+	var wn, rn int
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		key := rng.Intn(*keys)
+		opStart := time.Now()
+		if rng.Float64() < *writes {
+			if reply := roundTrip(conn, rd, fmt.Sprintf("SET %d %s", key, val), false); reply != "OK" {
+				fatal("bench SET: %s", reply)
+			}
+			wlat += time.Since(opStart)
+			wn++
+		} else {
+			roundTrip(conn, rd, fmt.Sprintf("GET %d", key), false)
+			rlat += time.Since(opStart)
+			rn++
+		}
+	}
+	total := time.Since(start)
+	fmt.Printf("ops=%d elapsed=%v throughput=%.0f op/s\n", *n, total.Round(time.Millisecond),
+		float64(*n)/total.Seconds())
+	if wn > 0 {
+		fmt.Printf("writes=%d avg=%v\n", wn, (wlat / time.Duration(wn)).Round(time.Microsecond))
+	}
+	if rn > 0 {
+		fmt.Printf("reads=%d avg=%v\n", rn, (rlat / time.Duration(rn)).Round(time.Microsecond))
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: minos-client [-addr host:port] <command>
+commands:
+  get <key>
+  set <key> <value>
+  sets <key> <value> <scope-id>
+  scope
+  persist <scope-id>
+  stats
+  bench [-n ops] [-writes ratio] [-keys n] [-size bytes]`)
+	os.Exit(2)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "minos-client: "+format+"\n", args...)
+	os.Exit(1)
+}

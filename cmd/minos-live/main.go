@@ -1,0 +1,52 @@
+// Command minos-live measures the live MINOS-B runtime (real goroutines
+// and channels, emulated NVM) across all five DDP models — the
+// counterpart of the paper's §IV measurements on a real cluster.
+//
+// Usage:
+//
+//	minos-live                          # all models, 5 nodes
+//	minos-live -nodes 3 -requests 5000 -persist 1295ns -writes 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 5, "cluster size")
+	workers := flag.Int("workers", 5, "client goroutines per node")
+	requests := flag.Int("requests", 2000, "requests per node")
+	writes := flag.Float64("writes", 0.5, "write ratio")
+	persist := flag.Duration("persist", 1295*time.Nanosecond, "emulated NVM persist delay")
+	valueSize := flag.Int("value", 128, "record value bytes")
+	seed := flag.Int64("seed", 42, "workload seed")
+	flag.Parse()
+
+	wl := workload.Default()
+	wl.WriteRatio = *writes
+	wl.ValueSize = *valueSize
+
+	fmt.Printf("live MINOS-B: %d nodes × %d workers, %d req/node, %d%% writes, persist %v\n\n",
+		*nodes, *workers, *requests, int(*writes*100), *persist)
+	results, err := livebench.RunAllModels(livebench.Config{
+		Nodes:           *nodes,
+		WorkersPerNode:  *workers,
+		RequestsPerNode: *requests,
+		PersistDelay:    *persist,
+		Workload:        wl,
+		Seed:            *seed,
+	})
+	for _, r := range results {
+		fmt.Println(r)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minos-live:", err)
+		os.Exit(1)
+	}
+}

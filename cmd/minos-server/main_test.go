@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+func testNode(t *testing.T) *node.Node {
+	t.Helper()
+	net := transport.NewMemNetwork(2)
+	nodes := make([]*node.Node, 2)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{Model: ddp.LinScope}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	})
+	return nodes[0]
+}
+
+func TestHandleCommandRoundTrip(t *testing.T) {
+	n := testNode(t)
+	if got := handleCommand(n, "SET 42 68656c6c6f"); got != "OK" {
+		t.Fatalf("SET: %q", got)
+	}
+	if got := handleCommand(n, "GET 42"); got != "OK 68656c6c6f" {
+		t.Fatalf("GET: %q", got)
+	}
+	if got := handleCommand(n, "GET 43"); got != "NIL" {
+		t.Fatalf("GET missing: %q", got)
+	}
+}
+
+func TestHandleCommandScopeFlow(t *testing.T) {
+	n := testNode(t)
+	reply := handleCommand(n, "SCOPE")
+	if !strings.HasPrefix(reply, "OK ") {
+		t.Fatalf("SCOPE: %q", reply)
+	}
+	sc := strings.TrimPrefix(reply, "OK ")
+	if got := handleCommand(n, "SETS 7 61 "+sc); got != "OK" {
+		t.Fatalf("SETS: %q", got)
+	}
+	if got := handleCommand(n, "PERSIST "+sc); got != "OK" {
+		t.Fatalf("PERSIST: %q", got)
+	}
+}
+
+func TestHandleCommandErrors(t *testing.T) {
+	n := testNode(t)
+	cases := []string{
+		"",
+		"BOGUS",
+		"GET",
+		"GET notanumber",
+		"SET 1",
+		"SET 1 nothex!",
+		"PERSIST xyz",
+	}
+	for _, c := range cases {
+		if got := handleCommand(n, c); !strings.HasPrefix(got, "ERR") {
+			t.Errorf("command %q: got %q, want ERR...", c, got)
+		}
+	}
+}
+
+func TestHandleCommandStats(t *testing.T) {
+	n := testNode(t)
+	handleCommand(n, "SET 1 00")
+	got := handleCommand(n, "STATS")
+	if !strings.HasPrefix(got, "OK writes=1") {
+		t.Fatalf("STATS: %q", got)
+	}
+}
+
+func TestParseCluster(t *testing.T) {
+	addrs, err := parseCluster("0=host0:7100, 1=host1:7101,2=host2:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || addrs[1] != "host1:7101" {
+		t.Fatalf("parsed %v", addrs)
+	}
+	for _, bad := range []string{"", "x", "a=b=c=d", "q=host:1"} {
+		if _, err := parseCluster(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

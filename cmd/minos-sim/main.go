@@ -1,0 +1,118 @@
+// Command minos-sim runs one simulated-cluster configuration and prints
+// its metrics — the knob-by-knob interface to the simulator behind
+// minos-bench.
+//
+// Usage:
+//
+//	minos-sim -model Lin-Synch -nodes 5 -writes 0.5 -offload
+//	minos-sim -model Lin-Strict -nodes 10 -requests 5000 -batch -broadcast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/sim"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "Lin-Synch", "DDP model (Lin-Synch, Lin-Strict, Lin-REnf, Lin-Event, Lin-Scope)")
+		nodes     = flag.Int("nodes", 5, "cluster size")
+		writes    = flag.Float64("writes", 0.5, "write ratio [0,1]")
+		records   = flag.Int("records", 100_000, "database records per node")
+		requests  = flag.Int("requests", 2000, "requests per node")
+		dist      = flag.String("dist", "zipfian", "key distribution: zipfian | uniform | latest")
+		preset    = flag.String("preset", "", "YCSB core workload (A, B, C, D, F); overrides -writes/-dist")
+		offload   = flag.Bool("offload", false, "MINOS-O Combined (offload + coherence + no WRLock)")
+		batch     = flag.Bool("batch", false, "MINOS-O message batching")
+		broadcast = flag.Bool("broadcast", false, "MINOS-O message broadcasting")
+		minosO    = flag.Bool("O", false, "full MINOS-O (all optimizations)")
+		persistNs = flag.Int64("persist-ns-per-kb", 1295, "host NVM persist latency per KB")
+		fifo      = flag.Int("fifo", 5, "vFIFO/dFIFO entries (0 = unlimited)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		trace     = flag.Bool("trace", false, "print the protocol timeline of a single write (Fig 7 as text)")
+	)
+	flag.Parse()
+
+	model, err := ddp.ParseModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minos-sim:", err)
+		os.Exit(2)
+	}
+	cfg := simcluster.DefaultConfig()
+	cfg.Model = model
+	cfg.Nodes = *nodes
+	cfg.NVM.NsPerKB = *persistNs
+	cfg.VFIFOSize = *fifo
+	cfg.DFIFOSize = *fifo
+	cfg.Opts = simcluster.Opts{Offload: *offload, Batch: *batch, Broadcast: *broadcast}
+	if *minosO {
+		cfg.Opts = simcluster.MinosO
+	}
+
+	wl := workload.Default()
+	wl.WriteRatio = *writes
+	wl.Records = *records
+	switch *dist {
+	case "zipfian":
+		wl.Dist = workload.Zipfian
+	case "uniform":
+		wl.Dist = workload.Uniform
+	case "latest":
+		wl.Dist = workload.Latest
+	default:
+		fmt.Fprintf(os.Stderr, "minos-sim: unknown distribution %q\n", *dist)
+		os.Exit(2)
+	}
+	if *preset != "" {
+		pr, err := workload.ParsePreset(*preset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "minos-sim:", err)
+			os.Exit(2)
+		}
+		wl = pr.Config()
+		wl.Records = *records
+	}
+
+	if *trace {
+		// A one-write timeline: the textual version of the paper's
+		// Fig 7 message diagrams.
+		wl.WriteRatio = 1.0
+		c := simcluster.New(cfg, *seed)
+		c.Tracer = func(at sim.Time, event string) {
+			fmt.Printf("%8dns  %s\n", int64(at), event)
+		}
+		c.Run(simcluster.RunOpts{Workload: wl, RequestsPerNode: 1, WorkersPerNode: 1, Seed: *seed})
+		return
+	}
+
+	m := simcluster.RunDefault(cfg, wl, *requests, *seed)
+
+	fmt.Printf("system       %s\n", cfg.Opts)
+	fmt.Printf("model        %v\n", model)
+	fmt.Printf("nodes        %d   workload %s %d%%wr, %d records, %d req/node\n",
+		*nodes, wl.Dist, int(*writes*100), wl.Records, *requests)
+	fmt.Println()
+	fmt.Printf("writes       %8d   avg %-10s p99 %-10s throughput %.0f op/s\n",
+		m.Writes(), stats.Ns(m.AvgWriteNs()), stats.Ns(m.WriteLat.Percentile(99)), m.WriteThroughput())
+	fmt.Printf("reads        %8d   avg %-10s p99 %-10s throughput %.0f op/s\n",
+		m.Reads(), stats.Ns(m.AvgReadNs()), stats.Ns(m.ReadLat.Percentile(99)), m.ReadThroughput())
+	if m.PersistLat.N() > 0 {
+		fmt.Printf("persists(sc) %8d   avg %s\n", m.PersistLat.N(), stats.Ns(m.PersistLat.Mean()))
+	}
+	if m.WriteSpan.N() > 0 {
+		// The comm/comp decomposition is defined for MINOS-B (§IV).
+		fmt.Printf("write split  comm %s / comp %s (%.0f%% communication)\n",
+			stats.Ns(m.CommNs()), stats.Ns(m.CompNs()),
+			100*m.CommNs()/(m.CommNs()+m.CompNs()))
+	}
+	fmt.Printf("contention   %d obsolete writes, %d read stalls, %d persists\n",
+		m.ObsoleteWrites, m.ReadStalls, m.PersistCount)
+	fmt.Printf("makespan     %v simulated\n", m.Makespan)
+}

@@ -1,0 +1,11 @@
+// Package minos is a reproduction of "MINOS: Distributed Consistency
+// and Persistency Protocol Implementation & Offloading to SmartNICs"
+// (HPCA 2024): leaderless Distributed Data Persistency protocols
+// (Linearizable consistency × five persistency models), a live MINOS-B
+// runtime, a simulated MINOS-O SmartNIC architecture, an explicit-state
+// model checker for the protocol invariants, and a benchmark harness
+// that regenerates every figure of the paper's evaluation.
+//
+// See README.md for the layout and DESIGN.md for the system inventory
+// and per-experiment index.
+package minos

@@ -1,0 +1,44 @@
+// Social-network Login on MINOS (the paper's Fig 11 scenario): run the
+// DeathStar-style UserService Login storage traces against a simulated
+// 16-node cluster, under MINOS-B and MINOS-O, and report the end-to-end
+// latency including the 500µs client round trip.
+//
+// Run: go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/microsvc"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+func main() {
+	fmt.Println("DeathStar Login on a 16-node MINOS cluster (background load: 50% writes, zipfian)")
+	fmt.Println()
+
+	wl := workload.Default()
+	for _, f := range microsvc.Functions() {
+		fmt.Printf("%s — storage trace:\n", f)
+		for _, op := range f.Ops {
+			fmt.Printf("   %-4s %s\n", op.Type, op.What)
+		}
+		for _, opts := range []simcluster.Opts{simcluster.MinosB, simcluster.MinosO} {
+			cfg := simcluster.DefaultConfig()
+			cfg.Nodes = 16
+			cfg.Model = ddp.LinSynch
+			cfg.Opts = opts
+			m := simcluster.RunDefault(cfg, wl, 500, 42)
+			const clientRTT = 500_000.0 // ns, §VIII-C
+			e2e := clientRTT +
+				float64(f.Sets())*m.AvgWriteNs() +
+				float64(f.Gets())*m.AvgReadNs()
+			fmt.Printf("   %-8s end-to-end %-10s (SET avg %-9s GET avg %s)\n",
+				opts, stats.Ns(e2e), stats.Ns(m.AvgWriteNs()), stats.Ns(m.AvgReadNs()))
+		}
+		fmt.Println()
+	}
+}

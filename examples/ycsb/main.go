@@ -1,0 +1,46 @@
+// YCSB-style sweep: compare MINOS-B and MINOS-O across write ratios on
+// the paper's default 5-node simulated cluster — a miniature of Fig 9.
+//
+// Run: go run ./examples/ycsb
+package main
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+func main() {
+	fmt.Println("YCSB sweep: 5 nodes, zipfian keys, 100K records, <Lin, Synch>")
+	tab := &stats.Table{
+		Headers: []string{"writes", "system", "wr-lat", "rd-lat", "throughput", "speedup"},
+	}
+	for _, ratio := range []float64{0.2, 0.5, 0.8, 1.0} {
+		wl := workload.Default()
+		wl.WriteRatio = ratio
+		var base float64
+		for _, opts := range []simcluster.Opts{simcluster.MinosB, simcluster.MinosO} {
+			cfg := simcluster.DefaultConfig()
+			cfg.Model = ddp.LinSynch
+			cfg.Opts = opts
+			m := simcluster.RunDefault(cfg, wl, 1000, 7)
+			speedup := ""
+			if opts == simcluster.MinosB {
+				base = m.AvgWriteNs()
+			} else {
+				speedup = fmt.Sprintf("%.2fx", base/m.AvgWriteNs())
+			}
+			rdLat := "-"
+			if m.Reads() > 0 {
+				rdLat = stats.Ns(m.AvgReadNs())
+			}
+			tab.AddRow(fmt.Sprintf("%.0f%%", ratio*100), opts.String(),
+				stats.Ns(m.AvgWriteNs()), rdLat,
+				fmt.Sprintf("%.2fM op/s", m.TotalThroughput()/1e6), speedup)
+		}
+	}
+	fmt.Println(tab)
+}

@@ -1,0 +1,3 @@
+module github.com/minos-ddp/minos
+
+go 1.22

@@ -1,0 +1,97 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// TestTableIThreeWriters explores three concurrent writes — two from
+// node 0 and one from node 1 — the deepest configuration that still
+// fits comfortably in memory. Skipped with -short.
+func TestTableIThreeWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-writer exploration is large; skipped with -short")
+	}
+	// Only Synch fits a reasonable budget with three writers: its
+	// combined ACKs halve the message interleavings. The separate-ack
+	// models exceed 5M states at this depth; their two-writer spaces
+	// (up to ~100K states) are covered by the default tests.
+	res := Run(Config{
+		Model:     ddp.LinSynch,
+		Nodes:     3,
+		Writers:   []ddp.NodeID{0, 0, 1},
+		MaxStates: 5_000_000,
+	})
+	if !res.OK() {
+		t.Fatalf("%v\nviolations:\n%v", res, res.Violations)
+	}
+	t.Logf("%v", res)
+}
+
+// TestTableIAllWritersDistinct: one write from every node — maximum
+// coordinator symmetry.
+func TestTableIAllWritersDistinct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped with -short")
+	}
+	res := Run(Config{
+		Model:     ddp.LinSynch,
+		Nodes:     3,
+		Writers:   []ddp.NodeID{0, 1, 2},
+		MaxStates: 5_000_000,
+	})
+	if !res.OK() {
+		t.Fatalf("%v\nviolations:\n%v", res, res.Violations)
+	}
+	t.Logf("%v", res)
+}
+
+// TestStateCanonicalMessages: the in-flight message multiset must have a
+// canonical representation or the visited-set dedup breaks.
+func TestStateCanonicalMessages(t *testing.T) {
+	var a, b state
+	m1 := msg{kind: ddp.KindAck, from: 1, to: 0, w: 0}
+	m2 := msg{kind: ddp.KindInv, from: 0, to: 2, w: 1}
+	a.addMsg(m1)
+	a.addMsg(m2)
+	b.addMsg(m2)
+	b.addMsg(m1)
+	if a != b {
+		t.Fatal("insertion order leaked into state identity")
+	}
+	a.delMsg(0)
+	if a.nmsg != 1 {
+		t.Fatalf("delMsg broke count: %d", a.nmsg)
+	}
+}
+
+// TestDeliverConsumesMessage: every delivery removes exactly one
+// message.
+func TestDeliverConsumesMessage(t *testing.T) {
+	c := &checker{
+		cfg:    Config{Model: ddp.LinSynch, Nodes: 2, Writers: []ddp.NodeID{0}},
+		policy: ddp.PolicyFor(ddp.LinSynch),
+		nw:     1, nn: 2,
+	}
+	var s state
+	for n := 0; n < 2; n++ {
+		s.meta[n] = ddp.NewMeta()
+		s.dur[n] = ddp.NoOwner
+	}
+	s.w[0].ts = ddp.Timestamp{Node: 0, Version: 1}
+	s.addMsg(msg{kind: ddp.KindAck, from: 1, to: 0, w: 0})
+	count := 0
+	c.deliver(s, 0, func(ns state) {
+		count++
+		if ns.nmsg != 0 {
+			t.Errorf("message not consumed: %d left", ns.nmsg)
+		}
+		if ns.w[0].ackC == 0 || ns.w[0].ackP == 0 {
+			t.Error("combined ACK must set both planes")
+		}
+	})
+	if count != 1 {
+		t.Fatalf("deliver emitted %d states, want 1", count)
+	}
+}

@@ -1,0 +1,194 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// Violation is one failed Table I condition, with the offending state.
+type Violation struct {
+	Condition string
+	State     string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s\n  in state: %s", v.Condition, v.State)
+}
+
+// Result summarizes one model-checking run.
+type Result struct {
+	Model      ddp.Model
+	Nodes      int
+	Writers    []ddp.NodeID
+	States     int
+	Terminals  int
+	Violations []Violation
+	// Aborted is set if exploration hit MaxStates.
+	Aborted bool
+}
+
+// OK reports whether every condition held over the explored space.
+func (r Result) OK() bool { return len(r.Violations) == 0 && !r.Aborted }
+
+func (r Result) String() string {
+	status := "PASS"
+	if !r.OK() {
+		status = fmt.Sprintf("FAIL (%d violations, aborted=%v)", len(r.Violations), r.Aborted)
+	}
+	return fmt.Sprintf("%v nodes=%d writers=%v: %d states, %d terminal — %s",
+		r.Model, r.Nodes, r.Writers, r.States, r.Terminals, status)
+}
+
+// Run explores every reachable state of the configured bounded cluster
+// and checks the Table I conditions.
+func Run(cfg Config) Result {
+	if cfg.Nodes < 2 || cfg.Nodes > maxNodes {
+		panic("check: Nodes must be 2 or 3")
+	}
+	if len(cfg.Writers) == 0 || len(cfg.Writers) > maxWrites {
+		panic("check: need 1..3 writers")
+	}
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 2_000_000
+	}
+	c := &checker{
+		cfg:    cfg,
+		policy: ddp.PolicyFor(cfg.Model),
+		nw:     len(cfg.Writers),
+		nn:     cfg.Nodes,
+	}
+	res := Result{Model: cfg.Model, Nodes: cfg.Nodes, Writers: cfg.Writers}
+
+	var init state
+	for n := 0; n < cfg.Nodes; n++ {
+		init.meta[n] = ddp.NewMeta()
+		init.dur[n] = ddp.NoOwner // nothing durable yet
+	}
+	type edge struct{ from, to int }
+	idx := map[state]int{init: 0}
+	states := []state{init}
+	var edges []edge
+	queue := []int{0}
+	violated := map[string]bool{}
+
+	report := func(cond string, s state) {
+		if violated[cond] {
+			return // one witness per condition is enough
+		}
+		violated[cond] = true
+		res.Violations = append(res.Violations, Violation{Condition: cond, State: s.String()})
+	}
+
+	for len(queue) > 0 {
+		si := queue[0]
+		queue = queue[1:]
+		s := states[si]
+		c.checkInvariants(s, report)
+
+		succCount := 0
+		c.allSucc(s, func(ns state) {
+			succCount++
+			ti, ok := idx[ns]
+			if !ok {
+				if len(states) >= cfg.MaxStates {
+					res.Aborted = true
+					return
+				}
+				ti = len(states)
+				idx[ns] = ti
+				states = append(states, ns)
+				queue = append(queue, ti)
+			}
+			edges = append(edges, edge{si, ti})
+		})
+		if succCount == 0 {
+			if c.terminal(s) {
+				res.Terminals++
+				c.checkTerminal(s, report)
+			} else {
+				report("1. deadlock: non-terminal state with no enabled action", s)
+			}
+		}
+		if res.Aborted {
+			break
+		}
+	}
+	res.States = len(states)
+
+	// Livelock / stuck-cycle check: every state must be able to reach a
+	// terminal state (TLC's "no livelock" via temporal properties; here
+	// via backward reachability over the full, finite graph).
+	if !res.Aborted && res.Terminals > 0 {
+		rev := make([][]int, len(states))
+		for _, e := range edges {
+			rev[e.to] = append(rev[e.to], e.from)
+		}
+		coreach := make([]bool, len(states))
+		var stack []int
+		for i, s := range states {
+			if c.terminal(s) {
+				coreach[i] = true
+				stack = append(stack, i)
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, u := range rev[v] {
+				if !coreach[u] {
+					coreach[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		for i, ok := range coreach {
+			if !ok {
+				report("1. livelock: state cannot reach any terminal state", states[i])
+				break
+			}
+		}
+	} else if !res.Aborted && res.Terminals == 0 {
+		report("1. no terminal state reachable at all", init)
+	}
+	return res
+}
+
+// allSucc wires the three transition families together.
+func (c *checker) allSucc(s state, emit func(state)) {
+	c.succ(s, emit)
+	for wi := 0; wi < c.nw; wi++ {
+		for n := 0; n < c.nn; n++ {
+			if ddp.NodeID(n) != c.cfg.Writers[wi] {
+				c.followerSteps(s, wi, n, emit)
+			}
+		}
+	}
+}
+
+// terminal reports whether every write has fully completed everywhere
+// and no messages or deferred persists remain.
+func (c *checker) terminal(s state) bool {
+	if s.nmsg != 0 {
+		return false
+	}
+	for wi := 0; wi < c.nw; wi++ {
+		w := s.w[wi]
+		if w.phase != cDone || w.bgLeft != 0 {
+			return false
+		}
+		for n := 0; n < c.nn; n++ {
+			if ddp.NodeID(n) == c.cfg.Writers[wi] {
+				continue
+			}
+			if w.invsSent {
+				if w.fol[n] != fDone {
+					return false
+				}
+			} else if w.fol[n] != fIdle {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// legalKinds returns the message vocabulary a model may put on the wire
+// (Table I type check 4a, restricted to the write path — [PERSIST]sc
+// transactions are exercised by the runtime tests).
+func (c *checker) legalKinds() map[ddp.MsgKind]bool {
+	switch c.policy.Model {
+	case ddp.LinSynch:
+		return map[ddp.MsgKind]bool{ddp.KindInv: true, ddp.KindAck: true, ddp.KindVal: true}
+	case ddp.LinStrict:
+		return map[ddp.MsgKind]bool{
+			ddp.KindInv: true, ddp.KindAckC: true, ddp.KindAckP: true,
+			ddp.KindValC: true, ddp.KindValP: true,
+		}
+	case ddp.LinREnf:
+		return map[ddp.MsgKind]bool{
+			ddp.KindInv: true, ddp.KindAckC: true, ddp.KindAckP: true, ddp.KindVal: true,
+		}
+	default: // Event, Scope write path
+		return map[ddp.MsgKind]bool{ddp.KindInv: true, ddp.KindAckC: true, ddp.KindValC: true}
+	}
+}
+
+// checkInvariants verifies the Table I conditions that must hold in
+// every reachable state.
+func (c *checker) checkInvariants(s state, report func(string, state)) {
+	c.typeChecks(s, report)
+
+	// 2a: when the record is read-unlocked in all nodes, volatileTS and
+	// glb_volatileTS agree across all nodes.
+	lockFree := true
+	for n := 0; n < c.nn; n++ {
+		if s.meta[n].RDLocked() {
+			lockFree = false
+			break
+		}
+	}
+	if lockFree {
+		ref := s.meta[0]
+		for n := 0; n < c.nn; n++ {
+			m := s.meta[n]
+			if m.VolatileTS != ref.VolatileTS {
+				report("2a. lock-free state with diverged volatileTS", s)
+			}
+			if m.GlbVolatileTS != m.VolatileTS {
+				report("2a. lock-free state where glb_volatileTS lags volatileTS", s)
+			}
+		}
+		// 3a: glb_durableTS agrees across nodes at lock-free states for
+		// models whose durability publication precedes lock release.
+		if c.policy.ValAfterDurable || !c.policy.TracksPersistency {
+			for n := 1; n < c.nn; n++ {
+				if s.meta[n].GlbDurableTS != s.meta[0].GlbDurableTS {
+					report("3a. lock-free state with diverged glb_durableTS", s)
+				}
+			}
+		}
+	}
+
+	// Read-enforcement (the defining REnf property, §II; Synch's
+	// combined ACKs imply it too): whenever a record is readable (its
+	// RDLock is free) at any node, the version a read would return is
+	// already durable on every node. Strict deliberately releases on
+	// VAL_C before durability, and Event/Scope make no such promise.
+	if c.policy.Model == ddp.LinREnf || c.policy.Model == ddp.LinSynch {
+		for n := 0; n < c.nn; n++ {
+			if s.meta[n].RDLocked() {
+				continue
+			}
+			v := s.meta[n].VolatileTS
+			if v == (ddp.Timestamp{}) {
+				continue // initial version predates the run
+			}
+			for m := 0; m < c.nn; m++ {
+				if s.dur[m].Less(v) {
+					report("RE. readable version not durable everywhere (read-enforcement)", s)
+				}
+			}
+		}
+	}
+
+	for wi := 0; wi < c.nw; wi++ {
+		w := s.w[wi]
+		if !w.invsSent {
+			continue
+		}
+		coord := int(c.cfg.Writers[wi])
+		allC := c.allAcked(w.ackC, coord)
+		allP := c.allAcked(w.ackP, coord)
+
+		// 2b: all consistency ACKs received => every replica's volatile
+		// version is at least this write's.
+		if allC {
+			for n := 0; n < c.nn; n++ {
+				if s.meta[n].VolatileTS.Less(w.ts) {
+					report("2b. write fully acked (consistency) but a replica is behind", s)
+				}
+			}
+		}
+		// 2c: visibility is never published before all consistency ACKs.
+		if !allC {
+			for n := 0; n < c.nn; n++ {
+				if s.meta[n].GlbVolatileTS == w.ts {
+					report("2c. glb_volatileTS published before all consistency ACKs", s)
+				}
+			}
+		}
+		// 3b: durability is never published before all persistency ACKs.
+		if c.policy.TracksPersistency && !allP {
+			for n := 0; n < c.nn; n++ {
+				if s.meta[n].GlbDurableTS == w.ts {
+					report("3b. glb_durableTS published before all persistency ACKs", s)
+				}
+			}
+		}
+		// Soundness of durability publication: a node believing the
+		// write durable implies it is locally durable on every node
+		// that acknowledged persistency.
+		if c.policy.TracksPersistency {
+			published := false
+			for n := 0; n < c.nn; n++ {
+				if !s.meta[n].GlbDurableTS.Less(w.ts) && s.meta[n].GlbDurableTS == w.ts {
+					published = true
+				}
+			}
+			if published {
+				for n := 0; n < c.nn; n++ {
+					if s.dur[n].Less(w.ts) {
+						report("3+. durability published while a replica's log lacks the write", s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// typeChecks enforces Table I check 4: legal message kinds, legal
+// metadata values, legal bookkeeping.
+func (c *checker) typeChecks(s state, report func(string, state)) {
+	legal := c.legalKinds()
+	for i := 0; i < int(s.nmsg); i++ {
+		m := s.msgs[i]
+		if !m.kind.Valid() || !legal[m.kind] {
+			report(fmt.Sprintf("4a. illegal message kind %v for %v", m.kind, c.policy.Model), s)
+		}
+		if int(m.from) >= c.nn || int(m.to) >= c.nn || m.from == m.to {
+			report("4a. message with illegal endpoints", s)
+		}
+	}
+	maxVer := ddp.Version(c.nw + 1)
+	for n := 0; n < c.nn; n++ {
+		m := s.meta[n]
+		for _, ts := range []ddp.Timestamp{m.VolatileTS, m.GlbVolatileTS, m.GlbDurableTS} {
+			if ts.Version < 0 || ts.Version > maxVer || int(ts.Node) >= c.nn || ts.Node < 0 {
+				report("4b-i. record timestamp out of range", s)
+			}
+		}
+		own := m.RDLockOwner
+		if own != ddp.NoOwner && (own.Version < 1 || own.Version > maxVer || int(own.Node) >= c.nn || own.Node < 0) {
+			report("4b-ii. RDLock_Owner out of range", s)
+		}
+	}
+	for wi := 0; wi < c.nw; wi++ {
+		w := s.w[wi]
+		coord := uint8(1) << uint(c.cfg.Writers[wi])
+		if w.ackC&coord != 0 || w.ackP&coord != 0 {
+			report("4c. bookkeeping records an ACK from the coordinator itself", s)
+		}
+		if w.ackC>>uint(c.nn) != 0 || w.ackP>>uint(c.nn) != 0 {
+			report("4c. bookkeeping records an ACK from a nonexistent node", s)
+		}
+	}
+}
+
+// checkTerminal verifies the quiescent-state conditions: convergence,
+// lock freedom, published visibility, and durability of the newest
+// version on every node.
+func (c *checker) checkTerminal(s state, report func(string, state)) {
+	newest := ddp.Timestamp{}
+	for wi := 0; wi < c.nw; wi++ {
+		if s.w[wi].invsSent {
+			newest = ddp.Max(newest, s.w[wi].ts)
+		}
+	}
+	for n := 0; n < c.nn; n++ {
+		m := s.meta[n]
+		if m.RDLocked() {
+			report("T. terminal state with a held RDLock", s)
+		}
+		if m.VolatileTS != newest {
+			report("T. terminal state where a replica missed the newest write", s)
+		}
+		if m.GlbVolatileTS != newest {
+			report("T. terminal state where visibility was not fully published", s)
+		}
+		if newest != (ddp.Timestamp{}) && s.dur[n].Less(newest) {
+			report("T. terminal state where the newest write is not durable everywhere", s)
+		}
+		if c.policy.TracksPersistency && m.GlbDurableTS != newest {
+			report("3a/T. terminal state with diverged glb_durableTS", s)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package check is an explicit-state model checker for the MINOS write
+// protocol: the Go counterpart of the paper's TLA+/TLC verification
+// (§VI, Table I). It enumerates, breadth-first, every interleaving of a
+// bounded cluster (up to 3 nodes, one record, up to 3 concurrent
+// client-writes) executing the Fig 2/3 algorithms under a chosen
+// <consistency, persistency> model, and checks the Table I conditions in
+// every reachable state.
+//
+// The protocol semantics (timestamps, lock snatching, obsoleteness,
+// policy deltas) are the same internal/ddp definitions the simulator and
+// the live node consume, so a violation found here is a violation of the
+// shipped protocol, not of a re-transcription.
+//
+// Invariant interpretation. Two Table I conditions are stated over
+// per-write message counts; timestamps are unique per write, so we check
+// them in their precise safety form:
+//
+//   - 2c/3b ("when not all ACKs received, glb_*TS is the same across
+//     nodes"): a write's visibility (durability) is never published —
+//     no node's glb_volatileTS (glb_durableTS) equals the write's TS —
+//     before all its consistency (persistency) ACKs are in.
+//   - 3a is checked at lock-free states for models whose durability
+//     publication precedes every lock release (Synch, REnf), and at
+//     quiescent states for Strict, whose VAL_P intentionally trails the
+//     VAL_C that releases the lock.
+//
+// Beyond Table I, the checker verifies the defining read-enforcement
+// property for REnf (and Synch, whose combined ACKs imply it): whenever
+// a record is readable anywhere, the version a read would return is
+// already durable on every node.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// Bounds of the explored model.
+const (
+	maxNodes  = 3
+	maxWrites = 3
+	maxMsgs   = 24
+)
+
+// Config selects what to check.
+type Config struct {
+	// Model is the <consistency, persistency> model.
+	Model ddp.Model
+	// Nodes is the cluster size (2 or 3).
+	Nodes int
+	// Writers lists the coordinator of each concurrent client-write to
+	// the single modeled record. len(Writers) <= 3.
+	Writers []ddp.NodeID
+	// MaxStates aborts exploration beyond this many states (0 = 2M).
+	MaxStates int
+}
+
+// phase is a coordinator's position in the Fig 2 algorithm.
+type phase uint8
+
+const (
+	cInit     phase = iota // not started
+	cSnatched              // TS generated, RDLock snatched (L4-8)
+	cObsSpinC              // obsolete: ConsistencySpin
+	cObsSpinP              // obsolete: PersistencySpin
+	cWaitAckC              // INVs sent, LLC updated, awaiting ACK_Cs (L19)
+	cWaitAckP              // consistency done, awaiting ACK_Ps
+	cDone                  // transaction complete at the coordinator
+)
+
+// fphase is a follower's position for one write.
+type fphase uint8
+
+const (
+	fIdle     fphase = iota // INV not yet processed
+	fSnatched               // obsolete check passed, RDLock snatched (L31)
+	fApplied                // LLC updated, acks pending per policy
+	fAckedC                 // ACK_C sent, persist pending (Strict/REnf)
+	fObsSpinC               // obsolete path: ConsistencySpin
+	fObsSpinP               // obsolete path: PersistencySpin
+	fWaitVal                // acks sent, awaiting the releasing VAL
+	fWaitValP               // Strict: VAL_C seen, awaiting VAL_P
+	fDone
+)
+
+// msg is one in-flight protocol message. The single record is implicit.
+type msg struct {
+	kind ddp.MsgKind
+	from ddp.NodeID
+	to   ddp.NodeID
+	w    int8 // write index
+}
+
+// wstate is one client-write's global progress.
+type wstate struct {
+	phase phase
+	ts    ddp.Timestamp
+	// obs is the volatileTS snapshot taken when the write went obsolete
+	// (spin target).
+	obs ddp.Timestamp
+	// ackC/ackP are bitmasks of followers that acknowledged.
+	ackC, ackP uint8
+	// fol and fobs track each node's follower handler for this write.
+	fol  [maxNodes]fphase
+	fobs [maxNodes]ddp.Timestamp
+	// bgLeft marks nodes with a pending deferred persist of this write
+	// (drives Event/Scope eventual persistence).
+	bgLeft uint8
+	// invsSent records that the coordinator reached the INV-sending
+	// step; a write cut short as obsolete never involves followers.
+	invsSent bool
+	// valCSeen / valPSeen are bitmasks of nodes that already consumed
+	// this write's releasing VAL / VAL_P. The real follower has no
+	// "waiting for VAL" control state — VAL handling is an independent
+	// handler — so the model's completion bookkeeping must accept VALs
+	// that arrive while the follower is still persisting.
+	valCSeen uint8
+	valPSeen uint8
+}
+
+// state is a full model state. All fields are comparable, so state
+// itself keys the visited set.
+type state struct {
+	meta [maxNodes]ddp.Meta
+	// dur is each node's newest locally durable timestamp (log head).
+	dur  [maxNodes]ddp.Timestamp
+	w    [maxWrites]wstate
+	msgs [maxMsgs]msg
+	nmsg uint8
+}
+
+// addMsg inserts m keeping msgs canonically sorted (multiset identity).
+func (s *state) addMsg(m msg) {
+	if int(s.nmsg) >= maxMsgs {
+		panic("check: message bound exceeded; raise maxMsgs")
+	}
+	i := int(s.nmsg)
+	s.msgs[i] = m
+	s.nmsg++
+	sub := s.msgs[:s.nmsg]
+	sort.Slice(sub, func(a, b int) bool { return msgLess(sub[a], sub[b]) })
+}
+
+// delMsg removes the message at index i.
+func (s *state) delMsg(i int) {
+	copy(s.msgs[i:], s.msgs[i+1:s.nmsg])
+	s.nmsg--
+	s.msgs[s.nmsg] = msg{}
+}
+
+func msgLess(a, b msg) bool {
+	if a.w != b.w {
+		return a.w < b.w
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.to < b.to
+}
+
+func (s *state) String() string {
+	out := ""
+	for n := 0; n < maxNodes; n++ {
+		m := s.meta[n]
+		if m == (ddp.Meta{}) && n > 0 {
+			continue
+		}
+		out += fmt.Sprintf("n%d{own=%v vol=%v gV=%v gD=%v dur=%v} ",
+			n, m.RDLockOwner, m.VolatileTS, m.GlbVolatileTS, m.GlbDurableTS, s.dur[n])
+	}
+	for i := range s.w {
+		if s.w[i].ts != (ddp.Timestamp{}) || s.w[i].phase != cInit {
+			out += fmt.Sprintf("w%d{ph=%d ts=%v ackC=%b ackP=%b fol=%v} ",
+				i, s.w[i].phase, s.w[i].ts, s.w[i].ackC, s.w[i].ackP, s.w[i].fol)
+		}
+	}
+	for i := 0; i < int(s.nmsg); i++ {
+		m := s.msgs[i]
+		out += fmt.Sprintf("[%v w%d %d->%d] ", m.kind, m.w, m.from, m.to)
+	}
+	return out
+}

@@ -1,0 +1,342 @@
+package check
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// checker holds the exploration context.
+type checker struct {
+	cfg    Config
+	policy ddp.Policy
+	nw     int // number of writes
+	nn     int // number of nodes
+}
+
+// succ enumerates every successor of s by applying each enabled atomic
+// action. Actions mirror the Fig 2/3 algorithm steps; guards mirror the
+// spins.
+func (c *checker) succ(s state, emit func(state)) {
+	for wi := 0; wi < c.nw; wi++ {
+		c.coordSteps(s, wi, emit)
+	}
+	// Message deliveries: any in-flight message may be processed next.
+	for i := 0; i < int(s.nmsg); i++ {
+		c.deliver(s, i, emit)
+	}
+	// Deferred/background persists (Event/Scope models and REnf's
+	// background coordinator persist) may complete at any time.
+	for wi := 0; wi < c.nw; wi++ {
+		w := &s.w[wi]
+		if w.bgLeft == 0 {
+			continue
+		}
+		for n := 0; n < c.nn; n++ {
+			if w.bgLeft&(1<<n) != 0 {
+				ns := s
+				ns.w[wi].bgLeft &^= 1 << n
+				ns.dur[n] = ddp.Max(ns.dur[n], s.w[wi].ts)
+				emit(ns)
+			}
+		}
+	}
+}
+
+// coordSteps emits the coordinator actions enabled for write wi.
+func (c *checker) coordSteps(s state, wi int, emit func(state)) {
+	w := s.w[wi]
+	coord := int(c.cfg.Writers[wi])
+	meta := s.meta[coord]
+
+	switch w.phase {
+	case cInit:
+		// L4-8: generate TS_WR, obsoleteness check, snatch RDLock.
+		ns := s
+		ts := ddp.Timestamp{Node: ddp.NodeID(coord), Version: meta.VolatileTS.Version + 1}
+		// Unique-TS rule: bump past other writes this node issued.
+		for oi := 0; oi < c.nw; oi++ {
+			if oi != wi && c.cfg.Writers[oi] == ddp.NodeID(coord) &&
+				s.w[oi].ts.Node == ddp.NodeID(coord) && s.w[oi].ts.Version >= ts.Version {
+				ts.Version = s.w[oi].ts.Version + 1
+			}
+		}
+		ns.w[wi].ts = ts
+		if meta.Obsolete(ts) {
+			ns.w[wi].obs = meta.VolatileTS
+			ns.w[wi].phase = cObsSpinC
+		} else {
+			ns.meta[coord].SnatchRDLock(ts)
+			ns.w[wi].phase = cSnatched
+		}
+		emit(ns)
+
+	case cSnatched:
+		// L10-18: final check; update LLC, send INVs, persist per policy.
+		ns := s
+		if meta.Obsolete(w.ts) {
+			ns.w[wi].obs = meta.VolatileTS
+			ns.w[wi].phase = cObsSpinC
+			emit(ns)
+			return
+		}
+		ns.meta[coord].ApplyVolatile(w.ts)
+		for n := 0; n < c.nn; n++ {
+			if n != coord {
+				ns.addMsg(msg{kind: ddp.KindInv, from: ddp.NodeID(coord), to: ddp.NodeID(n), w: int8(wi)})
+			}
+		}
+		switch c.policy.CoordPersist {
+		case ddp.CoordPersistInline:
+			ns.dur[coord] = ddp.Max(ns.dur[coord], w.ts)
+		case ddp.CoordPersistBackground, ddp.CoordPersistOnScopeFlush:
+			// Deferred: completes via a bgLeft action. Scope's flush is
+			// abstracted as an eventual persist for the write path.
+			ns.w[wi].bgLeft |= 1 << coord
+		}
+		ns.w[wi].phase = cWaitAckC
+		ns.w[wi].invsSent = true
+		emit(ns)
+
+	case cObsSpinC:
+		// ConsistencySpin: wait until the superseding write is visible.
+		if meta.ConsistencyDone(w.obs) {
+			ns := s
+			if c.policy.PersistencySpinOnObsolete {
+				ns.w[wi].phase = cObsSpinP
+			} else {
+				ns.meta[coord].ReleaseRDLockIfOwner(w.ts)
+				ns.w[wi].phase = cDone
+			}
+			emit(ns)
+		}
+
+	case cObsSpinP:
+		if meta.PersistencyDone(w.obs) {
+			ns := s
+			ns.meta[coord].ReleaseRDLockIfOwner(w.ts)
+			ns.w[wi].phase = cDone
+			emit(ns)
+		}
+
+	case cWaitAckC:
+		// L19+: all consistency acks in?
+		if !c.allAcked(w.ackC, coord) {
+			return
+		}
+		ns := s
+		ns.meta[coord].AdvanceGlbVolatile(w.ts)
+		if c.policy.SendsValAtConsistency() {
+			if c.policy.Release == ddp.ReleaseWhenConsistent {
+				ns.meta[coord].ReleaseRDLockIfOwner(w.ts)
+			}
+			for n := 0; n < c.nn; n++ {
+				if n != coord {
+					ns.addMsg(msg{kind: ddp.KindValC, from: ddp.NodeID(coord), to: ddp.NodeID(n), w: int8(wi)})
+				}
+			}
+		}
+		if c.policy.TracksPersistency {
+			ns.w[wi].phase = cWaitAckP
+		} else {
+			ns.w[wi].phase = cDone
+		}
+		emit(ns)
+
+	case cWaitAckP:
+		// Durability half: all persistency acks plus local durability.
+		if !c.allAcked(w.ackP, coord) || s.dur[coord].Less(w.ts) {
+			return
+		}
+		ns := s
+		ns.meta[coord].AdvanceGlbDurable(w.ts)
+		if c.policy.Release == ddp.ReleaseWhenDurable || !c.policy.SendsValAtConsistency() {
+			ns.meta[coord].ReleaseRDLockIfOwner(w.ts)
+		}
+		if kind, ok := c.policy.DurableValKind(); ok {
+			for n := 0; n < c.nn; n++ {
+				if n != coord {
+					ns.addMsg(msg{kind: kind, from: ddp.NodeID(coord), to: ddp.NodeID(n), w: int8(wi)})
+				}
+			}
+		}
+		ns.w[wi].phase = cDone
+		emit(ns)
+	}
+}
+
+// allAcked reports whether every follower of coord has its bit set.
+func (c *checker) allAcked(mask uint8, coord int) bool {
+	for n := 0; n < c.nn; n++ {
+		if n != coord && mask&(1<<n) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver processes in-flight message i.
+func (c *checker) deliver(s state, i int, emit func(state)) {
+	m := s.msgs[i]
+	wi := int(m.w)
+	w := s.w[wi]
+	to := int(m.to)
+
+	switch m.kind {
+	case ddp.KindInv:
+		c.deliverInv(s, i, wi, to, emit)
+
+	case ddp.KindAck:
+		ns := s
+		ns.delMsg(i)
+		ns.w[wi].ackC |= 1 << m.from
+		ns.w[wi].ackP |= 1 << m.from
+		emit(ns)
+
+	case ddp.KindAckC:
+		ns := s
+		ns.delMsg(i)
+		ns.w[wi].ackC |= 1 << m.from
+		emit(ns)
+
+	case ddp.KindAckP:
+		ns := s
+		ns.delMsg(i)
+		ns.w[wi].ackP |= 1 << m.from
+		emit(ns)
+
+	case ddp.KindVal, ddp.KindValC:
+		ns := s
+		ns.delMsg(i)
+		meta := &ns.meta[to]
+		if m.kind == c.policy.FollowerReleaseKind {
+			meta.AdvanceGlbVolatile(w.ts)
+			if m.kind == ddp.KindVal && c.policy.ValAfterDurable {
+				meta.AdvanceGlbDurable(w.ts)
+			}
+			meta.ReleaseRDLockIfOwner(w.ts)
+			ns.w[wi].valCSeen |= 1 << to
+			c.resolveFol(&ns, wi, to)
+		}
+		emit(ns)
+
+	case ddp.KindValP:
+		ns := s
+		ns.delMsg(i)
+		ns.meta[to].AdvanceGlbDurable(w.ts)
+		ns.w[wi].valPSeen |= 1 << to
+		c.resolveFol(&ns, wi, to)
+		emit(ns)
+	}
+}
+
+// deliverInv starts follower processing (Fig 2 L26-31). The INV message
+// is consumed; subsequent follower steps run as coordFollower actions.
+func (c *checker) deliverInv(s state, i, wi, to int, emit func(state)) {
+	ns := s
+	ns.delMsg(i)
+	meta := &ns.meta[to]
+	w := s.w[wi]
+	if meta.Obsolete(w.ts) { // L27
+		ns.w[wi].fobs[to] = meta.VolatileTS
+		ns.w[wi].fol[to] = fObsSpinC
+	} else {
+		meta.SnatchRDLock(w.ts) // L31
+		ns.w[wi].fol[to] = fSnatched
+	}
+	emit(ns)
+}
+
+// followerSteps emits follower-local actions (apply, persist, acks,
+// obsolete spins) for write wi at node n.
+func (c *checker) followerSteps(s state, wi, n int, emit func(state)) {
+	w := s.w[wi]
+	coord := ddp.NodeID(c.cfg.Writers[wi])
+	meta := s.meta[n]
+	ackTo := coord
+
+	switch w.fol[n] {
+	case fSnatched:
+		// L33-38: re-check, update LLC or take the obsolete path.
+		ns := s
+		if meta.Obsolete(w.ts) {
+			ns.w[wi].fobs[n] = meta.VolatileTS
+			ns.w[wi].fol[n] = fObsSpinC
+			emit(ns)
+			return
+		}
+		ns.meta[n].ApplyVolatile(w.ts)
+		switch c.policy.FollowerPersist {
+		case ddp.PersistBeforeAck: // Synch: persist then combined ACK
+			ns.dur[n] = ddp.Max(ns.dur[n], w.ts)
+			ns.addMsg(msg{kind: ddp.KindAck, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+			ns.w[wi].fol[n] = fWaitVal
+		case ddp.PersistAfterAckC: // Strict, REnf
+			ns.addMsg(msg{kind: ddp.KindAckC, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+			ns.w[wi].fol[n] = fAckedC
+		case ddp.PersistBackground, ddp.PersistOnScopeFlush:
+			ns.addMsg(msg{kind: ddp.KindAckC, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+			ns.w[wi].bgLeft |= 1 << n
+			ns.w[wi].fol[n] = fWaitVal
+		}
+		emit(ns)
+
+	case fAckedC:
+		// Strict/REnf: persist, then ACK_P. The releasing VAL_C may
+		// already have been consumed while persisting.
+		ns := s
+		ns.dur[n] = ddp.Max(ns.dur[n], w.ts)
+		ns.addMsg(msg{kind: ddp.KindAckP, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+		ns.w[wi].fol[n] = fWaitVal
+		c.resolveFol(&ns, wi, n)
+		emit(ns)
+
+	case fObsSpinC:
+		// Obsolete path (L27-30): ConsistencySpin, then acknowledge.
+		if !meta.ConsistencyDone(w.fobs[n]) {
+			return
+		}
+		ns := s
+		ns.meta[n].ReleaseRDLockIfOwner(w.ts) // liveness guard
+		if !c.policy.SeparateAcks {
+			// Synch: PersistencySpin precedes the combined ACK.
+			ns.w[wi].fol[n] = fObsSpinP
+			emit(ns)
+			return
+		}
+		ns.addMsg(msg{kind: ddp.KindAckC, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+		if c.policy.PersistencySpinOnObsolete && c.policy.TracksPersistency {
+			ns.w[wi].fol[n] = fObsSpinP
+		} else {
+			ns.w[wi].fol[n] = fDone
+		}
+		emit(ns)
+
+	case fObsSpinP:
+		if !meta.PersistencyDone(w.fobs[n]) {
+			return
+		}
+		ns := s
+		if !c.policy.SeparateAcks {
+			ns.addMsg(msg{kind: ddp.KindAck, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+		} else {
+			ns.addMsg(msg{kind: ddp.KindAckP, from: ddp.NodeID(n), to: ackTo, w: int8(wi)})
+		}
+		ns.w[wi].fol[n] = fDone
+		emit(ns)
+	}
+}
+
+// resolveFol advances a follower's completion bookkeeping against the
+// VALs it has already consumed.
+func (c *checker) resolveFol(s *state, wi, n int) {
+	w := &s.w[wi]
+	if w.fol[n] == fWaitVal && w.valCSeen&(1<<n) != 0 {
+		if c.policy.Model == ddp.LinStrict && w.valPSeen&(1<<n) == 0 {
+			w.fol[n] = fWaitValP
+		} else {
+			w.fol[n] = fDone
+		}
+	}
+	if w.fol[n] == fWaitValP && w.valPSeen&(1<<n) != 0 {
+		w.fol[n] = fDone
+	}
+}

@@ -1,0 +1,300 @@
+package ddp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Timestamp
+		less bool
+	}{
+		{Timestamp{0, 1}, Timestamp{0, 2}, true},
+		{Timestamp{0, 2}, Timestamp{0, 1}, false},
+		{Timestamp{1, 1}, Timestamp{2, 1}, true}, // version tie: node id decides
+		{Timestamp{2, 1}, Timestamp{1, 1}, false},
+		{Timestamp{3, 1}, Timestamp{0, 2}, true},  // version dominates node id
+		{Timestamp{1, 1}, Timestamp{1, 1}, false}, // equal: not less
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestTimestampLessIsStrictTotalOrder(t *testing.T) {
+	f := func(an, av, bn, bv int8) bool {
+		a := Timestamp{NodeID(an), Version(av)}
+		b := Timestamp{NodeID(bn), Version(bv)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		// Exactly one of a<b, b<a holds (totality + antisymmetry).
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimestampTransitivity(t *testing.T) {
+	f := func(raw [6]int8) bool {
+		a := Timestamp{NodeID(raw[0] % 4), Version(raw[1] % 4)}
+		b := Timestamp{NodeID(raw[2] % 4), Version(raw[3] % 4)}
+		c := Timestamp{NodeID(raw[4] % 4), Version(raw[5] % 4)}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPicksNewer(t *testing.T) {
+	a, b := Timestamp{1, 5}, Timestamp{2, 5}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Fatalf("Max(%v,%v) should be %v", a, b, b)
+	}
+}
+
+func TestNoOwnerIsOlderThanAnyWrite(t *testing.T) {
+	// Any real write timestamp (version >= 1, node >= 0) must be able to
+	// snatch a free lock: NoOwner must compare older.
+	f := func(n uint8, v uint16) bool {
+		ts := Timestamp{NodeID(n), Version(v) + 1}
+		return NoOwner.Less(ts)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnatchRDLockCases(t *testing.T) {
+	m := NewMeta()
+	w1 := Timestamp{0, 1}
+	w2 := Timestamp{1, 2} // younger
+	w3 := Timestamp{0, 1} // as old as w1
+
+	if got := m.SnatchRDLock(w1); got != SnatchAcquired {
+		t.Fatalf("free lock: got %v, want SnatchAcquired", got)
+	}
+	if got := m.SnatchRDLock(w2); got != SnatchStolen {
+		t.Fatalf("younger write: got %v, want SnatchStolen", got)
+	}
+	if m.RDLockOwner != w2 {
+		t.Fatalf("owner = %v, want %v", m.RDLockOwner, w2)
+	}
+	if got := m.SnatchRDLock(w3); got != SnatchYielded {
+		t.Fatalf("older write against younger owner: got %v, want SnatchYielded", got)
+	}
+	// Only the owner can release.
+	if m.ReleaseRDLockIfOwner(w1) {
+		t.Fatal("non-owner released the lock")
+	}
+	if !m.ReleaseRDLockIfOwner(w2) {
+		t.Fatal("owner failed to release")
+	}
+	if m.RDLocked() {
+		t.Fatal("lock still held after owner release")
+	}
+}
+
+// Property: after any sequence of snatches, the owner is the newest
+// timestamp that attempted a snatch (the paper's invariant that the
+// youngest concurrent write owns the RDLock).
+func TestPropertySnatchKeepsYoungest(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		m := NewMeta()
+		newest := NoOwner
+		for i, r := range raw {
+			ts := Timestamp{NodeID(r % 3), Version(i%5) + 1}
+			m.SnatchRDLock(ts)
+			newest = Max(newest, ts)
+		}
+		return m.RDLockOwner == newest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsolete(t *testing.T) {
+	m := NewMeta()
+	m.ApplyVolatile(Timestamp{1, 3})
+	if !m.Obsolete(Timestamp{0, 2}) {
+		t.Error("older write should be obsolete")
+	}
+	if m.Obsolete(Timestamp{1, 3}) {
+		t.Error("equal write is not obsolete")
+	}
+	if m.Obsolete(Timestamp{0, 4}) {
+		t.Error("newer write is not obsolete")
+	}
+}
+
+func TestApplyVolatilePanicsOnRegression(t *testing.T) {
+	m := NewMeta()
+	m.ApplyVolatile(Timestamp{0, 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("applying an older volatileTS must panic")
+		}
+	}()
+	m.ApplyVolatile(Timestamp{0, 4})
+}
+
+func TestGlbAdvanceMonotonic(t *testing.T) {
+	m := NewMeta()
+	m.AdvanceGlbVolatile(Timestamp{0, 5})
+	m.AdvanceGlbVolatile(Timestamp{0, 3}) // stale update must not regress
+	if m.GlbVolatileTS != (Timestamp{0, 5}) {
+		t.Fatalf("glbVolatile = %v, want <0,5>", m.GlbVolatileTS)
+	}
+	m.AdvanceGlbDurable(Timestamp{1, 2})
+	m.AdvanceGlbDurable(Timestamp{0, 2})
+	if m.GlbDurableTS != (Timestamp{1, 2}) {
+		t.Fatalf("glbDurable = %v, want <1,2>", m.GlbDurableTS)
+	}
+}
+
+func TestSpinPredicates(t *testing.T) {
+	m := NewMeta()
+	obs := Timestamp{2, 7}
+	if m.ConsistencyDone(obs) {
+		t.Error("consistency should not be done before glbVolatile catches up")
+	}
+	m.AdvanceGlbVolatile(obs)
+	if !m.ConsistencyDone(obs) {
+		t.Error("consistency done once glbVolatile >= observed")
+	}
+	if m.PersistencyDone(obs) {
+		t.Error("persistency should not be done yet")
+	}
+	m.AdvanceGlbDurable(Timestamp{3, 7}) // even newer counts
+	if !m.PersistencyDone(obs) {
+		t.Error("persistency done once glbDurable >= observed")
+	}
+}
+
+func TestPolicyTableInvariants(t *testing.T) {
+	for _, model := range Models {
+		p := PolicyFor(model)
+		if p.Model != model {
+			t.Errorf("%v: policy self-reference wrong", model)
+		}
+		if p.Scoped != (model == LinScope) {
+			t.Errorf("%v: Scoped flag wrong", model)
+		}
+		// Only models that track persistency can emit a durable VAL.
+		if _, ok := p.DurableValKind(); ok != p.TracksPersistency {
+			t.Errorf("%v: DurableValKind inconsistent with TracksPersistency", model)
+		}
+		// PersistencySpin only makes sense if persistency is tracked.
+		if p.PersistencySpinOnObsolete && !p.TracksPersistency {
+			t.Errorf("%v: PersistencySpin without persistency tracking", model)
+		}
+		// The follower's release kind must be a VAL the coordinator sends.
+		switch p.FollowerReleaseKind {
+		case KindVal, KindValC:
+		default:
+			t.Errorf("%v: follower release kind %v is not a VAL", model, p.FollowerReleaseKind)
+		}
+	}
+}
+
+func TestPolicyPerModel(t *testing.T) {
+	synch := PolicyFor(LinSynch)
+	if synch.SeparateAcks || synch.ConsistencyAckKind() != KindAck {
+		t.Error("Synch uses a single combined ACK")
+	}
+	if kind, ok := synch.DurableValKind(); !ok || kind != KindVal {
+		t.Error("Synch sends the combined VAL after durability")
+	}
+	if synch.Return != ReturnWhenDurable || synch.FollowerPersist != PersistBeforeAck {
+		t.Error("Synch returns when durable, follower persists before ACK")
+	}
+
+	strict := PolicyFor(LinStrict)
+	if !strict.SeparateAcks || strict.ConsistencyAckKind() != KindAckC {
+		t.Error("Strict separates ACK_C/ACK_P")
+	}
+	if !strict.SendsValAtConsistency() {
+		t.Error("Strict sends VAL_C at consistency time")
+	}
+	if kind, _ := strict.DurableValKind(); kind != KindValP {
+		t.Error("Strict sends VAL_P at durability time")
+	}
+
+	renf := PolicyFor(LinREnf)
+	if renf.Return != ReturnWhenConsistent {
+		t.Error("REnf returns when consistent")
+	}
+	if renf.Release != ReleaseWhenDurable {
+		t.Error("REnf must hold the RDLock until durable everywhere (read-enforced)")
+	}
+	if kind, _ := renf.DurableValKind(); kind != KindVal {
+		t.Error("REnf sends its single VAL after all ACK_Ps")
+	}
+	if renf.SendsValAtConsistency() {
+		t.Error("REnf has only one VAL kind; none at consistency time")
+	}
+
+	event := PolicyFor(LinEvent)
+	if event.TracksPersistency || event.PersistencySpinOnObsolete {
+		t.Error("Event exchanges no persistency messages and never persistency-spins")
+	}
+	if event.FollowerPersist != PersistBackground {
+		t.Error("Event persists in the background")
+	}
+
+	scope := PolicyFor(LinScope)
+	if !scope.Scoped || scope.FollowerPersist != PersistOnScopeFlush {
+		t.Error("Scope defers persists to the scope flush")
+	}
+}
+
+func TestParseModelRoundTrip(t *testing.T) {
+	for _, m := range Models {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Error("ParseModel should reject unknown names")
+	}
+}
+
+func TestMessageKindValidity(t *testing.T) {
+	kinds := []MsgKind{KindInv, KindAck, KindAckC, KindAckP, KindVal, KindValC, KindValP, KindPersist}
+	for _, k := range kinds {
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if MsgKind(200).Valid() {
+		t.Error("kind 200 should be invalid")
+	}
+	if KindInv.String() != "INV" || KindAckP.String() != "ACK_P" {
+		t.Error("message kind names wrong")
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	if ControlSize() != HeaderBytes {
+		t.Errorf("control size %d, want %d", ControlSize(), HeaderBytes)
+	}
+	if DataSize(1024) != HeaderBytes+1024 {
+		t.Errorf("data size %d, want %d", DataSize(1024), HeaderBytes+1024)
+	}
+}

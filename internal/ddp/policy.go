@@ -1,0 +1,259 @@
+package ddp
+
+import "fmt"
+
+// Model identifies a <consistency, persistency> DDP model. All models use
+// Linearizable consistency; they differ in the persistency half
+// (paper §II-A).
+type Model int
+
+const (
+	// LinSynch is <Lin, Synch>: a write returns when all replicas are
+	// updated and persisted; a single combined ACK/VAL pair is used.
+	LinSynch Model = iota
+	// LinStrict is <Lin, Strict>: like Synch but consistency and
+	// persistency are decoupled into ACK_C/VAL_C and ACK_P/VAL_P.
+	LinStrict
+	// LinREnf is <Lin, REnf> (Read-Enforced): a write returns once all
+	// replicas are updated; replicas must be persisted before any of
+	// them may be read, so the RDLock is held until persistence
+	// completes everywhere.
+	LinREnf
+	// LinEvent is <Lin, Event>: a write returns once all replicas are
+	// updated; persistence happens eventually with no tracking messages.
+	LinEvent
+	// LinScope is <Lin, Scope>: like Event per-write, plus a [PERSIST]sc
+	// transaction that returns only when every write in the scope is
+	// persisted everywhere.
+	LinScope
+
+	numModels
+)
+
+// Models lists every supported model in paper order.
+var Models = []Model{LinSynch, LinStrict, LinREnf, LinEvent, LinScope}
+
+var modelNames = [numModels]string{
+	"Lin-Synch", "Lin-Strict", "Lin-REnf", "Lin-Event", "Lin-Scope",
+}
+
+func (m Model) String() string {
+	if int(m) < len(modelNames) {
+		return modelNames[m]
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel converts a name like "Lin-Synch" (case-sensitive, as printed
+// by String) to a Model.
+func ParseModel(s string) (Model, error) {
+	for i, n := range modelNames {
+		if n == s {
+			return Model(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ddp: unknown model %q", s)
+}
+
+// FollowerPersistMode says when a Follower persists an update relative to
+// its acknowledgments (Fig 2 line 39 and the Fig 3 deltas).
+type FollowerPersistMode int
+
+const (
+	// PersistBeforeAck: persist, then send the combined ACK (Synch).
+	PersistBeforeAck FollowerPersistMode = iota
+	// PersistAfterAckC: send ACK_C as soon as the volatile copy is
+	// updated, persist, then send ACK_P (Strict, REnf).
+	PersistAfterAckC
+	// PersistBackground: send ACK_C; persist off the critical path with
+	// no ACK_P (Event).
+	PersistBackground
+	// PersistOnScopeFlush: send [ACK_C]sc; buffer the persist until the
+	// scope's [PERSIST]sc arrives (Scope).
+	PersistOnScopeFlush
+)
+
+// CoordPersistMode says when the Coordinator persists its local update
+// (Fig 2 line 18 / Fig 3 step d).
+type CoordPersistMode int
+
+const (
+	// CoordPersistInline: in the critical path, before waiting for ACKs
+	// (Synch, Strict).
+	CoordPersistInline CoordPersistMode = iota
+	// CoordPersistBackground: off the critical path (REnf, Event).
+	CoordPersistBackground
+	// CoordPersistOnScopeFlush: buffered until the scope flush (Scope).
+	CoordPersistOnScopeFlush
+)
+
+// ReturnPoint says when the Coordinator may return the write response to
+// the client (§II-A model definitions).
+type ReturnPoint int
+
+const (
+	// ReturnWhenConsistent: all consistency ACKs received (REnf, Event,
+	// Scope).
+	ReturnWhenConsistent ReturnPoint = iota
+	// ReturnWhenDurable: all consistency and persistency ACKs received
+	// (Synch with its combined ACK, Strict).
+	ReturnWhenDurable
+)
+
+// ReleasePoint says when the Coordinator releases the RDLock (enabling
+// local reads of the record).
+type ReleasePoint int
+
+const (
+	// ReleaseWhenConsistent: after all consistency ACKs (Synch — whose
+	// combined ACKs also imply durability — Strict, Event, Scope).
+	ReleaseWhenConsistent ReleasePoint = iota
+	// ReleaseWhenDurable: only after all persistency ACKs, because reads
+	// must not observe an un-persisted update (REnf).
+	ReleaseWhenDurable
+)
+
+// Policy captures every point where the five persistency models diverge
+// from the <Lin, Synch> baseline of Fig 2, following the Fig 3 deltas.
+// One coordinator/follower engine parameterized by a Policy implements
+// all five models.
+type Policy struct {
+	Model Model
+
+	// SeparateAcks: consistency and persistency use distinct message
+	// pairs (ACK_C/ACK_P, VAL_C/VAL_P) instead of combined ACK/VAL.
+	SeparateAcks bool
+
+	// TracksPersistency: the coordinator expects persistency
+	// acknowledgments for a write (Synch via the combined ACK, Strict
+	// and REnf via ACK_P). Event and Scope writes exchange no
+	// persistency messages.
+	TracksPersistency bool
+
+	// PersistencySpinOnObsolete: handleObsolete() runs PersistencySpin
+	// in addition to ConsistencySpin (Synch, Strict, REnf). The weak
+	// models skip it: accesses need not stall for outstanding persists.
+	PersistencySpinOnObsolete bool
+
+	FollowerPersist FollowerPersistMode
+	CoordPersist    CoordPersistMode
+	Return          ReturnPoint
+	Release         ReleasePoint
+
+	// FollowerReleaseKind is the VAL kind whose arrival lets the
+	// Follower release the RDLock (VAL for Synch/REnf, VAL_C for
+	// Strict/Event/Scope).
+	FollowerReleaseKind MsgKind
+
+	// ValAfterDurable: the coordinator defers its (single) VAL until
+	// persistency completes everywhere, so a Follower receiving VAL
+	// also learns glb_durableTS (Synch, REnf). Strict instead sends
+	// VAL_C at consistency time and VAL_P at durability time.
+	ValAfterDurable bool
+
+	// Scoped: the model supports [PERSIST]sc transactions.
+	Scoped bool
+}
+
+// policies is indexed by Model.
+var policies = [numModels]Policy{
+	LinSynch: {
+		Model:                     LinSynch,
+		SeparateAcks:              false,
+		TracksPersistency:         true,
+		PersistencySpinOnObsolete: true,
+		FollowerPersist:           PersistBeforeAck,
+		CoordPersist:              CoordPersistInline,
+		Return:                    ReturnWhenDurable,
+		Release:                   ReleaseWhenConsistent,
+		FollowerReleaseKind:       KindVal,
+		ValAfterDurable:           true, // the single VAL follows the combined ACKs
+	},
+	LinStrict: {
+		Model:                     LinStrict,
+		SeparateAcks:              true,
+		TracksPersistency:         true,
+		PersistencySpinOnObsolete: true,
+		FollowerPersist:           PersistAfterAckC,
+		CoordPersist:              CoordPersistInline,
+		Return:                    ReturnWhenDurable,
+		Release:                   ReleaseWhenConsistent,
+		FollowerReleaseKind:       KindValC,
+		ValAfterDurable:           false,
+	},
+	LinREnf: {
+		Model:                     LinREnf,
+		SeparateAcks:              true,
+		TracksPersistency:         true,
+		PersistencySpinOnObsolete: true,
+		FollowerPersist:           PersistAfterAckC,
+		CoordPersist:              CoordPersistBackground,
+		Return:                    ReturnWhenConsistent,
+		Release:                   ReleaseWhenDurable,
+		FollowerReleaseKind:       KindVal,
+		ValAfterDurable:           true, // single VAL sent once all ACK_Ps arrive
+	},
+	LinEvent: {
+		Model:                     LinEvent,
+		SeparateAcks:              true,
+		TracksPersistency:         false,
+		PersistencySpinOnObsolete: false,
+		FollowerPersist:           PersistBackground,
+		CoordPersist:              CoordPersistBackground,
+		Return:                    ReturnWhenConsistent,
+		Release:                   ReleaseWhenConsistent,
+		FollowerReleaseKind:       KindValC,
+		ValAfterDurable:           false,
+	},
+	LinScope: {
+		Model:                     LinScope,
+		SeparateAcks:              true,
+		TracksPersistency:         false,
+		PersistencySpinOnObsolete: false,
+		FollowerPersist:           PersistOnScopeFlush,
+		CoordPersist:              CoordPersistOnScopeFlush,
+		Return:                    ReturnWhenConsistent,
+		Release:                   ReleaseWhenConsistent,
+		FollowerReleaseKind:       KindValC,
+		ValAfterDurable:           false,
+		Scoped:                    true,
+	},
+}
+
+// PolicyFor returns the policy table entry for model m.
+func PolicyFor(m Model) Policy {
+	if m < 0 || int(m) >= len(policies) {
+		panic(fmt.Sprintf("ddp: no policy for %v", m))
+	}
+	return policies[m]
+}
+
+// ConsistencyAckKind returns the message kind a Follower sends when its
+// volatile replica is updated (or found obsolete but consistent).
+func (p Policy) ConsistencyAckKind() MsgKind {
+	if p.SeparateAcks {
+		return KindAckC
+	}
+	return KindAck
+}
+
+// SendsValAtConsistency reports whether the Coordinator emits a VAL_C as
+// soon as consistency completes (Strict, Event, Scope). Synch and REnf
+// instead send their single VAL once durability completes.
+func (p Policy) SendsValAtConsistency() bool {
+	return p.SeparateAcks && p.FollowerReleaseKind == KindValC
+}
+
+// DurableValKind returns the VAL kind emitted once persistency completes
+// everywhere, and whether one is emitted at all. Synch and REnf emit the
+// combined/single VAL; Strict emits VAL_P; Event and Scope writes emit
+// nothing at durability time.
+func (p Policy) DurableValKind() (MsgKind, bool) {
+	if !p.TracksPersistency {
+		return 0, false
+	}
+	if p.ValAfterDurable {
+		return KindVal, true
+	}
+	return KindValP, true
+}

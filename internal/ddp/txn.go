@@ -1,0 +1,103 @@
+package ddp
+
+import "fmt"
+
+// WriteTxn is the Coordinator-side bookkeeping for one client-write: the
+// set of followers that have acknowledged consistency and persistency.
+// It corresponds to the paper's RcvedACK_SenderID / RcvedACK_C_SenderID /
+// RcvedACK_P_SenderID arrays (Table I, type check 4c).
+type WriteTxn struct {
+	TS    Timestamp
+	Key   Key
+	Scope ScopeID
+
+	self      NodeID
+	needed    int // number of follower acknowledgments expected
+	ackC      map[NodeID]bool
+	ackP      map[NodeID]bool
+	separate  bool
+	tracksPer bool
+}
+
+// NewWriteTxn returns bookkeeping for a write coordinated by self with
+// the given follower count, under policy p.
+func NewWriteTxn(p Policy, self NodeID, key Key, ts Timestamp, followers int) *WriteTxn {
+	return &WriteTxn{
+		TS:        ts,
+		Key:       key,
+		self:      self,
+		needed:    followers,
+		ackC:      make(map[NodeID]bool, followers),
+		ackP:      make(map[NodeID]bool, followers),
+		separate:  p.SeparateAcks,
+		tracksPer: p.TracksPersistency,
+	}
+}
+
+// RecordAck registers an acknowledgment of the given kind from a
+// follower. A combined ACK counts for both consistency and persistency.
+// It returns an error for illegal senders, duplicate acknowledgments, or
+// kinds the policy does not use — the conditions Table I type-checks.
+func (w *WriteTxn) RecordAck(kind MsgKind, from NodeID) error {
+	if from == w.self {
+		return fmt.Errorf("ddp: ack from self (node %d)", from)
+	}
+	switch kind {
+	case KindAck:
+		if w.separate {
+			return fmt.Errorf("ddp: combined ACK under separate-ack policy")
+		}
+		if w.ackC[from] {
+			return fmt.Errorf("ddp: duplicate ACK from node %d", from)
+		}
+		w.ackC[from] = true
+		w.ackP[from] = true
+	case KindAckC:
+		if !w.separate {
+			return fmt.Errorf("ddp: ACK_C under combined-ack policy")
+		}
+		if w.ackC[from] {
+			return fmt.Errorf("ddp: duplicate ACK_C from node %d", from)
+		}
+		w.ackC[from] = true
+	case KindAckP:
+		if !w.separate || !w.tracksPer {
+			return fmt.Errorf("ddp: unexpected ACK_P under this policy")
+		}
+		if w.ackP[from] {
+			return fmt.Errorf("ddp: duplicate ACK_P from node %d", from)
+		}
+		w.ackP[from] = true
+	default:
+		return fmt.Errorf("ddp: %v is not an acknowledgment", kind)
+	}
+	return nil
+}
+
+// ConsistencyComplete reports whether every follower has acknowledged
+// the volatile update.
+func (w *WriteTxn) ConsistencyComplete() bool { return len(w.ackC) >= w.needed }
+
+// PersistencyComplete reports whether every follower has acknowledged
+// the persist. For policies that do not track persistency it reports
+// true vacuously.
+func (w *WriteTxn) PersistencyComplete() bool {
+	if !w.tracksPer {
+		return true
+	}
+	return len(w.ackP) >= w.needed
+}
+
+// AckCCount and AckPCount expose progress for diagnostics.
+func (w *WriteTxn) AckCCount() int { return len(w.ackC) }
+
+// AckPCount reports how many persistency acknowledgments have arrived.
+func (w *WriteTxn) AckPCount() int { return len(w.ackP) }
+
+// AckedC reports whether follower id has acknowledged consistency.
+// Fault-tolerant completion checks ("all live followers acked") need
+// per-follower visibility.
+func (w *WriteTxn) AckedC(id NodeID) bool { return w.ackC[id] }
+
+// AckedP reports whether follower id has acknowledged persistency.
+func (w *WriteTxn) AckedP(id NodeID) bool { return w.ackP[id] }

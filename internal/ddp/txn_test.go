@@ -1,0 +1,76 @@
+package ddp
+
+import "testing"
+
+func TestWriteTxnCombinedAcks(t *testing.T) {
+	p := PolicyFor(LinSynch)
+	w := NewWriteTxn(p, 0, 7, Timestamp{0, 1}, 2)
+	if w.ConsistencyComplete() || w.PersistencyComplete() {
+		t.Fatal("nothing is complete before any acks arrive")
+	}
+	if err := w.RecordAck(KindAck, 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.ConsistencyComplete() {
+		t.Fatal("one of two acks")
+	}
+	if err := w.RecordAck(KindAck, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !w.ConsistencyComplete() || !w.PersistencyComplete() {
+		t.Fatal("combined acks complete both planes")
+	}
+}
+
+func TestWriteTxnSeparateAcks(t *testing.T) {
+	p := PolicyFor(LinStrict)
+	w := NewWriteTxn(p, 0, 7, Timestamp{0, 1}, 2)
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(w.RecordAck(KindAckC, 1))
+	mustOK(w.RecordAck(KindAckC, 2))
+	if !w.ConsistencyComplete() || w.PersistencyComplete() {
+		t.Fatal("ACK_Cs complete consistency only")
+	}
+	mustOK(w.RecordAck(KindAckP, 1))
+	mustOK(w.RecordAck(KindAckP, 2))
+	if !w.PersistencyComplete() {
+		t.Fatal("all ACK_Ps received")
+	}
+}
+
+func TestWriteTxnRejectsIllegalAcks(t *testing.T) {
+	strict := NewWriteTxn(PolicyFor(LinStrict), 0, 1, Timestamp{0, 1}, 2)
+	if err := strict.RecordAck(KindAck, 1); err == nil {
+		t.Error("combined ACK must be rejected under Strict")
+	}
+	if err := strict.RecordAck(KindAckC, 0); err == nil {
+		t.Error("ack from self must be rejected")
+	}
+	if err := strict.RecordAck(KindInv, 1); err == nil {
+		t.Error("INV is not an acknowledgment")
+	}
+	if err := strict.RecordAck(KindAckC, 1); err != nil {
+		t.Error(err)
+	}
+	if err := strict.RecordAck(KindAckC, 1); err == nil {
+		t.Error("duplicate ACK_C must be rejected")
+	}
+
+	synch := NewWriteTxn(PolicyFor(LinSynch), 0, 1, Timestamp{0, 1}, 2)
+	if err := synch.RecordAck(KindAckC, 1); err == nil {
+		t.Error("ACK_C must be rejected under Synch")
+	}
+
+	event := NewWriteTxn(PolicyFor(LinEvent), 0, 1, Timestamp{0, 1}, 2)
+	if err := event.RecordAck(KindAckP, 1); err == nil {
+		t.Error("ACK_P must be rejected under Event (no persistency tracking)")
+	}
+	if !event.PersistencyComplete() {
+		t.Error("untracked persistency is vacuously complete")
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// This file holds ablations beyond the paper's figures, probing the
+// design choices DESIGN.md calls out: how much of MINOS-O's win comes
+// from SmartNIC compute capacity, from the parallel vFIFO drain
+// engines, and how the two systems behave across the standard YCSB
+// presets.
+
+// AblationRow is one sweep point.
+type AblationRow struct {
+	Group   string
+	Setting string
+	System  string
+	WriteNs float64
+	ReadNs  float64
+	Thr     float64
+}
+
+// AblationSNICCores sweeps the SmartNIC core count under full load:
+// MINOS-O's follower-side work (vFIFO/dFIFO writes, protocol handling)
+// has to run somewhere, so starving the NIC of cores erodes the win.
+func AblationSNICCores(sc Scale) ([]AblationRow, *stats.Table) {
+	var rows []AblationRow
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		cfg := simcluster.DefaultConfig()
+		cfg.Opts = simcluster.MinosO
+		cfg.SNICCores = cores
+		m := run(cfg, defaultWorkload(1.0), sc)
+		rows = append(rows, AblationRow{
+			Group: "snic-cores", Setting: fmt.Sprintf("%d", cores), System: "MINOS-O",
+			WriteNs: m.AvgWriteNs(), Thr: m.WriteThroughput(),
+		})
+	}
+	return rows, ablationTable("Ablation — SmartNIC core count (100% writes, <Lin,Synch>)", rows)
+}
+
+// AblationDrainEngines sweeps the parallel vFIFO drain engines: with
+// one engine the drain serializes all records; the paper's design
+// drains different records in parallel (§V-B.4).
+func AblationDrainEngines(sc Scale) ([]AblationRow, *stats.Table) {
+	var rows []AblationRow
+	for _, engines := range []int{1, 2, 4, 8} {
+		cfg := simcluster.DefaultConfig()
+		cfg.Opts = simcluster.MinosO
+		cfg.VDrainEngines = engines
+		m := run(cfg, defaultWorkload(0.5), sc)
+		rows = append(rows, AblationRow{
+			Group: "drain-engines", Setting: fmt.Sprintf("%d", engines), System: "MINOS-O",
+			WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),
+		})
+	}
+	return rows, ablationTable("Ablation — parallel vFIFO drain engines (50% writes)", rows)
+}
+
+// AblationHostCores sweeps the host core count under MINOS-B: the
+// baseline's bottleneck is host compute, so cores buy it throughput —
+// the capacity MINOS-O frees by offloading.
+func AblationHostCores(sc Scale) ([]AblationRow, *stats.Table) {
+	var rows []AblationRow
+	for _, cores := range []int{2, 5, 10, 20} {
+		cfg := simcluster.DefaultConfig()
+		cfg.HostCores = cores
+		m := run(cfg, defaultWorkload(0.5), sc)
+		rows = append(rows, AblationRow{
+			Group: "host-cores", Setting: fmt.Sprintf("%d", cores), System: "MINOS-B",
+			WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),
+		})
+	}
+	return rows, ablationTable("Ablation — host core count under MINOS-B (50% writes)", rows)
+}
+
+// YCSBPresets runs the standard YCSB core workloads (A, B, C, D, F) on
+// both systems — the sweep the paper's "various workloads" sentence
+// gestures at.
+func YCSBPresets(sc Scale) ([]AblationRow, *stats.Table) {
+	var rows []AblationRow
+	for _, preset := range workload.Presets {
+		for _, opts := range []simcluster.Opts{simcluster.MinosB, simcluster.MinosO} {
+			cfg := simcluster.DefaultConfig()
+			cfg.Model = ddp.LinSynch
+			cfg.Opts = opts
+			m := run(cfg, preset.Config(), sc)
+			rows = append(rows, AblationRow{
+				Group: "ycsb", Setting: preset.String(), System: opts.String(),
+				WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),
+			})
+		}
+	}
+	return rows, ablationTable("YCSB core workloads A-F on MINOS-B vs MINOS-O", rows)
+}
+
+func ablationTable(title string, rows []AblationRow) *stats.Table {
+	tab := &stats.Table{
+		Title:   title,
+		Headers: []string{"setting", "system", "wr-lat", "rd-lat", "throughput"},
+	}
+	for _, r := range rows {
+		rd := "-"
+		if r.ReadNs > 0 {
+			rd = stats.Ns(r.ReadNs)
+		}
+		wr := "-"
+		if r.WriteNs > 0 {
+			wr = stats.Ns(r.WriteNs)
+		}
+		tab.AddRow(r.Setting, r.System, wr, rd, fmt.Sprintf("%.0f op/s", r.Thr))
+	}
+	return tab
+}

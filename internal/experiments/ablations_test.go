@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationSNICCores(t *testing.T) {
+	rows, tab := AblationSNICCores(Tiny)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More SmartNIC cores must not reduce throughput.
+	if rows[0].Thr > rows[len(rows)-1].Thr {
+		t.Errorf("1 core (%.0f op/s) outperformed 16 cores (%.0f op/s)",
+			rows[0].Thr, rows[len(rows)-1].Thr)
+	}
+	if tab.String() == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestAblationDrainEngines(t *testing.T) {
+	rows, _ := AblationDrainEngines(Tiny)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.WriteNs <= 0 {
+			t.Errorf("engines=%s: no write latency", r.Setting)
+		}
+	}
+	// A single serializing drain engine must not beat eight.
+	if rows[0].Thr > rows[3].Thr*1.05 {
+		t.Errorf("1 engine (%.0f) clearly beat 8 engines (%.0f)", rows[0].Thr, rows[3].Thr)
+	}
+}
+
+func TestAblationHostCores(t *testing.T) {
+	rows, _ := AblationHostCores(Tiny)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// MINOS-B is host-bound: 20 cores must beat 2 cores on throughput.
+	if rows[0].Thr >= rows[3].Thr {
+		t.Errorf("2 host cores (%.0f op/s) >= 20 cores (%.0f op/s): baseline should be host-bound",
+			rows[0].Thr, rows[3].Thr)
+	}
+}
+
+func TestYCSBPresets(t *testing.T) {
+	rows, tab := YCSBPresets(Tiny)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 presets x 2 systems)", len(rows))
+	}
+	byKey := map[string]AblationRow{}
+	for _, r := range rows {
+		byKey[r.Setting+"/"+r.System] = r
+	}
+	// YCSB-C is read-only: no write latency recorded.
+	if byKey["YCSB-C/MINOS-B"].WriteNs != 0 {
+		t.Error("read-only preset produced writes")
+	}
+	// Update-heavy A: MINOS-O must win on throughput.
+	if byKey["YCSB-A/MINOS-O"].Thr <= byKey["YCSB-A/MINOS-B"].Thr {
+		t.Error("MINOS-O should beat MINOS-B on YCSB-A")
+	}
+	// Read-mostly B is gentler on MINOS-B than update-heavy A.
+	if byKey["YCSB-B/MINOS-B"].Thr <= byKey["YCSB-A/MINOS-B"].Thr {
+		t.Error("read-mostly throughput should exceed update-heavy under MINOS-B")
+	}
+	if tab.String() == "" {
+		t.Error("empty table")
+	}
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+)
+
+func TestFig4Shape(t *testing.T) {
+	rows, tab := Fig4(Tiny)
+	if len(rows) != len(ddp.Models) {
+		t.Fatalf("%d rows, want %d", len(rows), len(ddp.Models))
+	}
+	for _, r := range rows {
+		if r.TotalNs <= 0 || r.CommNs <= 0 {
+			t.Errorf("%v: degenerate breakdown %+v", r.Model, r)
+		}
+		// §IV: communication is the highest contributor.
+		if r.CommFrac < 0.5 {
+			t.Errorf("%v: communication fraction %.2f should dominate", r.Model, r.CommFrac)
+		}
+	}
+	// Fig 4: conservative persistency costs more than relaxed.
+	byModel := map[ddp.Model]Fig4Row{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+	}
+	if byModel[ddp.LinStrict].TotalNs <= byModel[ddp.LinEvent].TotalNs {
+		t.Error("Strict should cost more than Event")
+	}
+	if byModel[ddp.LinSynch].CompNs <= byModel[ddp.LinEvent].CompNs {
+		t.Error("Synch computation (persist in critical path) should exceed Event's")
+	}
+	if !strings.Contains(tab.String(), "Lin-Synch") {
+		t.Error("table missing model rows")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res, tab := Fig9(Tiny)
+	wantRows := 2 * len(ddp.Models) * len(fig9Mixes)
+	if len(res.Writes) != wantRows || len(res.Reads) != wantRows {
+		t.Fatalf("rows: %d/%d, want %d each", len(res.Writes), len(res.Reads), wantRows)
+	}
+	if res.SpeedupWriteLat < 1.3 {
+		t.Errorf("average write-latency speedup %.2fx; paper reports 2.1x", res.SpeedupWriteLat)
+	}
+	if res.SpeedupReadLat < 1.3 {
+		t.Errorf("average read-latency speedup %.2fx; paper reports 2.2x", res.SpeedupReadLat)
+	}
+	if res.SpeedupThr < 1.3 {
+		t.Errorf("average throughput gain %.2fx; paper reports 2.3x", res.SpeedupThr)
+	}
+	// The normalization base row must be exactly 1.
+	for _, r := range res.Writes {
+		if r.System == "MINOS-B" && r.Model == ddp.LinSynch && r.Ratio == 0.5 {
+			if r.LatNorm != 1 || r.ThrNorm != 1 {
+				t.Errorf("base row not normalized to 1: %+v", r)
+			}
+		}
+	}
+	if !strings.Contains(tab.String(), "MINOS-O") {
+		t.Error("table missing MINOS-O rows")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res, _ := Fig10(Tiny)
+	if len(res.Rows) != 2*len(ddp.Models)*len(Fig10NodeCounts) {
+		t.Fatalf("unexpected row count %d", len(res.Rows))
+	}
+	if res.SpeedupWriteLat < 1.3 || res.SpeedupThr < 1.3 {
+		t.Errorf("speedups %.2f/%.2f too small; paper reports 2.3x/2.4x",
+			res.SpeedupWriteLat, res.SpeedupThr)
+	}
+	// MINOS-B write latency must grow with node count (Synch).
+	var b2, b10 float64
+	for _, r := range res.Rows {
+		if r.System == "MINOS-B" && r.Model == ddp.LinSynch {
+			switch r.Nodes {
+			case 2:
+				b2 = r.WriteLatNs
+			case 10:
+				b10 = r.WriteLatNs
+			}
+		}
+	}
+	if b10 <= b2 {
+		t.Errorf("MINOS-B write latency should degrade with node count: 2n=%.0f 10n=%.0f", b2, b10)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, tab := Fig11(Tiny)
+	if len(res.Rows) != 2*2*len(ddp.Models) {
+		t.Fatalf("unexpected row count %d", len(res.Rows))
+	}
+	if res.AvgReduction < 0.05 || res.AvgReduction > 0.8 {
+		t.Errorf("average end-to-end reduction %.2f out of plausible range (paper: 0.35)", res.AvgReduction)
+	}
+	for _, r := range res.Rows {
+		if r.E2ENs < ClientRTTNs {
+			t.Errorf("e2e %.0f below the client RTT floor", r.E2ENs)
+		}
+	}
+	if !strings.Contains(tab.String(), "SocialNetwork") || !strings.Contains(tab.String(), "Media") {
+		t.Error("table missing functions")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, _ := Fig12(Tiny)
+	if len(rows) != len(Fig12Variants) {
+		t.Fatalf("unexpected row count %d", len(rows))
+	}
+	get := func(opts simcluster.Opts) Fig12Row {
+		for _, r := range rows {
+			if r.Opts == opts {
+				return r
+			}
+		}
+		t.Fatalf("missing variant %v", opts)
+		return Fig12Row{}
+	}
+	b := get(simcluster.MinosB)
+	combined := get(simcluster.Opts{Offload: true})
+	o := get(simcluster.MinosO)
+	if b.Norm != 1 {
+		t.Errorf("baseline norm %v, want 1", b.Norm)
+	}
+	// §VIII-D: Combined is very effective (-43.3%), O best (-50.7%).
+	if combined.Norm > 0.85 {
+		t.Errorf("Combined norm %.2f: expected a large reduction (paper 0.567)", combined.Norm)
+	}
+	if o.Norm >= combined.Norm+0.1 {
+		t.Errorf("MINOS-O (%.2f) should not be clearly worse than Combined (%.2f)", o.Norm, combined.Norm)
+	}
+	if o.Norm > 0.8 {
+		t.Errorf("MINOS-O norm %.2f: paper reports 0.493", o.Norm)
+	}
+	// Broadcast or batching alone: no large effect.
+	bc := get(simcluster.Opts{Broadcast: true})
+	bt := get(simcluster.Opts{Batch: true})
+	if bc.Norm < 0.8 || bt.Norm < 0.8 {
+		t.Errorf("broadcast/batching alone should not help much: %.2f/%.2f", bc.Norm, bt.Norm)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, _ := Fig13(Tiny)
+	byEntries := map[int]Fig13Row{}
+	for _, r := range rows {
+		byEntries[r.Entries] = r
+	}
+	if byEntries[0].Norm != 1 {
+		t.Error("unlimited row must normalize to 1")
+	}
+	if byEntries[1].Norm < byEntries[5].Norm-1e-9 {
+		t.Errorf("1 entry (%.3f) should not beat 5 entries (%.3f)",
+			byEntries[1].Norm, byEntries[5].Norm)
+	}
+	// Paper: 3-5 entries attain ~unlimited latency.
+	if byEntries[5].Norm > 1.15 {
+		t.Errorf("5 entries %.3f, should be near 1.0 (paper: matches unlimited)", byEntries[5].Norm)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	rows, _ := Fig14(Tiny)
+	var persist []Fig14Row
+	for _, r := range rows {
+		if r.Speedup <= 1.0 {
+			t.Errorf("%s/%s: speedup %.2fx, MINOS-O should always win (paper ~2x)",
+				r.Group, r.Setting, r.Speedup)
+		}
+		if r.Group == "persist" {
+			persist = append(persist, r)
+		}
+	}
+	if len(persist) != len(Fig14PersistNsPerKB) {
+		t.Fatalf("persist sweep rows %d, want %d", len(persist), len(Fig14PersistNsPerKB))
+	}
+	// Paper: speedups increase with persist latency.
+	if persist[len(persist)-1].Speedup <= persist[0].Speedup {
+		t.Errorf("speedup should grow with persist latency: 100ns=%.2fx vs 100µs=%.2fx",
+			persist[0].Speedup, persist[len(persist)-1].Speedup)
+	}
+}

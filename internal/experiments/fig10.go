@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+)
+
+// Fig10Row is one bar/triangle pair of Figure 10: a system × model ×
+// node-count point.
+type Fig10Row struct {
+	System string
+	Model  ddp.Model
+	Nodes  int
+
+	WriteLatNs float64
+	WriteThr   float64
+	ReadLatNs  float64
+	ReadThr    float64
+	WriteNorm  float64
+	WThrNorm   float64
+	ReadNorm   float64
+	RThrNorm   float64
+}
+
+// Fig10NodeCounts are the cluster sizes the paper sweeps.
+var Fig10NodeCounts = []int{2, 4, 6, 8, 10}
+
+// Fig10Result carries the rows plus the §VIII-B headline averages
+// (paper: write lat 2.3x, read lat 3.1x, throughput 2.4x).
+type Fig10Result struct {
+	Rows            []Fig10Row
+	SpeedupWriteLat float64
+	SpeedupReadLat  float64
+	SpeedupThr      float64
+}
+
+// Fig10 reproduces Figure 10 (§VIII-B): MINOS-B vs MINOS-O across node
+// counts 2-10 with the default 50% write workload, normalized to
+// MINOS-B <Lin, Synch> at two nodes.
+func Fig10(sc Scale) (*Fig10Result, *stats.Table) {
+	res := &Fig10Result{}
+	metrics := map[[3]int]*simcluster.Metrics{}
+	systems := []simcluster.Opts{simcluster.MinosB, simcluster.MinosO}
+	for si, opts := range systems {
+		for mi, model := range ddp.Models {
+			for ni, nodes := range Fig10NodeCounts {
+				cfg := simcluster.DefaultConfig()
+				cfg.Model = model
+				cfg.Opts = opts
+				cfg.Nodes = nodes
+				metrics[[3]int{si, mi, ni}] = run(cfg, defaultWorkload(0.5), sc)
+			}
+		}
+	}
+	base := metrics[[3]int{0, 0, 0}] // B, Synch, 2 nodes
+	var sw, sr, st, cnt float64
+	for si, opts := range systems {
+		for mi, model := range ddp.Models {
+			for ni, nodes := range Fig10NodeCounts {
+				m := metrics[[3]int{si, mi, ni}]
+				res.Rows = append(res.Rows, Fig10Row{
+					System: SystemName(opts), Model: model, Nodes: nodes,
+					WriteLatNs: m.AvgWriteNs(), WriteThr: m.WriteThroughput(),
+					ReadLatNs: m.AvgReadNs(), ReadThr: m.ReadThroughput(),
+					WriteNorm: m.AvgWriteNs() / base.AvgWriteNs(),
+					WThrNorm:  m.WriteThroughput() / base.WriteThroughput(),
+					ReadNorm:  m.AvgReadNs() / base.AvgReadNs(),
+					RThrNorm:  m.ReadThroughput() / base.ReadThroughput(),
+				})
+			}
+		}
+	}
+	for mi := range ddp.Models {
+		for ni := range Fig10NodeCounts {
+			b := metrics[[3]int{0, mi, ni}]
+			o := metrics[[3]int{1, mi, ni}]
+			sw += b.AvgWriteNs() / o.AvgWriteNs()
+			sr += b.AvgReadNs() / o.AvgReadNs()
+			st += (o.WriteThroughput()/b.WriteThroughput() + o.ReadThroughput()/b.ReadThroughput()) / 2
+			cnt++
+		}
+	}
+	res.SpeedupWriteLat = sw / cnt
+	res.SpeedupReadLat = sr / cnt
+	res.SpeedupThr = st / cnt
+
+	tab := &stats.Table{
+		Title: "Fig 10 — normalized latency/throughput vs node count (2-10)\n" +
+			"normalized to MINOS-B <Lin,Synch> 2 nodes",
+		Headers: []string{"model", "system", "nodes", "wr-lat(norm)", "wr-thr(norm)", "rd-lat(norm)", "rd-thr(norm)"},
+	}
+	for _, r := range res.Rows {
+		tab.AddRow(r.Model.String(), r.System, fmt.Sprintf("%d", r.Nodes),
+			stats.F(r.WriteNorm), stats.F(r.WThrNorm), stats.F(r.ReadNorm), stats.F(r.RThrNorm))
+	}
+	return res, tab
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+)
+
+// Fig12Row is one bar of Figure 12: average write latency of one
+// optimization combination, normalized to MINOS-B.
+type Fig12Row struct {
+	Opts  simcluster.Opts
+	Name  string
+	LatNs float64
+	Norm  float64
+}
+
+// Fig12Variants are the seven configurations of the ablation, in paper
+// order: B, B+broadcast, B+batching, B+Combined (Offl+Coh+WRLock),
+// B+Combined+broadcast, B+Combined+batching, and full MINOS-O.
+var Fig12Variants = []simcluster.Opts{
+	simcluster.MinosB,
+	{Broadcast: true},
+	{Batch: true},
+	{Offload: true},
+	{Offload: true, Broadcast: true},
+	{Offload: true, Batch: true},
+	simcluster.MinosO,
+}
+
+// Fig12 reproduces Figure 12 (§VIII-D): the impact of the MINOS-O
+// optimizations on a 100%-write workload under <Lin, Synch>. The paper
+// finds broadcast or batching alone ineffective, Combined −43.3%,
+// Combined+batching worse than Combined (unpacking overhead), and full
+// MINOS-O −50.7%.
+func Fig12(sc Scale) ([]Fig12Row, *stats.Table) {
+	rows := make([]Fig12Row, 0, len(Fig12Variants))
+	var base float64
+	for _, opts := range Fig12Variants {
+		cfg := simcluster.DefaultConfig()
+		cfg.Opts = opts
+		m := run(cfg, defaultWorkload(1.0), sc)
+		lat := m.AvgWriteNs()
+		if opts == simcluster.MinosB {
+			base = lat
+		}
+		rows = append(rows, Fig12Row{Opts: opts, Name: opts.String(), LatNs: lat})
+	}
+	for i := range rows {
+		rows[i].Norm = rows[i].LatNs / base
+	}
+
+	tab := &stats.Table{
+		Title:   "Fig 12 — impact of the MINOS-O optimizations (100% writes, <Lin,Synch>)",
+		Headers: []string{"configuration", "write lat", "normalized"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Name, stats.Ns(r.LatNs), stats.F(r.Norm))
+	}
+	return rows, tab
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+)
+
+// Fig13Row is one bar of Figure 13: MINOS-O write latency with a given
+// vFIFO/dFIFO capacity, normalized to unlimited capacity.
+type Fig13Row struct {
+	Entries int // 0 = unlimited
+	LatNs   float64
+	Norm    float64
+}
+
+// Fig13Sizes are the FIFO capacities the paper sweeps, plus 0 for the
+// unlimited normalization baseline.
+var Fig13Sizes = []int{1, 2, 3, 4, 5, 100}
+
+// Fig13 reproduces Figure 13 (§VIII-E): sensitivity of MINOS-O to the
+// vFIFO/dFIFO size under the default 50%-write workload and
+// <Lin, Synch>. The paper finds 3-5 entries match unlimited capacity.
+func Fig13(sc Scale) ([]Fig13Row, *stats.Table) {
+	runWith := func(size int) float64 {
+		cfg := simcluster.DefaultConfig()
+		cfg.Opts = simcluster.MinosO
+		cfg.VFIFOSize = size
+		cfg.DFIFOSize = size
+		return run(cfg, defaultWorkload(0.5), sc).AvgWriteNs()
+	}
+	unlimited := runWith(0)
+	rows := make([]Fig13Row, 0, len(Fig13Sizes)+1)
+	for _, size := range Fig13Sizes {
+		lat := runWith(size)
+		rows = append(rows, Fig13Row{Entries: size, LatNs: lat, Norm: lat / unlimited})
+	}
+	rows = append(rows, Fig13Row{Entries: 0, LatNs: unlimited, Norm: 1})
+
+	tab := &stats.Table{
+		Title:   "Fig 13 — MINOS-O write latency vs vFIFO/dFIFO size (normalized to unlimited)",
+		Headers: []string{"entries", "write lat", "normalized"},
+	}
+	for _, r := range rows {
+		name := fmt.Sprintf("%d", r.Entries)
+		if r.Entries == 0 {
+			name = "unlimited"
+		}
+		tab.AddRow(name, stats.Ns(r.LatNs), stats.F(r.Norm))
+	}
+	return rows, tab
+}

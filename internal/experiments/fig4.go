@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+)
+
+// Fig4Row is one bar of Figure 4: the average MINOS-B write-transaction
+// latency for a model, decomposed into communication and computation.
+type Fig4Row struct {
+	Model   ddp.Model
+	CommNs  float64
+	CompNs  float64
+	TotalNs float64
+	// CommFrac is CommNs/TotalNs; the paper reports 51-73%.
+	CommFrac float64
+}
+
+// Fig4 reproduces Figure 4 (§IV): average write latency of MINOS-B under
+// the default workload (5 nodes, 50% writes, zipfian), split into
+// communication and computation time per <consistency, persistency>
+// model.
+func Fig4(sc Scale) ([]Fig4Row, *stats.Table) {
+	rows := make([]Fig4Row, 0, len(ddp.Models))
+	for _, model := range ddp.Models {
+		cfg := simcluster.DefaultConfig()
+		cfg.Model = model
+		m := run(cfg, defaultWorkload(0.5), sc)
+		total := m.AvgWriteNs()
+		r := Fig4Row{
+			Model:   model,
+			CommNs:  m.CommNs(),
+			CompNs:  m.CompNs(),
+			TotalNs: total,
+		}
+		if total > 0 {
+			r.CommFrac = r.CommNs / total
+		}
+		rows = append(rows, r)
+	}
+
+	tab := &stats.Table{
+		Title:   "Fig 4 — MINOS-B average write latency: communication vs computation",
+		Headers: []string{"model", "comm", "comp", "total", "comm%"},
+	}
+	for _, r := range rows {
+		tab.AddRow(r.Model.String(), stats.Ns(r.CommNs), stats.Ns(r.CompNs),
+			stats.Ns(r.TotalNs), stats.F(r.CommFrac*100))
+	}
+	return rows, tab
+}

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/stats"
+)
+
+// Fig9Row is one bar/triangle pair of Figure 9: a system × model × mix
+// point with absolute and normalized latency and throughput.
+type Fig9Row struct {
+	System string
+	Model  ddp.Model
+	// Ratio is the write fraction for the write chart and the read
+	// fraction for the read chart.
+	Ratio float64
+
+	LatNs   float64
+	Thr     float64
+	LatNorm float64
+	ThrNorm float64
+}
+
+// Fig9Result carries both charts: (a) writes and (b) reads.
+type Fig9Result struct {
+	Writes []Fig9Row
+	Reads  []Fig9Row
+	// SpeedupWriteLat etc. are the §VIII-A headline averages across
+	// models and mixes (paper: 2.1x, 2.2x, 2.3x).
+	SpeedupWriteLat float64
+	SpeedupReadLat  float64
+	SpeedupThr      float64
+}
+
+// fig9Mixes are the paper's workload mixes: 20/50/80/100% of writes (or
+// reads, mirrored).
+var fig9Mixes = []float64{0.2, 0.5, 0.8, 1.0}
+
+// Fig9 reproduces Figure 9 (§VIII-A): MINOS-B vs MINOS-O latency and
+// throughput of writes (a) and reads (b) on the default 5-node cluster,
+// across models and mixes. Bars are normalized to MINOS-B <Lin, Synch>
+// at 50%.
+func Fig9(sc Scale) (*Fig9Result, *stats.Table) {
+	type cell struct{ m *simcluster.Metrics }
+	// One run per (system, model, writeRatio) covers both charts:
+	// the read chart's r% reads is the write chart's (1-r)% writes.
+	ratios := []float64{0.0, 0.2, 0.5, 0.8, 1.0}
+	systems := []simcluster.Opts{simcluster.MinosB, simcluster.MinosO}
+	runs := make(map[[3]int]cell)
+	for si, opts := range systems {
+		for mi, model := range ddp.Models {
+			for ri, wr := range ratios {
+				cfg := simcluster.DefaultConfig()
+				cfg.Model = model
+				cfg.Opts = opts
+				runs[[3]int{si, mi, ri}] = cell{run(cfg, defaultWorkload(wr), sc)}
+			}
+		}
+	}
+	ratioIdx := func(want float64) int {
+		for i, r := range ratios {
+			if want > r-1e-9 && want < r+1e-9 {
+				return i
+			}
+		}
+		panic(fmt.Sprintf("experiments: ratio %v not simulated", want))
+	}
+
+	res := &Fig9Result{}
+	baseW := runs[[3]int{0, 0, ratioIdx(0.5)}].m // B, Synch, 50% writes
+	var sumWLat, sumRLat, sumThrW, sumThrR float64
+	var cnt float64
+	for si, opts := range systems {
+		for mi, model := range ddp.Models {
+			for _, mix := range fig9Mixes {
+				wm := runs[[3]int{si, mi, ratioIdx(mix)}].m
+				res.Writes = append(res.Writes, Fig9Row{
+					System: SystemName(opts), Model: model, Ratio: mix,
+					LatNs: wm.AvgWriteNs(), Thr: wm.WriteThroughput(),
+					LatNorm: wm.AvgWriteNs() / baseW.AvgWriteNs(),
+					ThrNorm: wm.WriteThroughput() / baseW.WriteThroughput(),
+				})
+				rm := runs[[3]int{si, mi, ratioIdx(1 - mix)}].m
+				res.Reads = append(res.Reads, Fig9Row{
+					System: SystemName(opts), Model: model, Ratio: mix,
+					LatNs: rm.AvgReadNs(), Thr: rm.ReadThroughput(),
+					LatNorm: rm.AvgReadNs() / baseW.AvgReadNs(),
+					ThrNorm: rm.ReadThroughput() / baseW.ReadThroughput(),
+				})
+			}
+		}
+	}
+	// Headline speedups: paired B vs O across models × mixes.
+	for mi := range ddp.Models {
+		for _, mix := range fig9Mixes {
+			b := runs[[3]int{0, mi, ratioIdx(mix)}].m
+			o := runs[[3]int{1, mi, ratioIdx(mix)}].m
+			br := runs[[3]int{0, mi, ratioIdx(1 - mix)}].m
+			or := runs[[3]int{1, mi, ratioIdx(1 - mix)}].m
+			if o.AvgWriteNs() > 0 && or.AvgReadNs() > 0 {
+				sumWLat += b.AvgWriteNs() / o.AvgWriteNs()
+				sumRLat += br.AvgReadNs() / or.AvgReadNs()
+				sumThrW += o.WriteThroughput() / b.WriteThroughput()
+				sumThrR += or.ReadThroughput() / br.ReadThroughput()
+				cnt++
+			}
+		}
+	}
+	if cnt > 0 {
+		res.SpeedupWriteLat = sumWLat / cnt
+		res.SpeedupReadLat = sumRLat / cnt
+		res.SpeedupThr = (sumThrW + sumThrR) / (2 * cnt)
+	}
+
+	tab := &stats.Table{
+		Title: "Fig 9 — normalized latency (bars) and throughput (triangles), writes (a) and reads (b)\n" +
+			"normalized to MINOS-B <Lin,Synch> 50%",
+		Headers: []string{"chart", "model", "system", "mix", "lat(norm)", "thr(norm)", "lat", "thr(op/s)"},
+	}
+	addRows := func(chart string, rows []Fig9Row) {
+		for _, r := range rows {
+			tab.AddRow(chart, r.Model.String(), r.System,
+				fmt.Sprintf("%.0f%%", r.Ratio*100),
+				stats.F(r.LatNorm), stats.F(r.ThrNorm),
+				stats.Ns(r.LatNs), fmt.Sprintf("%.0f", r.Thr))
+		}
+	}
+	addRows("writes", res.Writes)
+	addRows("reads", res.Reads)
+	return res, tab
+}

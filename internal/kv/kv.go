@@ -1,0 +1,199 @@
+// Package kv implements MINOS-KV, the replicated in-memory key-value
+// store the paper builds to carry its metadata format (§VII, "Workloads
+// Used"). The back-end is a hashtable; every record carries the DDP
+// metadata of Fig 1(a). Every node holds a replica of every record.
+//
+// The store is used by both runtimes. The simulated runtime accesses it
+// single-threaded (the kernel serializes processes), while the live
+// runtime locks per record; Record therefore embeds a mutex and a
+// condition variable for the paper's spin primitives.
+package kv
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// Record is one key's replica on one node: the value bytes plus the DDP
+// metadata. Lock-protected for the live runtime; the simulator, which is
+// single-threaded by construction, pays no contention.
+type Record struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	Key   ddp.Key
+	Value []byte
+	Meta  ddp.Meta
+}
+
+// newRecord returns an initialized record for key.
+func newRecord(key ddp.Key) *Record {
+	r := &Record{Key: key, Meta: ddp.NewMeta()}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// Lock acquires the record's mutex (live runtime only).
+func (r *Record) Lock() { r.mu.Lock() }
+
+// Unlock releases the record's mutex.
+func (r *Record) Unlock() { r.mu.Unlock() }
+
+// Wait blocks on the record's condition variable; the caller must hold
+// the lock. Used to implement ConsistencySpin / PersistencySpin and
+// read stalls without busy-waiting.
+func (r *Record) Wait() { r.cond.Wait() }
+
+// Wake wakes all waiters on the record; the caller must hold the lock.
+func (r *Record) Wake() { r.cond.Broadcast() }
+
+// Store is a node's full replica set: a sharded hashtable of records.
+type Store struct {
+	shards []*shard
+	mask   uint64
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	records map[ddp.Key]*Record
+}
+
+// NewStore returns an empty store. shardCount is rounded up to a power
+// of two; pass 1 for the simulator (no concurrency) and a larger value
+// (for example 64) for the live runtime.
+func NewStore(shardCount int) *Store {
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	s := &Store{shards: make([]*shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{records: make(map[ddp.Key]*Record)}
+	}
+	return s
+}
+
+func (s *Store) shardFor(key ddp.Key) *shard {
+	// Fibonacci hashing spreads dense keys across shards.
+	return s.shards[(uint64(key)*0x9E3779B97F4A7C15)>>32&s.mask]
+}
+
+// Get returns the record for key, or nil if it has never been written or
+// preloaded.
+func (s *Store) Get(key ddp.Key) *Record {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	r := sh.records[key]
+	sh.mu.RUnlock()
+	return r
+}
+
+// GetOrCreate returns the record for key, creating it if absent.
+func (s *Store) GetOrCreate(key ddp.Key) *Record {
+	sh := s.shardFor(key)
+	sh.mu.RLock()
+	r := sh.records[key]
+	sh.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r = sh.records[key]; r == nil {
+		r = newRecord(key)
+		sh.records[key] = r
+	}
+	return r
+}
+
+// Len returns the number of records in the store.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.records)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Preload inserts count records keyed 0..count-1, each with a copy of
+// value and version-zero metadata. It reproduces the paper's database
+// initialization (100,000 records of 1 KB per node).
+func (s *Store) Preload(count int, value []byte) {
+	for i := 0; i < count; i++ {
+		r := s.GetOrCreate(ddp.Key(i))
+		r.Value = append([]byte(nil), value...)
+	}
+}
+
+// Range calls fn for every record until fn returns false. Iteration
+// order is unspecified. fn must not call back into the store.
+func (s *Store) Range(fn func(*Record) bool) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, r := range sh.records {
+			if !fn(r) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// Snapshot captures key → (value, volatileTS) for every record, used by
+// recovery to bring a re-inserted node up to date (§III-E).
+type Snapshot struct {
+	Entries []SnapshotEntry
+}
+
+// SnapshotEntry is one record's durable state in a snapshot.
+type SnapshotEntry struct {
+	Key   ddp.Key
+	Value []byte
+	TS    ddp.Timestamp
+}
+
+// Snapshot returns a point-in-time copy of the store's records.
+func (s *Store) Snapshot() Snapshot {
+	var snap Snapshot
+	s.Range(func(r *Record) bool {
+		r.Lock()
+		snap.Entries = append(snap.Entries, SnapshotEntry{
+			Key:   r.Key,
+			Value: append([]byte(nil), r.Value...),
+			TS:    r.Meta.VolatileTS,
+		})
+		r.Unlock()
+		return true
+	})
+	return snap
+}
+
+// ApplySnapshot installs every entry newer than the local copy. Obsolete
+// entries are skipped, mirroring the log-apply obsoleteness check.
+// It returns how many entries were applied.
+func (s *Store) ApplySnapshot(snap Snapshot) int {
+	applied := 0
+	for _, e := range snap.Entries {
+		r := s.GetOrCreate(e.Key)
+		r.Lock()
+		if r.Meta.VolatileTS.Less(e.TS) {
+			r.Value = append([]byte(nil), e.Value...)
+			r.Meta.ApplyVolatile(e.TS)
+			r.Meta.AdvanceGlbVolatile(e.TS)
+			r.Meta.AdvanceGlbDurable(e.TS)
+			applied++
+		}
+		r.Wake()
+		r.Unlock()
+	}
+	return applied
+}
+
+func (s *Store) String() string {
+	return fmt.Sprintf("kv.Store{records: %d, shards: %d}", s.Len(), len(s.shards))
+}

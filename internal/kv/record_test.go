@@ -1,0 +1,78 @@
+package kv
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// TestRecordWaitWake: the per-record condition variable delivers
+// wake-ups to spinners (the live runtime's ConsistencySpin substrate).
+func TestRecordWaitWake(t *testing.T) {
+	s := NewStore(1)
+	r := s.GetOrCreate(1)
+	released := make(chan struct{})
+	go func() {
+		r.Lock()
+		for r.Meta.RDLocked() {
+			r.Wait()
+		}
+		r.Unlock()
+		close(released)
+	}()
+	// Take the lock, let the goroutine block, then release and wake.
+	r.Lock()
+	r.Meta.SnatchRDLock(ddp.Timestamp{Node: 0, Version: 1})
+	r.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-released:
+		t.Fatal("waiter ran while the lock was held")
+	default:
+	}
+	r.Lock()
+	r.Meta.ReleaseRDLockIfOwner(ddp.Timestamp{Node: 0, Version: 1})
+	r.Wake()
+	r.Unlock()
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+// TestRecordConcurrentMetadata: racing updates under the record lock
+// keep the metadata consistent (run with -race).
+func TestRecordConcurrentMetadata(t *testing.T) {
+	s := NewStore(4)
+	r := s.GetOrCreate(9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 50; i++ {
+				ts := ddp.Timestamp{Node: ddp.NodeID(g), Version: ddp.Version(i)}
+				r.Lock()
+				if !r.Meta.Obsolete(ts) && r.Meta.VolatileTS.Less(ts) {
+					r.Meta.ApplyVolatile(ts)
+				}
+				r.Meta.AdvanceGlbVolatile(ts)
+				r.Wake()
+				r.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	r.Lock()
+	defer r.Unlock()
+	if r.Meta.VolatileTS.Version != 50 {
+		t.Fatalf("final version %v, want 50", r.Meta.VolatileTS)
+	}
+	if r.Meta.GlbVolatileTS != (ddp.Timestamp{Node: 7, Version: 50}) {
+		t.Fatalf("glb %v, want <7,50>", r.Meta.GlbVolatileTS)
+	}
+}

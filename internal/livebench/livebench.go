@@ -1,0 +1,217 @@
+// Package livebench drives the live MINOS-B runtime (internal/node, real
+// goroutines over the in-process fabric) with the YCSB-style workload
+// and measures client-observed latency and throughput — the counterpart
+// of the paper's §IV, where MINOS-B is measured on a real 5-node
+// cluster before any simulation. The emulated NVM persist delay plays
+// Table II's 1295 ns/KB role.
+package livebench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/stats"
+	"github.com/minos-ddp/minos/internal/transport"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// Config describes one live run.
+type Config struct {
+	// Nodes is the cluster size (default 5, Table II).
+	Nodes int
+	// Model is the DDP model to run.
+	Model ddp.Model
+	// WorkersPerNode is the number of concurrent client goroutines per
+	// node (default 5, the paper's busy cores).
+	WorkersPerNode int
+	// RequestsPerNode is the closed-loop request count per node.
+	RequestsPerNode int
+	// PersistDelay emulates the NVM persist latency.
+	PersistDelay time.Duration
+	// Workload is the request mix (default: the paper's default).
+	Workload workload.Config
+	// Seed fixes the workload streams.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 5
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 5
+	}
+	if c.RequestsPerNode <= 0 {
+		c.RequestsPerNode = 2000
+	}
+	if c.Workload.Records == 0 {
+		c.Workload = workload.Default()
+		// Live clusters move real bytes; smaller values keep runs brisk
+		// without changing protocol behavior.
+		c.Workload.ValueSize = 128
+	}
+	return c
+}
+
+// Result carries the measurements of one live run.
+type Result struct {
+	Model    ddp.Model
+	WriteLat stats.Sampler // ns
+	ReadLat  stats.Sampler // ns
+	Elapsed  time.Duration
+	Ops      int
+}
+
+// Throughput returns completed operations per wall-clock second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds()
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%v: wr avg %s p99 %s | rd avg %s p99 %s | %.0f op/s",
+		r.Model,
+		stats.Ns(r.WriteLat.Mean()), stats.Ns(r.WriteLat.Percentile(99)),
+		stats.Ns(r.ReadLat.Mean()), stats.Ns(r.ReadLat.Percentile(99)),
+		r.Throughput())
+}
+
+// Run executes the configured workload on a live in-process cluster and
+// returns the measurements.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	net := transport.NewMemNetwork(cfg.Nodes)
+	nodes := make([]*node.Node, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{
+			Model:        cfg.Model,
+			PersistDelay: cfg.PersistDelay,
+		}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	res := &Result{Model: cfg.Model}
+	value := make([]byte, cfg.Workload.ValueSize)
+	var mu sync.Mutex
+	var firstErr error
+	record := func(isWrite bool, d time.Duration) {
+		mu.Lock()
+		if isWrite {
+			res.WriteLat.Add(float64(d.Nanoseconds()))
+		} else {
+			res.ReadLat.Add(float64(d.Nanoseconds()))
+		}
+		res.Ops++
+		mu.Unlock()
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ni, nd := range nodes {
+		per := cfg.RequestsPerNode / cfg.WorkersPerNode
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			nd := nd
+			count := per
+			if w == cfg.WorkersPerNode-1 {
+				count = cfg.RequestsPerNode - per*(cfg.WorkersPerNode-1)
+			}
+			gen := workload.NewGenerator(cfg.Workload, cfg.Seed+int64(ni)*1009+int64(w)*7919)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := nd.NewScope()
+				scOpen := false
+				for i := 0; i < count; i++ {
+					op := gen.Next()
+					opStart := time.Now()
+					switch op.Kind {
+					case workload.OpRead:
+						if _, err := nd.Read(ddp.Key(op.Key)); err != nil {
+							fail(err)
+							return
+						}
+						record(false, time.Since(opStart))
+					case workload.OpWrite, workload.OpReadModifyWrite:
+						if op.Kind == workload.OpReadModifyWrite {
+							if _, err := nd.Read(ddp.Key(op.Key)); err != nil {
+								fail(err)
+								return
+							}
+						}
+						var err error
+						if cfg.Model == ddp.LinScope {
+							err = nd.WriteScoped(ddp.Key(op.Key), value, sc)
+							scOpen = true
+						} else {
+							err = nd.Write(ddp.Key(op.Key), value)
+						}
+						if err != nil {
+							fail(err)
+							return
+						}
+						record(true, time.Since(opStart))
+					case workload.OpPersist:
+						if cfg.Model == ddp.LinScope && scOpen {
+							if err := nd.Persist(sc); err != nil {
+								fail(err)
+								return
+							}
+							sc = nd.NewScope()
+							scOpen = false
+						}
+					}
+				}
+				if cfg.Model == ddp.LinScope && scOpen {
+					if err := nd.Persist(sc); err != nil {
+						fail(err)
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res, firstErr
+}
+
+// RunAllModels measures every model under the same configuration —
+// the live analogue of Fig 4's model comparison.
+func RunAllModels(cfg Config) ([]*Result, error) {
+	out := make([]*Result, 0, len(ddp.Models))
+	for _, m := range ddp.Models {
+		c := cfg
+		c.Model = m
+		if c.Model == ddp.LinScope && c.Workload.PersistEvery == 0 {
+			wl := c.Workload
+			if wl.Records == 0 {
+				wl = workload.Default()
+				wl.ValueSize = 128
+			}
+			wl.PersistEvery = 8
+			c.Workload = wl
+		}
+		r, err := Run(c)
+		if err != nil {
+			return out, fmt.Errorf("livebench %v: %w", m, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

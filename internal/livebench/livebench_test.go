@@ -1,0 +1,93 @@
+package livebench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+func TestRunCompletesAllOps(t *testing.T) {
+	res, err := Run(Config{
+		Nodes:           3,
+		Model:           ddp.LinSynch,
+		WorkersPerNode:  2,
+		RequestsPerNode: 100,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 {
+		t.Fatalf("completed %d ops, want 300", res.Ops)
+	}
+	if res.WriteLat.N() == 0 || res.ReadLat.N() == 0 {
+		t.Fatal("missing latency samples")
+	}
+	if res.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+// TestLiveModelOrdering reproduces §IV's key ordering on the real
+// runtime: with a pronounced NVM delay, the models that persist in the
+// write's critical path (Synch, Strict) must cost more than Event.
+func TestLiveModelOrdering(t *testing.T) {
+	wl := workload.Default()
+	wl.ValueSize = 64
+	wl.WriteRatio = 1.0
+	wl.Records = 512
+	lat := map[ddp.Model]float64{}
+	for _, m := range []ddp.Model{ddp.LinSynch, ddp.LinEvent} {
+		res, err := Run(Config{
+			Nodes:           3,
+			Model:           m,
+			WorkersPerNode:  2,
+			RequestsPerNode: 60,
+			PersistDelay:    2 * time.Millisecond,
+			Workload:        wl,
+			Seed:            3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat[m] = res.WriteLat.Mean()
+	}
+	if lat[ddp.LinSynch] <= lat[ddp.LinEvent] {
+		t.Errorf("live Synch writes (%.0fns) should pay the persist; Event was %.0fns",
+			lat[ddp.LinSynch], lat[ddp.LinEvent])
+	}
+	// The gap should be at least one persist delay (follower persist in
+	// the critical path).
+	if lat[ddp.LinSynch]-lat[ddp.LinEvent] < float64(time.Millisecond.Nanoseconds()) {
+		t.Errorf("Synch-Event gap %.2fms, expected >= ~2ms persist in path",
+			(lat[ddp.LinSynch]-lat[ddp.LinEvent])/1e6)
+	}
+}
+
+func TestRunAllModels(t *testing.T) {
+	wl := workload.Default()
+	wl.ValueSize = 64
+	results, err := RunAllModels(Config{
+		Nodes:           3,
+		WorkersPerNode:  2,
+		RequestsPerNode: 60,
+		Workload:        wl,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ddp.Models) {
+		t.Fatalf("got %d results, want %d", len(results), len(ddp.Models))
+	}
+	for _, r := range results {
+		if r.Ops == 0 {
+			t.Errorf("%v: no ops completed", r.Model)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package microsvc
+
+import "testing"
+
+func TestFunctionShapes(t *testing.T) {
+	social := SocialNetworkLogin()
+	if social.App != "SocialNetwork" || social.Name != "Login" {
+		t.Fatalf("bad identity: %v", social)
+	}
+	if social.Sets() == 0 || social.Gets() == 0 {
+		t.Fatal("Social Login must mix GETs and SETs")
+	}
+	media := MediaLogin()
+	if media.Sets() >= social.Sets() {
+		t.Error("Media Login should be the slimmer flow (fewer SETs)")
+	}
+	if got := social.Sets() + social.Gets(); got != len(social.Ops) {
+		t.Errorf("op accounting broken: %d+%d != %d", social.Sets(), social.Gets(), len(social.Ops))
+	}
+}
+
+func TestFunctionsOrder(t *testing.T) {
+	fs := Functions()
+	if len(fs) != 2 || fs[0].App != "SocialNetwork" || fs[1].App != "Media" {
+		t.Fatalf("Functions() = %v, want Social then Media (paper order)", fs)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	s := SocialNetworkLogin().String()
+	if s == "" || s[:13] != "SocialNetwork" {
+		t.Errorf("unhelpful String(): %q", s)
+	}
+	if Get.String() != "GET" || Set.String() != "SET" {
+		t.Error("OpType names wrong")
+	}
+}

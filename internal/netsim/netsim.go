@@ -1,0 +1,114 @@
+// Package netsim models the communication fabrics of the simulated
+// machine: FIFO pipes with latency and bandwidth (network links between
+// NICs, and the PCIe bus between a host and its NIC). Parameters follow
+// Table III of the paper.
+package netsim
+
+import (
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+// Pipe is a serializing communication resource: transfers occupy the
+// pipe back-to-back in FIFO order (bandwidth), and each delivery is
+// additionally delayed by the propagation latency. This reproduces the
+// §IV observation that messages "are taken one at a time from the send
+// queue, transferred along the slow PCIe bus, and then sent out".
+type Pipe struct {
+	k *sim.Kernel
+	// Latency is the propagation delay added to every transfer.
+	Latency sim.Duration
+	// BytesPerNs is the pipe bandwidth. Zero means infinite bandwidth.
+	BytesPerNs float64
+
+	busyUntil sim.Time
+
+	// Transferred counts bytes moved, for utilization reporting.
+	Transferred int64
+}
+
+// NewPipe returns a pipe with the given propagation latency and
+// bandwidth expressed in GB/s (the unit Table III uses).
+func NewPipe(k *sim.Kernel, latency sim.Duration, gbPerSec float64) *Pipe {
+	return &Pipe{k: k, Latency: latency, BytesPerNs: gbPerSec}
+}
+
+// TxTime returns the serialization (bandwidth) time for size bytes —
+// the natural pacing interval for a DMA engine feeding this pipe.
+func (pp *Pipe) TxTime(size int) sim.Duration { return pp.txTime(size) }
+
+// txTime returns the serialization (bandwidth) time for size bytes.
+func (pp *Pipe) txTime(size int) sim.Duration {
+	if pp.BytesPerNs <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(size) / pp.BytesPerNs)
+}
+
+// Send schedules deliver to run when a transfer of size bytes completes:
+// after queueing behind earlier transfers, serialization at the pipe
+// bandwidth, and the propagation latency. Send never blocks the caller;
+// it may be called from process or kernel-callback context.
+func (pp *Pipe) Send(size int, deliver func()) {
+	pp.SendWithCost(size, 0, deliver)
+}
+
+// SendWithCost is Send with an additional fixed per-message occupancy of
+// the pipe (NIC send-buffer deposit cost, inter-message gap, unpack
+// cost). The cost serializes with the bandwidth time.
+func (pp *Pipe) SendWithCost(size int, cost sim.Duration, deliver func()) {
+	pp.Transfer(size, cost, 0, deliver)
+}
+
+// Transfer is the general form: occupy serializes with the bandwidth
+// time (pacing costs such as inter-message gaps or per-destination
+// unpacking), while delay only postpones this message's delivery
+// (processing that pipelines with the wire, such as the NIC's
+// send-one-INV cost). Keeping processing out of the occupancy matters:
+// otherwise the egress engine becomes a false bottleneck under load.
+func (pp *Pipe) Transfer(size int, occupy, delay sim.Duration, deliver func()) {
+	now := pp.k.Now()
+	start := now
+	if pp.busyUntil > start {
+		start = pp.busyUntil
+	}
+	done := start + sim.Time(pp.txTime(size)+occupy)
+	pp.busyUntil = done
+	pp.Transferred += int64(size)
+	pp.k.At(done+sim.Time(pp.Latency+delay), deliver)
+}
+
+// SendAndWait performs Send and blocks p until the sender-side
+// serialization completes (the sender is occupied while the message
+// drains into the pipe, but not during propagation).
+func (pp *Pipe) SendAndWait(p *sim.Proc, size int, deliver func()) {
+	now := pp.k.Now()
+	start := now
+	if pp.busyUntil > start {
+		start = pp.busyUntil
+	}
+	done := start + sim.Time(pp.txTime(size))
+	pp.busyUntil = done
+	pp.Transferred += int64(size)
+	pp.k.At(done+sim.Time(pp.Latency), deliver)
+	if done > now {
+		p.Sleep(sim.Duration(done - now))
+	}
+}
+
+// Busy reports whether a transfer is draining right now.
+func (pp *Pipe) Busy() bool { return pp.busyUntil > pp.k.Now() }
+
+// Duplex is a pair of pipes modeling a full-duplex link (PCIe, network
+// port): independent capacity in each direction.
+type Duplex struct {
+	// Out carries traffic from A to B; In from B to A.
+	Out, In *Pipe
+}
+
+// NewDuplex returns a full-duplex link with symmetric parameters.
+func NewDuplex(k *sim.Kernel, latency sim.Duration, gbPerSec float64) *Duplex {
+	return &Duplex{
+		Out: NewPipe(k, latency, gbPerSec),
+		In:  NewPipe(k, latency, gbPerSec),
+	}
+}

@@ -1,0 +1,133 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+func TestPipeLatencyOnly(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 150, 0) // infinite bandwidth
+	var delivered sim.Time
+	p.Send(1024, func() { delivered = k.Now() })
+	k.Run()
+	if delivered != 150 {
+		t.Fatalf("delivered at %d, want 150", delivered)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	k := sim.NewKernel(1)
+	// 1 byte/ns => 1000 bytes take 1000ns serialization + 100ns latency.
+	p := NewPipe(k, 100, 1.0)
+	var delivered sim.Time
+	p.Send(1000, func() { delivered = k.Now() })
+	k.Run()
+	if delivered != 1100 {
+		t.Fatalf("delivered at %d, want 1100", delivered)
+	}
+}
+
+func TestPipeSerializesTransfers(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 10, 1.0)
+	var first, second sim.Time
+	p.Send(100, func() { first = k.Now() })
+	p.Send(100, func() { second = k.Now() })
+	k.Run()
+	// First: 0..100 tx, +10 latency = 110. Second queues: 100..200, +10 = 210.
+	if first != 110 || second != 210 {
+		t.Fatalf("deliveries at %d,%d; want 110,210", first, second)
+	}
+	if p.Transferred != 200 {
+		t.Fatalf("transferred %d bytes, want 200", p.Transferred)
+	}
+}
+
+func TestPipeIdleGapResetsQueue(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 0, 1.0)
+	var second sim.Time
+	p.Send(100, func() {})
+	k.After(500, func() {
+		p.Send(100, func() { second = k.Now() })
+	})
+	k.Run()
+	// After the pipe drains (t=100), a send at t=500 starts immediately.
+	if second != 600 {
+		t.Fatalf("second delivery at %d, want 600", second)
+	}
+}
+
+func TestSendAndWaitOccupiesSender(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 50, 1.0)
+	var senderFreed, delivered sim.Time
+	k.Spawn("sender", func(pr *sim.Proc) {
+		p.SendAndWait(pr, 200, func() { delivered = k.Now() })
+		senderFreed = pr.Now()
+	})
+	k.Run()
+	if senderFreed != 200 {
+		t.Fatalf("sender freed at %d, want 200 (serialization only)", senderFreed)
+	}
+	if delivered != 250 {
+		t.Fatalf("delivered at %d, want 250 (serialization + latency)", delivered)
+	}
+}
+
+func TestDuplexDirectionsIndependent(t *testing.T) {
+	k := sim.NewKernel(1)
+	d := NewDuplex(k, 10, 1.0)
+	var out, in sim.Time
+	d.Out.Send(100, func() { out = k.Now() })
+	d.In.Send(100, func() { in = k.Now() })
+	k.Run()
+	if out != 110 || in != 110 {
+		t.Fatalf("duplex deliveries %d,%d; want both 110 (no shared capacity)", out, in)
+	}
+}
+
+func TestPipeBusy(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 0, 1.0)
+	p.Send(100, func() {})
+	busyAt50, idleAt200 := false, true
+	k.After(50, func() { busyAt50 = p.Busy() })
+	k.After(200, func() { idleAt200 = !p.Busy() })
+	k.Run()
+	if !busyAt50 || !idleAt200 {
+		t.Fatalf("busy@50=%v idle@200=%v, want true,true", busyAt50, idleAt200)
+	}
+}
+
+func TestTransferDelayDoesNotOccupyPipe(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 0, 1.0)
+	var first, second sim.Time
+	// First transfer carries a 500ns processing delay; it must postpone
+	// only its own delivery, not the second transfer's start.
+	p.Transfer(100, 0, 500, func() { first = k.Now() })
+	p.Transfer(100, 0, 0, func() { second = k.Now() })
+	k.Run()
+	if first != 600 {
+		t.Fatalf("delayed delivery at %d, want 600 (100 tx + 500 delay)", first)
+	}
+	if second != 200 {
+		t.Fatalf("second delivery at %d, want 200 (pipelined behind 100ns tx)", second)
+	}
+}
+
+func TestTransferOccupySerializes(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := NewPipe(k, 0, 1.0)
+	var second sim.Time
+	// An occupancy cost (inter-message gap) delays everything behind it.
+	p.Transfer(100, 300, 0, func() {})
+	p.Transfer(100, 0, 0, func() { second = k.Now() })
+	k.Run()
+	if second != 500 {
+		t.Fatalf("second delivery at %d, want 500 (behind 100+300 occupancy)", second)
+	}
+}

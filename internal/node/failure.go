@@ -1,0 +1,171 @@
+package node
+
+import (
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// This file implements the §III-E extensions: timeout-based failure
+// detection and log-shipping recovery for re-inserted nodes.
+
+// heartbeatLoop beacons liveness to every peer and declares peers that
+// have been silent past the failure timeout.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		for _, p := range n.tr.Peers() {
+			// Best effort; an unreachable peer shows up as silence.
+			_ = n.tr.Send(p, transport.Frame{Kind: transport.FrameHeartbeat})
+		}
+		n.checkTimeouts()
+	}
+}
+
+// noteAlive marks a peer as seen. A previously failed peer speaking
+// again is re-inserted into the live set; it is responsible for running
+// Recover itself to catch up its replica.
+func (n *Node) noteAlive(id ddp.NodeID) {
+	n.mu.Lock()
+	wasDead := !n.alive[id]
+	n.alive[id] = true
+	n.lastSeen[id] = time.Now()
+	n.mu.Unlock()
+	if wasDead {
+		// Membership grew back: nothing blocks on this, but pending
+		// completion predicates never shrink their follower sets, so no
+		// wake-up is needed.
+		_ = wasDead
+	}
+}
+
+// checkTimeouts declares peers silent past FailAfter as failed.
+func (n *Node) checkTimeouts() {
+	now := time.Now()
+	var failed []ddp.NodeID
+	n.mu.Lock()
+	for _, p := range n.tr.Peers() {
+		if n.alive[p] && now.Sub(n.lastSeen[p]) > n.cfg.FailAfter {
+			n.alive[p] = false
+			failed = append(failed, p)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range failed {
+		n.onPeerFailed(p)
+	}
+}
+
+// onPeerFailed unblocks everything that was waiting on the failed peer:
+// pending write transactions stop expecting its acknowledgments, scope
+// flushes stop expecting its [ACK_P]sc, and read locks owned by writes
+// it coordinated are released — those writes can never validate.
+func (n *Node) onPeerFailed(id ddp.NodeID) {
+	n.Stats.PeersFailed.Add(1)
+	n.mu.Lock()
+	pending := make([]*writeTxn, 0, len(n.pending))
+	for _, wt := range n.pending {
+		pending = append(pending, wt)
+	}
+	scopes := make([]*scopePersist, 0, len(n.scopeWait))
+	for _, sp := range n.scopeWait {
+		scopes = append(scopes, sp)
+	}
+	n.mu.Unlock()
+
+	for _, wt := range pending {
+		wt.mu.Lock()
+		wt.cond.Broadcast()
+		wt.mu.Unlock()
+	}
+	for _, sp := range scopes {
+		sp.mu.Lock()
+		sp.cond.Broadcast()
+		sp.mu.Unlock()
+	}
+
+	// Abort the failed coordinator's in-flight writes locally: their
+	// VALs will never arrive, so holding their RDLocks would stall
+	// reads forever.
+	n.store.Range(func(r *kv.Record) bool {
+		r.Lock()
+		if r.Meta.RDLockOwner.Node == id {
+			r.Meta.RDLockOwner = ddp.NoOwner
+			r.Wake()
+		}
+		r.Unlock()
+		return true
+	})
+}
+
+// Recover brings this node's replica up to date after a restart or
+// partition: it asks target (a designated live node) for the log tail
+// it is missing and applies it (§III-E). Safe to call repeatedly.
+func (n *Node) Recover(target ddp.NodeID) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	return n.tr.Send(target, transport.Frame{
+		Kind:  transport.FrameRecoveryRequest,
+		Since: n.log.NextSeq(),
+	})
+}
+
+// serveRecovery ships the requested log tail to a recovering peer.
+func (n *Node) serveRecovery(to ddp.NodeID, since uint64) {
+	entries := n.log.EntriesSince(since)
+	out := make([]transport.LogEntry, len(entries))
+	for i, e := range entries {
+		out[i] = transport.LogEntry{
+			Seq: e.Seq, Key: e.Key, TS: e.TS, Value: e.Value, Scope: e.Scope,
+		}
+	}
+	_ = n.tr.Send(to, transport.Frame{
+		Kind:    transport.FrameRecoveryEntries,
+		Entries: out,
+	})
+}
+
+// applyRecovery installs shipped log entries: each is persisted locally
+// and applied to the volatile replica unless obsolete — the same
+// obsoleteness filtering the log-apply path always performs.
+func (n *Node) applyRecovery(entries []transport.LogEntry) {
+	applied := 0
+	for _, e := range entries {
+		n.log.Append(e.Key, e.TS, e.Value, e.Scope)
+		r := n.store.GetOrCreate(e.Key)
+		r.Lock()
+		if !r.Meta.Obsolete(e.TS) && r.Meta.VolatileTS.Less(e.TS) {
+			r.Value = append(r.Value[:0], e.Value...)
+			r.Meta.ApplyVolatile(e.TS)
+			r.Meta.AdvanceGlbVolatile(e.TS)
+			r.Meta.AdvanceGlbDurable(e.TS)
+			applied++
+		}
+		r.Wake()
+		r.Unlock()
+	}
+	if applied > 0 {
+		n.Stats.Recoveries.Add(1)
+	}
+}
+
+// Alive reports the peers currently considered live (plus self).
+func (n *Node) Alive() map[ddp.NodeID]bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := map[ddp.NodeID]bool{n.id: true}
+	for id, a := range n.alive {
+		out[id] = a
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package node
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+)
+
+// handleMessage dispatches one inbound protocol message. Each message
+// runs in its own goroutine because INV handling can block on locks and
+// spins.
+func (n *Node) handleMessage(m ddp.Message) {
+	switch m.Kind {
+	case ddp.KindInv:
+		n.handleInv(m)
+	case ddp.KindAck, ddp.KindAckC, ddp.KindAckP:
+		if m.Kind == ddp.KindAckP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.handleScopeAck(m)
+			return
+		}
+		n.handleAck(m)
+	case ddp.KindVal, ddp.KindValC, ddp.KindValP:
+		if m.Kind == ddp.KindValP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.handleScopeValP(m)
+			return
+		}
+		n.handleVal(m)
+	case ddp.KindPersist:
+		n.handlePersist(m)
+	}
+}
+
+// handleInv is the Follower algorithm (Fig 2 L26-40, Fig 3 deltas).
+func (n *Node) handleInv(m ddp.Message) {
+	n.Stats.InvsHandled.Add(1)
+	r := n.store.GetOrCreate(m.Key)
+
+	r.Lock()
+	if r.Meta.Obsolete(m.TS) { // L27
+		n.followerObsolete(r, m) // unlocks r
+		return
+	}
+	r.Meta.SnatchRDLock(m.TS) // L31
+
+	for r.Meta.WRLock { // L32
+		if n.closed.Load() {
+			r.Unlock()
+			return
+		}
+		r.Wait()
+	}
+	r.Meta.WRLock = true
+
+	if r.Meta.Obsolete(m.TS) { // L33/L37
+		r.Meta.WRLock = false
+		r.Wake()
+		n.followerObsolete(r, m) // unlocks r
+		return
+	}
+
+	r.Value = append(r.Value[:0], m.Value...) // L34-35: update LLC
+	r.Meta.ApplyVolatile(m.TS)
+	r.Meta.WRLock = false // L36
+	r.Wake()
+	r.Unlock()
+
+	switch n.policy.FollowerPersist {
+	case ddp.PersistBeforeAck: // Synch: persist (L39), combined ACK (L40)
+		n.persist(m.Key, m.TS, m.Value, m.Scope)
+		n.sendAck(m, ddp.KindAck)
+	case ddp.PersistAfterAckC: // Strict, REnf
+		n.sendAck(m, ddp.KindAckC)
+		n.persist(m.Key, m.TS, m.Value, m.Scope)
+		n.sendAck(m, ddp.KindAckP)
+	case ddp.PersistBackground: // Event
+		n.sendAck(m, ddp.KindAckC)
+		val := append([]byte(nil), m.Value...)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.persist(m.Key, m.TS, val, m.Scope)
+		}()
+	case ddp.PersistOnScopeFlush: // Scope
+		n.sendAck(m, ddp.KindAckC)
+		n.bufferScope(m.Scope, m.Key, m.TS, m.Value)
+	}
+}
+
+// followerObsolete handles an obsolete INV (Fig 2 L27-30): spin until
+// the superseding write completes, then acknowledge as if done. The
+// caller holds the record lock; followerObsolete releases it.
+func (n *Node) followerObsolete(r *kv.Record, m ddp.Message) {
+	obs := r.Meta.VolatileTS
+	for !r.Meta.ConsistencyDone(obs) {
+		if n.closed.Load() {
+			r.Unlock()
+			return
+		}
+		r.Wait()
+	}
+	if r.Meta.ReleaseRDLockIfOwner(m.TS) {
+		// Same liveness guard as the coordinator: an obsolete write that
+		// won the lock after the superseder finished must free it.
+		r.Wake()
+	}
+	if !n.policy.SeparateAcks {
+		// Synch: both spins, then the combined ACK.
+		for !r.Meta.PersistencyDone(obs) {
+			if n.closed.Load() {
+				r.Unlock()
+				return
+			}
+			r.Wait()
+		}
+		r.Unlock()
+		n.sendAck(m, ddp.KindAck)
+		return
+	}
+	r.Unlock()
+	n.sendAck(m, ddp.KindAckC)
+	if n.policy.PersistencySpinOnObsolete && n.policy.TracksPersistency {
+		r.Lock()
+		for !r.Meta.PersistencyDone(obs) {
+			if n.closed.Load() {
+				r.Unlock()
+				return
+			}
+			r.Wait()
+		}
+		r.Unlock()
+		n.sendAck(m, ddp.KindAckP)
+	}
+}
+
+func (n *Node) sendAck(m ddp.Message, kind ddp.MsgKind) {
+	n.send(m.From, ddp.Message{
+		Kind: kind, Key: m.Key, TS: m.TS, Scope: m.Scope,
+		Size: ddp.ControlSize(),
+	})
+}
+
+// handleAck records a follower acknowledgment at the coordinator.
+func (n *Node) handleAck(m ddp.Message) {
+	wt := n.lookupPending(m.Key, m.TS)
+	if wt == nil {
+		// Late ack from a peer that was declared failed mid-write (the
+		// transaction already completed without it) — discard.
+		return
+	}
+	wt.mu.Lock()
+	// Duplicate acks can occur after failure/recovery races; ignore
+	// errors from re-recording, they are benign here.
+	_ = wt.txn.RecordAck(m.Kind, m.From)
+	wt.cond.Broadcast()
+	wt.mu.Unlock()
+}
+
+// handleVal applies a VAL/VAL_C/VAL_P at a follower (Fig 2 L41-44).
+func (n *Node) handleVal(m ddp.Message) {
+	r := n.store.GetOrCreate(m.Key)
+	r.Lock()
+	defer r.Unlock()
+	switch m.Kind {
+	case n.policy.FollowerReleaseKind:
+		r.Meta.AdvanceGlbVolatile(m.TS)
+		if m.Kind == ddp.KindVal && n.policy.ValAfterDurable {
+			r.Meta.AdvanceGlbDurable(m.TS)
+		}
+		r.Meta.ReleaseRDLockIfOwner(m.TS)
+	case ddp.KindValP:
+		r.Meta.AdvanceGlbDurable(m.TS)
+	}
+	r.Wake()
+}

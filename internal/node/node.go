@@ -1,0 +1,321 @@
+// Package node implements a live MINOS-B node: the leaderless DDP
+// coordinator and follower algorithms of Fig 2 (with the Fig 3 per-model
+// deltas) running on real goroutines over a Transport, with the failure
+// detection and log-shipping recovery extensions of §III-E.
+//
+// This is the executable counterpart of the simulated cluster: both
+// consume the protocol semantics in internal/ddp, so the model checker's
+// and simulator's correctness arguments carry over.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/nvm"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// ErrClosed is returned by operations on a closed node.
+var ErrClosed = errors.New("node: closed")
+
+// Config tunes a live node.
+type Config struct {
+	// Model is the <consistency, persistency> model to run.
+	Model ddp.Model
+	// PersistDelay emulates the NVM write latency charged before a
+	// persist is considered durable (the paper emulates 1295ns/KB).
+	// Zero persists instantly.
+	PersistDelay time.Duration
+	// HeartbeatEvery and FailAfter drive the failure detector: a peer
+	// silent for FailAfter is declared failed and writes stop waiting
+	// for it. Zero values disable detection (the pure protocol).
+	HeartbeatEvery time.Duration
+	FailAfter      time.Duration
+	// Shards sizes the KV store's lock striping.
+	Shards int
+}
+
+// txnKey identifies a write transaction; TS_WR is unique per record only.
+type txnKey struct {
+	key ddp.Key
+	ts  ddp.Timestamp
+}
+
+// writeTxn is the coordinator-side state of one in-flight client-write.
+type writeTxn struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	txn       *ddp.WriteTxn
+	followers []ddp.NodeID
+}
+
+func newWriteTxn(p ddp.Policy, self ddp.NodeID, key ddp.Key, ts ddp.Timestamp, followers []ddp.NodeID) *writeTxn {
+	wt := &writeTxn{
+		txn:       ddp.NewWriteTxn(p, self, key, ts, len(followers)),
+		followers: append([]ddp.NodeID(nil), followers...),
+	}
+	wt.cond = sync.NewCond(&wt.mu)
+	return wt
+}
+
+// scopeEntry is a deferred persist under <Lin, Scope>.
+type scopeEntry struct {
+	key   ddp.Key
+	ts    ddp.Timestamp
+	value []byte
+}
+
+// scopePersist tracks one [PERSIST]sc at its coordinator.
+type scopePersist struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	followers []ddp.NodeID
+	got       map[ddp.NodeID]bool
+}
+
+// Node is one live MINOS-B replica.
+type Node struct {
+	cfg    Config
+	policy ddp.Policy
+	id     ddp.NodeID
+	tr     transport.Transport
+
+	store *kv.Store
+	log   *nvm.Log
+
+	mu        sync.Mutex // guards pending, scopes, issued, liveness
+	pending   map[txnKey]*writeTxn
+	scopeBuf  map[ddp.ScopeID][]scopeEntry
+	scopeWait map[ddp.ScopeID]*scopePersist
+	issued    map[ddp.Key]ddp.Version
+	alive     map[ddp.NodeID]bool
+	lastSeen  map[ddp.NodeID]time.Time
+
+	scopeSeq atomic.Uint64
+	closed   atomic.Bool
+	stop     chan struct{}
+	wg       sync.WaitGroup
+
+	// Stats counts protocol events for observability and tests.
+	Stats Stats
+}
+
+// Stats counts protocol events. All fields are atomic.
+type Stats struct {
+	Writes         atomic.Int64
+	Reads          atomic.Int64
+	ObsoleteWrites atomic.Int64
+	Persists       atomic.Int64
+	InvsHandled    atomic.Int64
+	PeersFailed    atomic.Int64
+	Recoveries     atomic.Int64
+}
+
+// New creates a node over tr. Call Start to begin serving.
+func New(cfg Config, tr transport.Transport) *Node {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 64
+	}
+	n := &Node{
+		cfg:       cfg,
+		policy:    ddp.PolicyFor(cfg.Model),
+		id:        tr.Self(),
+		tr:        tr,
+		store:     kv.NewStore(cfg.Shards),
+		log:       nvm.NewLog(),
+		pending:   make(map[txnKey]*writeTxn),
+		scopeBuf:  make(map[ddp.ScopeID][]scopeEntry),
+		scopeWait: make(map[ddp.ScopeID]*scopePersist),
+		issued:    make(map[ddp.Key]ddp.Version),
+		alive:     make(map[ddp.NodeID]bool),
+		lastSeen:  make(map[ddp.NodeID]time.Time),
+		stop:      make(chan struct{}),
+	}
+	for _, p := range tr.Peers() {
+		n.alive[p] = true
+		n.lastSeen[p] = time.Now()
+	}
+	return n
+}
+
+// ID returns this node's identity.
+func (n *Node) ID() ddp.NodeID { return n.id }
+
+// Model returns the DDP model this node runs.
+func (n *Node) Model() ddp.Model { return n.cfg.Model }
+
+// Store exposes the replica (read-only use by tests and tools).
+func (n *Node) Store() *kv.Store { return n.store }
+
+// Log exposes the persistent log.
+func (n *Node) Log() *nvm.Log { return n.log }
+
+// Start begins serving protocol messages and, if configured, the
+// failure detector.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.recvLoop()
+	if n.cfg.HeartbeatEvery > 0 && n.cfg.FailAfter > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
+}
+
+// Close shuts the node down, waking every blocked operation.
+func (n *Node) Close() error {
+	if !n.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(n.stop)
+	n.tr.Close()
+
+	// Wake blocked coordinators and readers so they observe closure.
+	// Each broadcast happens under the waiter's own mutex: a waiter
+	// holds it from its closed-check until Wait, so either it sees the
+	// flag or the broadcast reaches its Wait — no lost wake-up window.
+	n.mu.Lock()
+	pending := make([]*writeTxn, 0, len(n.pending))
+	for _, wt := range n.pending {
+		pending = append(pending, wt)
+	}
+	scopes := make([]*scopePersist, 0, len(n.scopeWait))
+	for _, sp := range n.scopeWait {
+		scopes = append(scopes, sp)
+	}
+	n.mu.Unlock()
+	for _, wt := range pending {
+		wt.mu.Lock()
+		wt.cond.Broadcast()
+		wt.mu.Unlock()
+	}
+	for _, sp := range scopes {
+		sp.mu.Lock()
+		sp.cond.Broadcast()
+		sp.mu.Unlock()
+	}
+	n.store.Range(func(r *kv.Record) bool {
+		r.Lock()
+		r.Wake()
+		r.Unlock()
+		return true
+	})
+	n.wg.Wait()
+	return nil
+}
+
+// recvLoop dispatches inbound frames.
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	for f := range n.tr.Recv() {
+		n.noteAlive(f.From)
+		switch f.Kind {
+		case transport.FrameMessage:
+			m := f.Msg
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.handleMessage(m)
+			}()
+		case transport.FrameHeartbeat:
+			// noteAlive above is the whole job.
+		case transport.FrameRecoveryRequest:
+			since := f.Since
+			from := f.From
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.serveRecovery(from, since)
+			}()
+		case transport.FrameRecoveryEntries:
+			n.applyRecovery(f.Entries)
+		}
+	}
+}
+
+// send transmits a protocol message; transport failures are left to the
+// failure detector.
+func (n *Node) send(to ddp.NodeID, m ddp.Message) {
+	m.From = n.id
+	if err := n.tr.Send(to, transport.Frame{Kind: transport.FrameMessage, Msg: m}); err != nil {
+		// The peer is unreachable; the detector (or reconnection) will
+		// resolve it. Protocol correctness never depends on a
+		// best-effort send succeeding.
+		return
+	}
+}
+
+// generateTS issues a unique timestamp for a write to key; the caller
+// holds the record lock, serializing same-key generation.
+func (n *Node) generateTS(key ddp.Key, r *kv.Record) ddp.Timestamp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v := r.Meta.VolatileTS.Version
+	if iv := n.issued[key]; iv > v {
+		v = iv
+	}
+	v++
+	n.issued[key] = v
+	return ddp.Timestamp{Node: n.id, Version: v}
+}
+
+// liveFollowers snapshots the followers currently considered alive.
+func (n *Node) liveFollowers() []ddp.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []ddp.NodeID
+	for _, p := range n.tr.Peers() {
+		if n.alive[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (n *Node) isAlive(id ddp.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive[id]
+}
+
+func (n *Node) addPending(key ddp.Key, ts ddp.Timestamp, wt *writeTxn) {
+	n.mu.Lock()
+	n.pending[txnKey{key, ts}] = wt
+	n.mu.Unlock()
+}
+
+func (n *Node) removePending(key ddp.Key, ts ddp.Timestamp) {
+	n.mu.Lock()
+	delete(n.pending, txnKey{key, ts})
+	n.mu.Unlock()
+}
+
+func (n *Node) lookupPending(key ddp.Key, ts ddp.Timestamp) *writeTxn {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pending[txnKey{key, ts}]
+}
+
+// persist makes (key, ts, value) durable: wait the emulated NVM latency,
+// append to the log (the durability point), and wake spinners.
+func (n *Node) persist(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.ScopeID) {
+	if d := n.cfg.PersistDelay; d > 0 {
+		time.Sleep(d)
+	}
+	n.log.Append(key, ts, value, sc)
+	n.Stats.Persists.Add(1)
+	if r := n.store.Get(key); r != nil {
+		r.Lock()
+		r.Wake()
+		r.Unlock()
+	}
+}
+
+func (n *Node) String() string {
+	return fmt.Sprintf("node %d (%v)", n.id, n.cfg.Model)
+}

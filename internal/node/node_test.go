@@ -1,0 +1,415 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// newCluster builds an n-node in-process cluster under model.
+func newCluster(t *testing.T, n int, model ddp.Model, mutate func(*Config)) ([]*Node, *transport.MemNetwork) {
+	t.Helper()
+	net := transport.NewMemNetwork(n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{Model: model}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		nodes[i] = New(cfg, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes, net
+}
+
+// waitConverged polls until every node reports ts for key or times out.
+func waitConverged(t *testing.T, nodes []*Node, key ddp.Key, want []byte) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ok := true
+		for _, nd := range nodes {
+			v, err := nd.Read(key)
+			if err != nil || !bytes.Equal(v, want) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			for _, nd := range nodes {
+				v, _ := nd.Read(key)
+				t.Logf("node %d: %q", nd.ID(), v)
+			}
+			t.Fatalf("cluster did not converge on key %d = %q", key, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWriteReplicatesEverywhere(t *testing.T) {
+	for _, model := range ddp.Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			nodes, _ := newCluster(t, 3, model, nil)
+			if err := nodes[0].Write(7, []byte("value-7")); err != nil {
+				t.Fatal(err)
+			}
+			waitConverged(t, nodes, 7, []byte("value-7"))
+		})
+	}
+}
+
+func TestAnyNodeCanCoordinate(t *testing.T) {
+	// Leaderless: every node initiates writes.
+	nodes, _ := newCluster(t, 5, ddp.LinSynch, nil)
+	for i, nd := range nodes {
+		key := ddp.Key(100 + i)
+		val := []byte{byte(i)}
+		if err := nd.Write(key, val); err != nil {
+			t.Fatal(err)
+		}
+		waitConverged(t, nodes, key, val)
+	}
+}
+
+func TestReadYourWrite(t *testing.T) {
+	nodes, _ := newCluster(t, 3, ddp.LinSynch, nil)
+	if err := nodes[1].Write(1, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// Linearizable + Synch: once Write returns, every replica is
+	// updated; a read anywhere must see it immediately.
+	for _, nd := range nodes {
+		v, err := nd.Read(1)
+		if err != nil || string(v) != "abc" {
+			t.Fatalf("node %d read %q, %v", nd.ID(), v, err)
+		}
+	}
+}
+
+func TestSynchDurableOnReturn(t *testing.T) {
+	nodes, _ := newCluster(t, 3, ddp.LinSynch, nil)
+	if err := nodes[0].Write(5, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// <Lin, Synch>: on return, the write is persisted at every node.
+	for _, nd := range nodes {
+		if !nd.Log().LocallyDurable(5, ddp.Timestamp{Node: 0, Version: 1}) {
+			t.Fatalf("node %d: write not durable at return", nd.ID())
+		}
+	}
+}
+
+func TestStrictDurableOnReturn(t *testing.T) {
+	nodes, _ := newCluster(t, 3, ddp.LinStrict, nil)
+	if err := nodes[0].Write(5, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		if !nd.Log().LocallyDurable(5, ddp.Timestamp{Node: 0, Version: 1}) {
+			t.Fatalf("node %d: Strict write not durable at return", nd.ID())
+		}
+	}
+}
+
+func TestEventualPersistsEventually(t *testing.T) {
+	nodes, _ := newCluster(t, 3, ddp.LinEvent, nil)
+	if err := nodes[0].Write(9, []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		all := true
+		for _, nd := range nodes {
+			if !nd.Log().LocallyDurable(9, ddp.Timestamp{Node: 0, Version: 1}) {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("eventual persistency never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestScopePersist(t *testing.T) {
+	nodes, _ := newCluster(t, 3, ddp.LinScope, nil)
+	sc := nodes[0].NewScope()
+	for i := 0; i < 4; i++ {
+		if err := nodes[0].WriteScoped(ddp.Key(20+i), []byte{byte(i)}, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Before the flush, followers have buffered but not necessarily
+	// persisted; after Persist returns, everything must be durable
+	// everywhere.
+	if err := nodes[0].Persist(sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range nodes {
+		for i := 0; i < 4; i++ {
+			key := ddp.Key(20 + i)
+			if !nd.Log().LocallyDurable(key, ddp.Timestamp{Node: 0, Version: 1}) {
+				t.Fatalf("node %d key %d not durable after [PERSIST]sc", nd.ID(), key)
+			}
+		}
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	for _, model := range ddp.Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			t.Parallel()
+			nodes, _ := newCluster(t, 3, model, nil)
+			const keys = 4
+			const perNode = 20
+			var wg sync.WaitGroup
+			for _, nd := range nodes {
+				nd := nd
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sc := nd.NewScope()
+					for i := 0; i < perNode; i++ {
+						key := ddp.Key(i % keys)
+						val := []byte(fmt.Sprintf("n%d-i%d", nd.ID(), i))
+						var err error
+						if nd.Model() == ddp.LinScope {
+							err = nd.WriteScoped(key, val, sc)
+						} else {
+							err = nd.Write(key, val)
+						}
+						if err != nil {
+							t.Errorf("write: %v", err)
+							return
+						}
+					}
+					if nd.Model() == ddp.LinScope {
+						if err := nd.Persist(sc); err != nil {
+							t.Errorf("persist: %v", err)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+
+			// All replicas must agree on every key's version and value.
+			deadline := time.Now().Add(5 * time.Second)
+			for k := ddp.Key(0); k < keys; k++ {
+				for {
+					vals := make([][]byte, len(nodes))
+					metas := make([]ddp.Timestamp, len(nodes))
+					for i, nd := range nodes {
+						v, err := nd.Read(k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						vals[i] = v
+						rec := nd.Store().Get(k)
+						rec.Lock()
+						metas[i] = rec.Meta.VolatileTS
+						rec.Unlock()
+					}
+					same := true
+					for i := 1; i < len(nodes); i++ {
+						if metas[i] != metas[0] || !bytes.Equal(vals[i], vals[0]) {
+							same = false
+						}
+					}
+					if same {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("key %d diverged: ts=%v", k, metas)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+
+			// No locks may leak.
+			for _, nd := range nodes {
+				nd.Store().Range(func(r *kv.Record) bool {
+					r.Lock()
+					defer r.Unlock()
+					if r.Meta.RDLocked() {
+						t.Errorf("node %d key %d: leaked RDLock %v", nd.ID(), r.Key, r.Meta.RDLockOwner)
+					}
+					if r.Meta.WRLock {
+						t.Errorf("node %d key %d: leaked WRLock", nd.ID(), r.Key)
+					}
+					return true
+				})
+			}
+		})
+	}
+}
+
+func TestFailureDetectionUnblocksWrites(t *testing.T) {
+	nodes, net := newCluster(t, 3, ddp.LinSynch, func(c *Config) {
+		c.HeartbeatEvery = 10 * time.Millisecond
+		c.FailAfter = 80 * time.Millisecond
+	})
+	// Healthy write first.
+	if err := nodes[0].Write(1, []byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	// Partition node 2 away and write again: the write must complete
+	// once the detector declares node 2 failed.
+	net.Disconnect(2)
+	done := make(chan error, 1)
+	go func() { done <- nodes[0].Write(1, []byte("post")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after failure: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write blocked forever on a failed peer")
+	}
+	if alive := nodes[0].Alive(); alive[2] {
+		t.Error("node 2 should be marked failed")
+	}
+	if v, _ := nodes[1].Read(1); string(v) != "post" {
+		t.Errorf("survivor read %q, want post", v)
+	}
+}
+
+func TestRecoveryCatchesUp(t *testing.T) {
+	nodes, net := newCluster(t, 3, ddp.LinSynch, func(c *Config) {
+		c.HeartbeatEvery = 10 * time.Millisecond
+		c.FailAfter = 80 * time.Millisecond
+	})
+	net.Disconnect(2)
+	// Wait for the survivors to notice.
+	deadline := time.Now().Add(2 * time.Second)
+	for nodes[0].Alive()[2] {
+		if time.Now().After(deadline) {
+			t.Fatal("failure never detected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Commit writes while node 2 is gone.
+	for i := 0; i < 5; i++ {
+		if err := nodes[0].Write(ddp.Key(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 2 rejoins and pulls the log tail from node 0.
+	net.Reconnect(2)
+	if err := nodes[2].Recover(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		ok := true
+		for i := 0; i < 5; i++ {
+			v, _ := nodes[2].Read(ddp.Key(i))
+			if string(v) != fmt.Sprintf("v%d", i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("recovered node never caught up")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if nodes[2].Stats.Recoveries.Load() == 0 {
+		t.Error("recovery stat not recorded")
+	}
+}
+
+func TestReadBlocksWhileRDLocked(t *testing.T) {
+	nodes, _ := newCluster(t, 2, ddp.LinSynch, func(c *Config) {
+		c.PersistDelay = 30 * time.Millisecond // widen the write window
+	})
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		nodes[0].Write(3, []byte("slow"))
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the write take the RDLock
+	v, err := nodes[0].Read(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// The read must have observed the completed write (it blocked), not
+	// a torn or empty state.
+	if string(v) != "slow" {
+		t.Fatalf("read %q during locked window", v)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Error("read returned before the write's persist window — lock not honored")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	nodes, _ := newCluster(t, 2, ddp.LinSynch, nil)
+	nodes[0].Close()
+	if err := nodes[0].Write(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("write on closed node: %v, want ErrClosed", err)
+	}
+	if _, err := nodes[0].Read(1); err != ErrClosed {
+		t.Fatalf("read on closed node: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPCluster(t *testing.T) {
+	// A 3-node cluster over real TCP loopback: start every listener on
+	// an ephemeral port first, then exchange the real addresses.
+	trs := make([]*transport.TCPTransport, 3)
+	for i := 0; i < 3; i++ {
+		tr, err := transport.NewTCPTransport(ddp.NodeID(i), map[ddp.NodeID]string{
+			ddp.NodeID(i): "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[i] = tr
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				trs[i].SetPeerAddr(ddp.NodeID(j), trs[j].Addr())
+			}
+		}
+	}
+	nodes := make([]*Node, 3)
+	for i := 0; i < 3; i++ {
+		nodes[i] = New(Config{Model: ddp.LinSynch}, trs[i])
+		nodes[i].Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	if err := nodes[0].Write(77, []byte("over-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, nodes, 77, []byte("over-tcp"))
+}

@@ -1,0 +1,147 @@
+package node
+
+import (
+	"sync"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// NewScope allocates a cluster-unique scope identifier for <Lin, Scope>
+// writes.
+func (n *Node) NewScope() ddp.ScopeID {
+	return ddp.ScopeID(uint64(n.id)<<40 | n.scopeSeq.Add(1))
+}
+
+// bufferScope defers a persist until the scope's [PERSIST]sc.
+func (n *Node) bufferScope(sc ddp.ScopeID, key ddp.Key, ts ddp.Timestamp, value []byte) {
+	n.mu.Lock()
+	n.scopeBuf[sc] = append(n.scopeBuf[sc], scopeEntry{
+		key: key, ts: ts, value: append([]byte(nil), value...),
+	})
+	n.mu.Unlock()
+}
+
+func (n *Node) takeScope(sc ddp.ScopeID) []scopeEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.scopeBuf[sc]
+}
+
+func (n *Node) dropScope(sc ddp.ScopeID) {
+	n.mu.Lock()
+	delete(n.scopeBuf, sc)
+	n.mu.Unlock()
+}
+
+// Persist runs the [PERSIST]sc transaction (Fig 3 vii): ask every
+// follower to persist the scope's writes, persist the local ones, wait
+// for all [ACK_P]sc, then send [VAL_P]sc. When Persist returns, every
+// write in the scope is durable on every node. Under non-Scope models
+// Persist is a no-op (their policies persist each write directly).
+func (n *Node) Persist(sc ddp.ScopeID) error {
+	if !n.policy.Scoped {
+		return nil
+	}
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	followers := n.liveFollowers()
+	sp := &scopePersist{
+		followers: followers,
+		got:       make(map[ddp.NodeID]bool),
+	}
+	sp.cond = sync.NewCond(&sp.mu)
+	n.mu.Lock()
+	n.scopeWait[sc] = sp
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.scopeWait, sc)
+		n.mu.Unlock()
+	}()
+
+	req := ddp.Message{Kind: ddp.KindPersist, Scope: sc, Size: ddp.ControlSize()}
+	for _, f := range followers {
+		n.send(f, req)
+	}
+
+	// Persist this node's buffered writes for the scope.
+	entries := n.takeScope(sc)
+	for _, e := range entries {
+		n.persist(e.key, e.ts, e.value, sc)
+	}
+
+	// Spin for all [ACK_P]sc from live followers.
+	sp.mu.Lock()
+	for {
+		if n.closed.Load() {
+			sp.mu.Unlock()
+			return ErrClosed
+		}
+		done := true
+		for _, f := range sp.followers {
+			if !sp.got[f] && n.isAlive(f) {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		sp.cond.Wait()
+	}
+	sp.mu.Unlock()
+
+	// Every node persisted the scope: publish durability locally.
+	for _, e := range entries {
+		r := n.store.GetOrCreate(e.key)
+		r.Lock()
+		r.Meta.AdvanceGlbDurable(e.ts)
+		r.Wake()
+		r.Unlock()
+	}
+	n.dropScope(sc)
+
+	valP := ddp.Message{Kind: ddp.KindValP, Scope: sc, Size: ddp.ControlSize()}
+	for _, f := range followers {
+		n.send(f, valP)
+	}
+	return nil
+}
+
+// handlePersist services [PERSIST]sc at a follower: persist every
+// buffered write of the scope, then acknowledge. Entries stay buffered
+// until [VAL_P]sc publishes their glb_durableTS.
+func (n *Node) handlePersist(m ddp.Message) {
+	for _, e := range n.takeScope(m.Scope) {
+		n.persist(e.key, e.ts, e.value, m.Scope)
+	}
+	n.send(m.From, ddp.Message{Kind: ddp.KindAckP, Scope: m.Scope, Size: ddp.ControlSize()})
+}
+
+// handleScopeAck records one [ACK_P]sc at the coordinator.
+func (n *Node) handleScopeAck(m ddp.Message) {
+	n.mu.Lock()
+	sp := n.scopeWait[m.Scope]
+	n.mu.Unlock()
+	if sp == nil {
+		return // late ack for a completed flush
+	}
+	sp.mu.Lock()
+	sp.got[m.From] = true
+	sp.cond.Broadcast()
+	sp.mu.Unlock()
+}
+
+// handleScopeValP completes a scope at a follower: all nodes persisted
+// it, so publish glb_durableTS for its writes and drop the buffer.
+func (n *Node) handleScopeValP(m ddp.Message) {
+	for _, e := range n.takeScope(m.Scope) {
+		r := n.store.GetOrCreate(e.key)
+		r.Lock()
+		r.Meta.AdvanceGlbDurable(e.ts)
+		r.Wake()
+		r.Unlock()
+	}
+	n.dropScope(m.Scope)
+}

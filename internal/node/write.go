@@ -1,0 +1,269 @@
+package node
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+)
+
+// Write performs a client-write: replicate value under key to every
+// node per the configured DDP model (Fig 2 Coordinator). It returns once
+// the model's visibility/durability conditions for a response hold. A
+// write superseded by a concurrent newer write returns successfully
+// after the superseding write completes (the Obsolete path).
+func (n *Node) Write(key ddp.Key, value []byte) error {
+	return n.writeScoped(key, value, 0)
+}
+
+// WriteScoped is Write tagging the update with scope sc (<Lin, Scope>).
+func (n *Node) WriteScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
+	if !n.policy.Scoped {
+		return n.Write(key, value)
+	}
+	return n.writeScoped(key, value, sc)
+}
+
+func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
+	if n.closed.Load() {
+		return ErrClosed
+	}
+	n.Stats.Writes.Add(1)
+	r := n.store.GetOrCreate(key)
+
+	r.Lock()
+	ts := n.generateTS(key, r) // L4
+	if r.Meta.Obsolete(ts) {   // L5
+		n.Stats.ObsoleteWrites.Add(1)
+		err := n.handleObsoleteLocked(r, ts)
+		r.Unlock()
+		return err
+	}
+	r.Meta.SnatchRDLock(ts) // L8
+
+	for r.Meta.WRLock { // L9
+		if n.closed.Load() {
+			r.Unlock()
+			return ErrClosed
+		}
+		r.Wait()
+	}
+	r.Meta.WRLock = true
+
+	if r.Meta.Obsolete(ts) { // L10: final timestamp check
+		r.Meta.WRLock = false // L15: release WRLock early
+		r.Wake()
+		n.Stats.ObsoleteWrites.Add(1)
+		err := n.handleObsoleteLocked(r, ts)
+		r.Unlock()
+		return err
+	}
+
+	followers := n.liveFollowers()
+	wt := newWriteTxn(n.policy, n.id, key, ts, followers)
+	n.addPending(key, ts, wt)
+
+	inv := ddp.Message{
+		Kind: ddp.KindInv, Key: key, TS: ts, Scope: sc,
+		Value: append([]byte(nil), value...),
+		Size:  ddp.DataSize(len(value)),
+	}
+	for _, f := range followers { // L11: send INVs
+		n.send(f, inv)
+	}
+
+	r.Value = append(r.Value[:0], value...) // L12: update local volatile state
+	r.Meta.ApplyVolatile(ts)
+	r.Meta.WRLock = false // L13
+	r.Wake()
+	r.Unlock()
+
+	// Step d (L18 / Fig 3): persist the local update.
+	switch n.policy.CoordPersist {
+	case ddp.CoordPersistInline:
+		n.persist(key, ts, value, sc)
+	case ddp.CoordPersistBackground:
+		val := append([]byte(nil), value...)
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.persist(key, ts, val, sc)
+		}()
+	case ddp.CoordPersistOnScopeFlush:
+		n.bufferScope(sc, key, ts, value)
+	}
+
+	// Step e: spin for consistency acknowledgments.
+	if err := n.waitConsistency(wt); err != nil {
+		n.removePending(key, ts)
+		return err
+	}
+	r.Lock()
+	r.Meta.AdvanceGlbVolatile(ts)
+	r.Wake()
+	if n.policy.SendsValAtConsistency() && n.policy.Release == ddp.ReleaseWhenConsistent {
+		r.Meta.ReleaseRDLockIfOwner(ts)
+		r.Wake()
+	}
+	r.Unlock()
+	if n.policy.SendsValAtConsistency() {
+		n.sendVal(ddp.KindValC, key, ts, sc, followers)
+	}
+
+	if n.policy.Return == ddp.ReturnWhenConsistent {
+		if n.policy.TracksPersistency {
+			// REnf: finish durability off the client's critical path.
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.finishDurable(r, wt, key, ts, sc, followers)
+			}()
+		} else {
+			n.removePending(key, ts)
+		}
+		return nil
+	}
+
+	// Synch / Strict: the response waits for durability everywhere.
+	return n.finishDurable(r, wt, key, ts, sc, followers)
+}
+
+// finishDurable completes the durability half: wait for all persistency
+// acknowledgments and the local persist, publish glb_durableTS, release
+// the RDLock where the model demands, send the durable VAL, retire.
+func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) error {
+	defer n.removePending(key, ts)
+	if err := n.waitPersistency(wt); err != nil {
+		return err
+	}
+	if err := n.waitLocallyDurable(r, key, ts); err != nil {
+		return err
+	}
+	r.Lock()
+	r.Meta.AdvanceGlbDurable(ts)
+	if n.policy.Release == ddp.ReleaseWhenDurable || !n.policy.SendsValAtConsistency() {
+		r.Meta.ReleaseRDLockIfOwner(ts)
+	}
+	r.Wake()
+	r.Unlock()
+	if kind, ok := n.policy.DurableValKind(); ok {
+		n.sendVal(kind, key, ts, sc, followers)
+	}
+	return nil
+}
+
+func (n *Node) sendVal(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) {
+	val := ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()}
+	for _, f := range followers {
+		n.send(f, val)
+	}
+}
+
+// waitConsistency blocks until every live follower acknowledged the
+// volatile update. Followers that fail mid-write stop being waited for
+// when the detector declares them.
+func (n *Node) waitConsistency(wt *writeTxn) error {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		done := true
+		for _, f := range wt.followers {
+			if !wt.txn.AckedC(f) && n.isAlive(f) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		wt.cond.Wait()
+	}
+}
+
+// waitPersistency blocks until every live follower acknowledged the
+// persist (vacuous for models that do not track persistency).
+func (n *Node) waitPersistency(wt *writeTxn) error {
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	for {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		done := true
+		for _, f := range wt.followers {
+			if !wt.txn.AckedP(f) && n.isAlive(f) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		wt.cond.Wait()
+	}
+}
+
+// waitLocallyDurable blocks until the local log holds ts (the local
+// persist may run in the background under REnf).
+func (n *Node) waitLocallyDurable(r *kv.Record, key ddp.Key, ts ddp.Timestamp) error {
+	r.Lock()
+	defer r.Unlock()
+	for !n.log.LocallyDurable(key, ts) {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		r.Wait()
+	}
+	return nil
+}
+
+// handleObsoleteLocked is the paper's handleObsolete(): spin until the
+// superseding write completes consistency-wise (and persistency-wise for
+// the conservative models). The caller holds the record lock. If this
+// write's snatch won the lock against an already-finished superseder,
+// release it (liveness: nobody else will).
+func (n *Node) handleObsoleteLocked(r *kv.Record, ts ddp.Timestamp) error {
+	obs := r.Meta.VolatileTS
+	for !r.Meta.ConsistencyDone(obs) {
+		if n.closed.Load() {
+			return ErrClosed
+		}
+		r.Wait()
+	}
+	if n.policy.PersistencySpinOnObsolete {
+		for !r.Meta.PersistencyDone(obs) {
+			if n.closed.Load() {
+				return ErrClosed
+			}
+			r.Wait()
+		}
+	}
+	if r.Meta.ReleaseRDLockIfOwner(ts) {
+		r.Wake()
+	}
+	return nil
+}
+
+// Read performs a client-read (§III-D): always local, stalled only
+// while the record's RDLock is held by an in-flight write. It returns a
+// copy of the value (nil if the key has never been written).
+func (n *Node) Read(key ddp.Key) ([]byte, error) {
+	if n.closed.Load() {
+		return nil, ErrClosed
+	}
+	n.Stats.Reads.Add(1)
+	r := n.store.GetOrCreate(key)
+	r.Lock()
+	defer r.Unlock()
+	for r.Meta.RDLocked() {
+		if n.closed.Load() {
+			return nil, ErrClosed
+		}
+		r.Wait()
+	}
+	if r.Value == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), r.Value...), nil
+}

@@ -1,0 +1,165 @@
+// Package nvm models the non-volatile memory subsystem of a MINOS node:
+// a persist-latency model and an append-only persistent log.
+//
+// The paper emulates NVM by charging 1295 ns to persist 1 KB (Table II);
+// Fig 14 sweeps this latency from 100 ns (DIMM-attached persistent
+// memory) to 100 µs (SSD blocks). Writes append to a log rather than
+// updating the durable database in place, which is what permits
+// out-of-order persists: "entries are inserted into the log in an
+// out-of-order manner, therefore creating obsolete entries. However,
+// correctness is maintained because, before the log entries are applied
+// to the non-volatile database, they are checked for obsoleteness"
+// (§V-B.4, also §III-B).
+package nvm
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// LatencyModel converts a persist size into a simulated latency.
+type LatencyModel struct {
+	// NsPerKB is the nanoseconds charged per kilobyte persisted.
+	// The paper's default is 1295 ns/KB.
+	NsPerKB int64
+	// FixedNs is a per-operation floor, charged even for tiny persists
+	// (device command overhead).
+	FixedNs int64
+}
+
+// DefaultLatency is the paper's emulated NVM: 1295 ns per KB.
+var DefaultLatency = LatencyModel{NsPerKB: 1295}
+
+// PersistNs returns the modeled latency to persist size bytes.
+func (m LatencyModel) PersistNs(size int) int64 {
+	ns := m.FixedNs + (int64(size)*m.NsPerKB+1023)/1024
+	if ns < m.FixedNs {
+		ns = m.FixedNs
+	}
+	return ns
+}
+
+// Entry is one record update in the persistent log.
+type Entry struct {
+	Seq   uint64 // log sequence number, assigned at append
+	Key   ddp.Key
+	TS    ddp.Timestamp
+	Value []byte
+	Scope ddp.ScopeID
+}
+
+// Log is the append-only persistent log of one node. Appends are atomic
+// and may arrive out of timestamp order; Apply filters obsolete entries.
+// The log also serves recovery: EntriesSince streams the tail to a
+// re-inserted node (§III-E).
+type Log struct {
+	mu      sync.Mutex
+	entries []Entry
+	nextSeq uint64
+
+	// durable tracks, per key, the newest timestamp present in the log —
+	// i.e. locally durable. The model checker and the protocol's
+	// PersistencySpin consult this.
+	durable map[ddp.Key]ddp.Timestamp
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log {
+	return &Log{durable: make(map[ddp.Key]ddp.Timestamp)}
+}
+
+// Append atomically adds an entry for (key, ts, value) and returns its
+// sequence number. Appends need not arrive in timestamp order.
+func (l *Log) Append(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	seq := l.nextSeq
+	l.nextSeq++
+	l.entries = append(l.entries, Entry{
+		Seq: seq, Key: key, TS: ts,
+		Value: append([]byte(nil), value...),
+		Scope: scope,
+	})
+	if cur, ok := l.durable[key]; !ok || cur.Less(ts) {
+		l.durable[key] = ts
+	}
+	return seq
+}
+
+// Len returns the number of log entries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// DurableTS returns the newest locally durable timestamp for key and
+// whether any persist for key has happened.
+func (l *Log) DurableTS(key ddp.Key) (ddp.Timestamp, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ts, ok := l.durable[key]
+	return ts, ok
+}
+
+// LocallyDurable reports whether an update at least as new as ts has been
+// appended for key.
+func (l *Log) LocallyDurable(key ddp.Key, ts ddp.Timestamp) bool {
+	cur, ok := l.DurableTS(key)
+	return ok && ts.LessEq(cur)
+}
+
+// EntriesSince returns a copy of all entries with Seq >= seq, for
+// shipping to a recovering node.
+func (l *Log) EntriesSince(seq uint64) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Seq >= seq })
+	out := make([]Entry, len(l.entries)-i)
+	copy(out, l.entries[i:])
+	return out
+}
+
+// NextSeq returns the sequence number the next append will receive.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Materialize folds the log into the newest durable value per key,
+// filtering obsolete entries — the "apply to the non-volatile database"
+// step. It is used by recovery and by crash-replay tests.
+func (l *Log) Materialize() map[ddp.Key]Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	db := make(map[ddp.Key]Entry)
+	for _, e := range l.entries {
+		if cur, ok := db[e.Key]; !ok || cur.TS.Less(e.TS) {
+			db[e.Key] = e
+		}
+	}
+	return db
+}
+
+// Replay applies every log entry to apply in sequence order. Obsolete
+// entries (superseded by a newer timestamp for the same key) are skipped.
+// It returns how many entries were applied.
+func (l *Log) Replay(apply func(Entry)) int {
+	applied := 0
+	newest := make(map[ddp.Key]ddp.Timestamp)
+	l.mu.Lock()
+	entries := append([]Entry(nil), l.entries...)
+	l.mu.Unlock()
+	for _, e := range entries {
+		if cur, ok := newest[e.Key]; ok && e.TS.Less(cur) {
+			continue // obsolete: a newer version is already durable
+		}
+		newest[e.Key] = e.TS
+		apply(e)
+		applied++
+	}
+	return applied
+}

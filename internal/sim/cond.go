@@ -1,0 +1,128 @@
+package sim
+
+// Cond is a simulated condition variable. Processes wait on a Cond until
+// another process (or a kernel callback) broadcasts it; the waiters are
+// then rescheduled at the current simulated time.
+//
+// As with sync.Cond, waits must be wrapped in a loop that rechecks the
+// condition, because a broadcast only means "something changed":
+//
+//	for !ready() {
+//	    cond.Wait(p)
+//	}
+//
+// The protocol code uses Cond to express the paper's ConsistencySpin and
+// PersistencySpin primitives without consuming simulated CPU time.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.yield()
+}
+
+// WaitTimeout blocks p until the next Broadcast or until d has elapsed,
+// whichever comes first. It reports whether the wake-up was a broadcast
+// (true) or a timeout (false).
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	deadline := p.k.now + Time(d)
+	c.waiters = append(c.waiters, p)
+	p.k.wake(p, d)
+	p.yield()
+	return p.k.now < deadline
+}
+
+// Broadcast wakes every current waiter. Waiters resume at the current
+// simulated time, in the order they began waiting. Safe to call from
+// process or kernel-callback context.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.k.wake(w, 0)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Pool models a pool of identical resources (for example, host CPU
+// cores). Processes acquire a unit, hold it while consuming simulated
+// service time, and release it. Waiting is FIFO-fair at the granularity
+// of the underlying Cond.
+type Pool struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	freed    *Cond
+
+	// busy accumulates total busy time across all units, for utilization
+	// reporting.
+	busy      Duration
+	lastStamp Time
+}
+
+// NewPool returns a pool with the given number of units.
+func NewPool(k *Kernel, capacity int) *Pool {
+	if capacity <= 0 {
+		panic("sim: pool capacity must be positive")
+	}
+	return &Pool{k: k, capacity: capacity, freed: NewCond(k)}
+}
+
+// Capacity returns the number of units in the pool.
+func (pl *Pool) Capacity() int { return pl.capacity }
+
+// InUse returns the number of units currently held.
+func (pl *Pool) InUse() int { return pl.inUse }
+
+// Acquire blocks p until a unit is free, then takes it.
+func (pl *Pool) Acquire(p *Proc) {
+	for pl.inUse >= pl.capacity {
+		pl.freed.Wait(p)
+	}
+	pl.stamp()
+	pl.inUse++
+}
+
+// TryAcquire takes a unit if one is free without blocking.
+func (pl *Pool) TryAcquire() bool {
+	if pl.inUse >= pl.capacity {
+		return false
+	}
+	pl.stamp()
+	pl.inUse++
+	return true
+}
+
+// Release returns a unit to the pool.
+func (pl *Pool) Release() {
+	if pl.inUse <= 0 {
+		panic("sim: pool release without acquire")
+	}
+	pl.stamp()
+	pl.inUse--
+	pl.freed.Broadcast()
+}
+
+// Use acquires a unit, holds it for service time d, and releases it.
+// This is the common "charge CPU time" idiom.
+func (pl *Pool) Use(p *Proc, d Duration) {
+	pl.Acquire(p)
+	p.Sleep(d)
+	pl.Release()
+}
+
+func (pl *Pool) stamp() {
+	pl.busy += Duration(pl.k.now-pl.lastStamp) * Duration(pl.inUse)
+	pl.lastStamp = pl.k.now
+}
+
+// BusyTime returns the accumulated unit-busy time (a pool of 2 units both
+// busy for 5ns accumulates 10ns).
+func (pl *Pool) BusyTime() Duration {
+	pl.stamp()
+	return pl.busy
+}

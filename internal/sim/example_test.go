@@ -1,0 +1,44 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+// Example shows the process-oriented style: blocking code over simulated
+// time, executed deterministically.
+func Example() {
+	k := sim.NewKernel(1)
+	q := sim.NewQueue[string](k, 0)
+
+	k.Spawn("producer", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Nanosecond)
+		q.Put(p, "hello")
+	})
+	k.Spawn("consumer", func(p *sim.Proc) {
+		msg, _ := q.Get(p)
+		fmt.Printf("got %q at t=%dns\n", msg, p.Now())
+	})
+
+	k.Run()
+	// Output: got "hello" at t=100ns
+}
+
+// ExamplePool shows resource contention: three jobs on two cores.
+func ExamplePool() {
+	k := sim.NewKernel(1)
+	cores := sim.NewPool(k, 2)
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("job", func(p *sim.Proc) {
+			cores.Use(p, 10*sim.Nanosecond)
+			fmt.Printf("job %d done at t=%dns\n", i, p.Now())
+		})
+	}
+	k.Run()
+	// Output:
+	// job 0 done at t=10ns
+	// job 1 done at t=10ns
+	// job 2 done at t=20ns
+}

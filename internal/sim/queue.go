@@ -1,0 +1,123 @@
+package sim
+
+// Queue is a FIFO queue of items with optional bounded capacity,
+// connecting simulation processes. A Queue with capacity 0 is unbounded.
+//
+// Queues model mailboxes (message receive queues) and the paper's vFIFO
+// and dFIFO SmartNIC queues, whose bounded capacity is the subject of the
+// Fig 13 sensitivity study.
+type Queue[T any] struct {
+	k        *Kernel
+	items    []T
+	capacity int // 0 = unbounded
+	notEmpty *Cond
+	notFull  *Cond
+	closed   bool
+
+	// HighWater tracks the maximum occupancy ever observed.
+	HighWater int
+}
+
+// NewQueue returns a queue bound to k. capacity <= 0 means unbounded.
+func NewQueue[T any](k *Kernel, capacity int) *Queue[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Queue[T]{
+		k:        k,
+		capacity: capacity,
+		notEmpty: NewCond(k),
+		notFull:  NewCond(k),
+	}
+}
+
+// Len returns the current number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the queue capacity; 0 means unbounded.
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// Full reports whether a bounded queue is at capacity.
+func (q *Queue[T]) Full() bool {
+	return q.capacity > 0 && len(q.items) >= q.capacity
+}
+
+// Put appends v, blocking p while the queue is full.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.Full() {
+		q.notFull.Wait(p)
+	}
+	q.push(v)
+}
+
+// TryPut appends v without blocking. It returns false if the queue is
+// full. Safe from kernel-callback context.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.push(v)
+	return true
+}
+
+// ForcePut appends v even past capacity. Used by senders that must never
+// block (for example, network delivery callbacks into an unbounded host
+// receive queue).
+func (q *Queue[T]) ForcePut(v T) { q.push(v) }
+
+func (q *Queue[T]) push(v T) {
+	q.items = append(q.items, v)
+	if len(q.items) > q.HighWater {
+		q.HighWater = len(q.items)
+	}
+	q.notEmpty.Broadcast()
+}
+
+// Get removes and returns the oldest item, blocking p while the queue is
+// empty. If the queue is closed and drained, ok is false.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.notEmpty.Wait(p)
+	}
+	return q.pop(), true
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.pop(), true
+}
+
+// GetTimeout is like Get but gives up after d, returning ok=false.
+func (q *Queue[T]) GetTimeout(p *Proc, d Duration) (v T, ok bool) {
+	deadline := p.k.now + Time(d)
+	for len(q.items) == 0 {
+		if q.closed || p.k.now >= deadline {
+			return v, false
+		}
+		q.notEmpty.WaitTimeout(p, Duration(deadline-p.k.now))
+	}
+	return q.pop(), true
+}
+
+func (q *Queue[T]) pop() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	q.notFull.Broadcast()
+	return v
+}
+
+// Close marks the queue closed: blocked and future Gets return ok=false
+// once the queue drains. Puts after Close are still accepted (the
+// protocol shutdown path drains in-flight messages).
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.notEmpty.Broadcast()
+}

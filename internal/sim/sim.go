@@ -1,0 +1,311 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel.
+//
+// The kernel plays the role SimGrid plays in the MINOS paper: it provides
+// actors (processes) that execute Go code, advance a simulated clock, and
+// exchange messages through timed primitives. Exactly one process runs at
+// any instant; the kernel hands control to processes in strict event-time
+// order (ties broken by scheduling sequence number), so a simulation with
+// a fixed seed always produces an identical timeline.
+//
+// Processes are ordinary goroutines that block on kernel primitives
+// (Sleep, Cond.Wait, Queue.Get, ...). Blocking transfers control back to
+// the kernel, which runs the next event. This lets protocol code be
+// written in the same blocking style as the paper's pseudo-code
+// ("spin until all ACKs are received") without busy-waiting.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a point in simulated time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Handy duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(1<<63 - 1)
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// event is a single entry in the kernel's pending-event heap. An event
+// either resumes a process or runs a callback in kernel context.
+type event struct {
+	at  Time
+	seq uint64 // global tie-breaker: FIFO among same-time events
+
+	proc    *Proc  // non-nil: resume this process...
+	wakeSeq uint64 // ...only if its wake sequence still matches
+	fn      func() // non-nil: run this callback (must not block)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; construct with NewKernel.
+type Kernel struct {
+	now      Time
+	events   eventHeap
+	seq      uint64
+	park     chan struct{} // running process parks itself here
+	rng      *rand.Rand
+	procs    map[*Proc]struct{}
+	stopping bool
+	executed uint64 // events executed, for diagnostics
+}
+
+// NewKernel returns a kernel at time zero whose random source is seeded
+// with seed. All randomness in a simulation should come from Rand so that
+// runs are reproducible.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		park:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Events reports how many events the kernel has executed.
+func (k *Kernel) Events() uint64 { return k.executed }
+
+// Live reports how many spawned processes have not yet finished.
+func (k *Kernel) Live() int { return len(k.procs) }
+
+func (k *Kernel) post(ev *event) {
+	k.seq++
+	ev.seq = k.seq
+	heap.Push(&k.events, ev)
+}
+
+// After schedules fn to run in kernel context after delay d. fn must not
+// block; it may spawn processes, wake conditions, and post further
+// callbacks.
+func (k *Kernel) After(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	k.post(&event{at: k.now + Time(d), fn: fn})
+}
+
+// At schedules fn to run in kernel context at absolute time t, which must
+// not be in the past.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic("sim: scheduling in the past")
+	}
+	k.post(&event{at: t, fn: fn})
+}
+
+// wake schedules process p to resume after delay d. If p is resumed by
+// some other event first (or exits), this wake-up becomes stale and is
+// discarded. Stale waiter entries on conditions make waking a finished
+// process possible; it must be a no-op.
+func (k *Kernel) wake(p *Proc, d Duration) {
+	if p.done {
+		return
+	}
+	k.post(&event{at: k.now + Time(d), proc: p, wakeSeq: p.wakeSeq})
+}
+
+// Run executes events until none remain or every process has finished.
+// It returns the final simulated time. If processes remain blocked with
+// no pending events, the simulation is deadlocked; Run returns and
+// Deadlocked reports true.
+func (k *Kernel) Run() Time {
+	k.RunUntil(MaxTime)
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= limit. It returns true if
+// the event queue was exhausted (or only stale events remained), false if
+// it stopped because the next event lies beyond limit.
+func (k *Kernel) RunUntil(limit Time) bool {
+	for len(k.events) > 0 {
+		ev := k.events[0]
+		if ev.at > limit {
+			return false
+		}
+		heap.Pop(&k.events)
+		if ev.proc != nil && (ev.proc.done || ev.proc.wakeSeq != ev.wakeSeq) {
+			continue // stale wake-up: the process already resumed or exited
+		}
+		if ev.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = ev.at
+		k.executed++
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		k.resume(ev.proc)
+	}
+	return true
+}
+
+// Deadlocked reports whether live processes remain but no events are
+// pending — i.e. every remaining process is blocked forever.
+func (k *Kernel) Deadlocked() bool {
+	if len(k.procs) == 0 {
+		return false
+	}
+	for _, ev := range k.events {
+		if ev.fn != nil || (!ev.proc.done && ev.proc.wakeSeq == ev.wakeSeq) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop force-resumes every still-blocked process with a cancellation
+// panic so their goroutines exit. Call after Run/RunUntil when tearing
+// down a simulation that still has blocked processes (for example, server
+// loops waiting on queues).
+func (k *Kernel) Stop() {
+	k.stopping = true
+	for len(k.procs) > 0 {
+		var p *Proc
+		for q := range k.procs {
+			p = q
+			break
+		}
+		k.resume(p)
+	}
+}
+
+// resume hands control to p and waits until it blocks again or exits.
+func (k *Kernel) resume(p *Proc) {
+	p.wakeSeq++
+	p.resume <- struct{}{}
+	<-k.park
+}
+
+// stopToken is the panic value used by Stop to unwind process goroutines.
+type stopToken struct{}
+
+// Proc is a simulation process: a goroutine scheduled by the kernel.
+// All Proc methods must be called from the process's own goroutine.
+type Proc struct {
+	k       *Kernel
+	name    string
+	resume  chan struct{}
+	wakeSeq uint64
+	done    bool
+}
+
+// Spawn starts a new process executing fn. The process is scheduled to
+// begin at the current simulated time. Spawn may be called before Run,
+// from another process, or from a kernel callback.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			p.done = true
+			delete(k.procs, p)
+			if r := recover(); r != nil {
+				if _, ok := r.(stopToken); !ok {
+					// Re-panicking here would crash the kernel
+					// goroutine's Run with no context; decorate first.
+					k.park <- struct{}{}
+					panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+				}
+			}
+			k.park <- struct{}{}
+		}()
+		fn(p)
+	}()
+	k.wake(p, 0)
+	return p
+}
+
+// SpawnAfter starts fn as a new process after delay d.
+func (k *Kernel) SpawnAfter(d Duration, name string, fn func(*Proc)) {
+	k.After(d, func() { k.Spawn(name, fn) })
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// yield parks the process until the kernel resumes it.
+func (p *Proc) yield() {
+	p.k.park <- struct{}{}
+	<-p.resume
+	if p.k.stopping {
+		panic(stopToken{})
+	}
+}
+
+// Sleep blocks the process for simulated duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.k.wake(p, d)
+	p.yield()
+}
+
+// Yield reschedules the process at the current time behind all events
+// already pending at this instant.
+func (p *Proc) Yield() {
+	p.k.wake(p, 0)
+	p.yield()
+}

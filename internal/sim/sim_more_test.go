@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpawnAfter(t *testing.T) {
+	k := NewKernel(1)
+	var started Time
+	k.SpawnAfter(70, "late", func(p *Proc) { started = p.Now() })
+	k.Run()
+	if started != 70 {
+		t.Fatalf("spawned at %d, want 70", started)
+	}
+}
+
+func TestAtPanicsInPast(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("p", func(p *Proc) { p.Sleep(100) })
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	k.At(50, func() {})
+}
+
+func TestNegativeDelaysPanic(t *testing.T) {
+	k := NewKernel(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative After must panic")
+			}
+		}()
+		k.After(-1, func() {})
+	}()
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Sleep must panic")
+			}
+			panic(stopToken{}) // unwind cleanly through the kernel
+		}()
+		p.Sleep(-5)
+	})
+	k.Run()
+}
+
+func TestDurationString(t *testing.T) {
+	cases := map[Duration]string{
+		500:             "500ns",
+		1500:            "1.500µs",
+		2 * Millisecond: "2.000ms",
+		3 * Second:      "3.000s",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+		}
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(1)
+		}
+	})
+	k.Run()
+	if k.Events() < 5 {
+		t.Fatalf("executed %d events, want >= 5", k.Events())
+	}
+}
+
+func TestPoolTryAcquire(t *testing.T) {
+	k := NewKernel(1)
+	pool := NewPool(k, 1)
+	if !pool.TryAcquire() {
+		t.Fatal("empty pool refused")
+	}
+	if pool.TryAcquire() {
+		t.Fatal("full pool granted")
+	}
+	pool.Release()
+	if !pool.TryAcquire() {
+		t.Fatal("released pool refused")
+	}
+	if pool.Capacity() != 1 || pool.InUse() != 1 {
+		t.Fatal("accounting wrong")
+	}
+}
+
+func TestPoolReleasePanicsUnderflow(t *testing.T) {
+	k := NewKernel(1)
+	pool := NewPool(k, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release without acquire must panic")
+		}
+	}()
+	pool.Release()
+}
+
+func TestYieldOrdersBehindSameInstant(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	k.Run()
+	got := strings.Join(order, ",")
+	if got != "a1,b,a2" {
+		t.Fatalf("order %q, want a1,b,a2 (Yield defers behind pending same-time events)", got)
+	}
+}
+
+func TestQueueForcePutOverflowsCapacity(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, 1)
+	q.ForcePut(1)
+	q.ForcePut(2) // past capacity, by design
+	if q.Len() != 2 || q.HighWater != 2 {
+		t.Fatalf("len=%d hw=%d, want 2,2", q.Len(), q.HighWater)
+	}
+	if q.TryPut(3) {
+		t.Fatal("TryPut must respect capacity")
+	}
+	if v, ok := q.TryGet(); !ok || v != 1 {
+		t.Fatalf("TryGet = %d,%v", v, ok)
+	}
+}
+
+func TestProcNameAndKernel(t *testing.T) {
+	k := NewKernel(1)
+	k.Spawn("worker-7", func(p *Proc) {
+		if p.Name() != "worker-7" {
+			t.Errorf("Name() = %q", p.Name())
+		}
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,437 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	var woke Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(250 * Nanosecond)
+		woke = p.Now()
+	})
+	k.Run()
+	if woke != 250 {
+		t.Fatalf("woke at %d, want 250", woke)
+	}
+	if k.Now() != 250 {
+		t.Fatalf("final time %d, want 250", k.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []string
+	for _, tc := range []struct {
+		name  string
+		delay Duration
+	}{{"c", 30}, {"a", 10}, {"b", 20}, {"a2", 10}} {
+		tc := tc
+		k.Spawn(tc.name, func(p *Proc) {
+			p.Sleep(tc.delay)
+			order = append(order, tc.name)
+		})
+	}
+	k.Run()
+	want := "[a a2 b c]"
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("order %s, want %s (same-time events must be FIFO)", got, want)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.After(42*Nanosecond, func() { at = k.Now() })
+	k.Run()
+	if at != 42 {
+		t.Fatalf("callback at %d, want 42", at)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel(1)
+	var childTime Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		p.Kernel().Spawn("child", func(c *Proc) {
+			c.Sleep(7)
+			childTime = c.Now()
+		})
+		p.Sleep(100)
+	})
+	k.Run()
+	if childTime != 12 {
+		t.Fatalf("child finished at %d, want 12", childTime)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := NewKernel(99)
+		var trace []int64
+		q := NewQueue[int](k, 0)
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("producer%d", i), func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Sleep(Duration(k.Rand().Intn(50)))
+					q.Put(p, i)
+				}
+			})
+		}
+		k.Spawn("consumer", func(p *Proc) {
+			for n := 0; n < 40; n++ {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				trace = append(trace, int64(p.Now())*10+int64(v))
+			}
+		})
+		k.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("identical seeds produced different timelines")
+	}
+	if len(a) != 40 {
+		t.Fatalf("consumed %d items, want 40", len(a))
+	}
+}
+
+func TestCondBroadcastWakesAllWaiters(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	ready := false
+	woken := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("waiter", func(p *Proc) {
+			for !ready {
+				c.Wait(p)
+			}
+			woken++
+		})
+	}
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(10)
+		ready = true
+		c.Broadcast()
+	})
+	k.Run()
+	if woken != 3 {
+		t.Fatalf("woken = %d, want 3", woken)
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	var signaled, timedOut bool
+	k.Spawn("timeouter", func(p *Proc) {
+		timedOut = !c.WaitTimeout(p, 50*Nanosecond)
+	})
+	k.Spawn("signaled", func(p *Proc) {
+		signaled = c.WaitTimeout(p, 500*Nanosecond)
+	})
+	k.Spawn("signaler", func(p *Proc) {
+		p.Sleep(100)
+		c.Broadcast()
+	})
+	k.Run()
+	if !timedOut {
+		t.Error("50ns waiter should have timed out before the 100ns broadcast")
+	}
+	if !signaled {
+		t.Error("500ns waiter should have been broadcast at 100ns")
+	}
+}
+
+// TestStaleWakeup exercises the double-wake hazard: a process registered
+// both on a timer and a cond must resume exactly once per block.
+func TestStaleWakeup(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	hits := 0
+	k.Spawn("w", func(p *Proc) {
+		c.WaitTimeout(p, 10) // broadcast will arrive at t=5, timer at t=10 goes stale
+		hits++
+		p.Sleep(100) // if the stale timer wrongly resumed us, we'd wake early
+		if p.Now() != 105 {
+			t.Errorf("resumed at %d, want 105: stale wake-up leaked", p.Now())
+		}
+	})
+	k.Spawn("s", func(p *Proc) {
+		p.Sleep(5)
+		c.Broadcast()
+	})
+	k.Run()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
+
+func TestPoolLimitsConcurrency(t *testing.T) {
+	k := NewKernel(1)
+	pool := NewPool(k, 2)
+	maxInUse := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("worker", func(p *Proc) {
+			pool.Use(p, 10)
+			if pool.InUse() > maxInUse {
+				maxInUse = pool.InUse()
+			}
+		})
+	}
+	end := k.Run()
+	if maxInUse > 2 {
+		t.Fatalf("pool admitted %d concurrent users, capacity 2", maxInUse)
+	}
+	// 6 jobs of 10ns on 2 units: makespan 30ns.
+	if end != 30 {
+		t.Fatalf("makespan %d, want 30", end)
+	}
+	if got := pool.BusyTime(); got != 60 {
+		t.Fatalf("busy time %d, want 60", got)
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, 2)
+	var putDone Time
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			q.Put(p, i)
+		}
+		putDone = p.Now()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Sleep(100)
+		for i := 0; i < 3; i++ {
+			if v, ok := q.Get(p); !ok || v != i {
+				t.Errorf("got (%d,%v), want (%d,true)", v, ok, i)
+			}
+		}
+	})
+	k.Run()
+	if putDone != 100 {
+		t.Fatalf("third Put completed at %d, want 100 (blocked on full queue)", putDone)
+	}
+	if q.HighWater != 2 {
+		t.Fatalf("high water %d, want 2", q.HighWater)
+	}
+}
+
+func TestQueueGetTimeout(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[string](k, 0)
+	var got string
+	var ok1, ok2 bool
+	k.Spawn("consumer", func(p *Proc) {
+		_, ok1 = q.GetTimeout(p, 50)
+		got, ok2 = q.GetTimeout(p, 500)
+	})
+	k.Spawn("producer", func(p *Proc) {
+		p.Sleep(200)
+		q.Put(p, "late")
+	})
+	k.Run()
+	if ok1 {
+		t.Error("first GetTimeout should time out at 50ns")
+	}
+	if !ok2 || got != "late" {
+		t.Errorf("second GetTimeout = (%q,%v), want (late,true)", got, ok2)
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, 0)
+	drained := 0
+	gotClosed := false
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			_, ok := q.Get(p)
+			if !ok {
+				gotClosed = true
+				return
+			}
+			drained++
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		p.Sleep(10)
+		q.Close()
+	})
+	k.Run()
+	if drained != 2 || !gotClosed {
+		t.Fatalf("drained=%d closed=%v, want 2,true", drained, gotClosed)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel(1)
+	c := NewCond(k)
+	k.Spawn("stuck", func(p *Proc) {
+		c.Wait(p) // never broadcast
+	})
+	k.Run()
+	if !k.Deadlocked() {
+		t.Fatal("kernel should report deadlock: one live process, no events")
+	}
+	k.Stop()
+	if k.Live() != 0 {
+		t.Fatalf("%d processes survive Stop", k.Live())
+	}
+}
+
+func TestStopUnblocksQueueWaiters(t *testing.T) {
+	k := NewKernel(1)
+	q := NewQueue[int](k, 0)
+	for i := 0; i < 5; i++ {
+		k.Spawn("server", func(p *Proc) {
+			for {
+				if _, ok := q.Get(p); !ok {
+					return
+				}
+			}
+		})
+	}
+	k.Run()
+	k.Stop()
+	if k.Live() != 0 {
+		t.Fatalf("%d processes survive Stop", k.Live())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	steps := 0
+	k.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(10)
+			steps++
+		}
+	})
+	if done := k.RunUntil(35); done {
+		t.Fatal("RunUntil(35) should stop with events pending")
+	}
+	if steps != 3 || k.Now() != 30 {
+		t.Fatalf("steps=%d now=%d, want 3 at 30", steps, k.Now())
+	}
+	k.Run()
+	if steps != 10 {
+		t.Fatalf("steps=%d after full run, want 10", steps)
+	}
+}
+
+// Property: for any set of sleep durations, processes complete in
+// nondecreasing time order equal to their sleep duration.
+func TestPropertySleepOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		k := NewKernel(7)
+		finish := make([]Time, len(delays))
+		for i, d := range delays {
+			i, d := i, d
+			k.Spawn("p", func(p *Proc) {
+				p.Sleep(Duration(d))
+				finish[i] = p.Now()
+			})
+		}
+		k.Run()
+		for i, d := range delays {
+			if finish[i] != Time(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bounded queue never exceeds its capacity, and every item
+// put is got exactly once in FIFO order per producer.
+func TestPropertyQueueConservation(t *testing.T) {
+	f := func(capRaw uint8, n uint8) bool {
+		capacity := int(capRaw%8) + 1
+		count := int(n%50) + 1
+		k := NewKernel(3)
+		q := NewQueue[int](k, capacity)
+		var got []int
+		k.Spawn("prod", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				q.Put(p, i)
+				p.Sleep(Duration(k.Rand().Intn(3)))
+			}
+		})
+		k.Spawn("cons", func(p *Proc) {
+			for i := 0; i < count; i++ {
+				p.Sleep(Duration(k.Rand().Intn(5)))
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				got = append(got, v)
+			}
+		})
+		k.Run()
+		if q.HighWater > capacity || len(got) != count {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKernelSleepSwitch(b *testing.B) {
+	k := NewKernel(1)
+	k.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+func BenchmarkKernelQueuePingPong(b *testing.B) {
+	k := NewKernel(1)
+	a2b := NewQueue[int](k, 0)
+	b2a := NewQueue[int](k, 0)
+	k.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			a2b.Put(p, i)
+			b2a.Get(p)
+		}
+	})
+	k.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			a2b.Get(p)
+			b2a.Put(p, i)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,468 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+// This file implements the MINOS-B algorithms (Fig 2 with the Fig 3
+// per-model deltas) on the simulated hosts: the Coordinator client-write,
+// the Follower INV/VAL handlers, and the <Lin, Scope> [PERSIST]sc
+// transaction. All protocol work runs on host cores and every message
+// crosses the PCIe bus to a classic NIC.
+
+// sendGroupB transmits m from this host to every node in dests,
+// modeling the full MINOS-B path: host deposit, PCIe transfer, NIC
+// send-buffer deposit, network serialization and propagation, receiver
+// PCIe, receiver host queue. The Batch and Broadcast toggles reshape the
+// PCIe and NIC-egress legs (Fig 12 ablation).
+func (n *Node) sendGroupB(p *sim.Proc, m ddp.Message, dests []ddp.NodeID) {
+	cfg := n.cfg
+	opts := cfg.Opts
+	sendCost := cfg.SendAckNs
+	if m.Kind == ddp.KindInv {
+		sendCost = cfg.SendInvNs
+	}
+	if opts.Batch && len(dests) > 1 {
+		// One host deposit, one PCIe crossing carrying the batch.
+		n.compute(p, cfg.HostSyncNs)
+		batchSize := m.Size + 8*len(dests)
+		ds := append([]ddp.NodeID(nil), dests...)
+		n.pcieOut.Send(batchSize, func() {
+			for i, d := range ds {
+				var occupy sim.Duration
+				delay := sim.Duration(sendCost)
+				if !opts.Broadcast {
+					// Without a broadcast FSM, the NIC must unpack the
+					// batch per destination (§VIII-D: why batching alone
+					// does not help) and pace the copies.
+					delay += sim.Duration(cfg.UnpackNs)
+					if i > 0 {
+						occupy = sim.Duration(cfg.MsgGapNs)
+					}
+				}
+				dd := d
+				n.egress.Transfer(m.Size, occupy, delay,
+					func() { n.c.deliver(dd, m) })
+			}
+		})
+		return
+	}
+	for i, d := range dests {
+		n.compute(p, cfg.HostSyncNs) // per-message host deposit
+		var occupy sim.Duration
+		if i > 0 && !opts.Broadcast {
+			// Consecutive copies of a multi-destination message pace at
+			// the inter-message gap; the broadcast FSM eliminates it.
+			occupy = sim.Duration(cfg.MsgGapNs)
+		}
+		dd := d
+		n.pcieOut.Send(m.Size, func() {
+			// The NIC's per-message send processing pipelines with the
+			// wire: it delays this message, not the ones behind it.
+			n.egress.Transfer(m.Size, occupy, sim.Duration(sendCost),
+				func() { n.c.deliver(dd, m) })
+		})
+	}
+}
+
+// sendAckB sends a single acknowledgment back to the coordinator of m.
+func (n *Node) sendAckB(p *sim.Proc, m ddp.Message, kind ddp.MsgKind) {
+	n.trace("host: send %v for key %d %v -> n%d", kind, m.Key, m.TS, m.From)
+	ack := ddp.Message{
+		Kind: kind, From: n.ID, Key: m.Key, TS: m.TS, Scope: m.Scope,
+		Size: ddp.ControlSize(),
+	}
+	n.sendGroupB(p, ack, []ddp.NodeID{m.From})
+}
+
+// valMessage builds a validation message for the write (key, ts).
+func (n *Node) valMessage(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) ddp.Message {
+	return ddp.Message{
+		Kind: kind, From: n.ID, Key: key, TS: ts, Scope: sc,
+		Size: ddp.ControlSize(),
+	}
+}
+
+// coordObsolete implements handleObsolete() at the coordinator: the
+// write is superseded, so spin until the superseding write is complete
+// consistency-wise (and persistency-wise under the conservative models),
+// then return to the client without touching other nodes.
+//
+// ts is the obsolete write's own timestamp. If its earlier Snatch won
+// the RDLock (possible when the superseding write completed and released
+// between the first obsoleteness check and the snatch), the lock must be
+// released here — the superseding write is already done and will never
+// release on this write's behalf, and a leaked RDLock stalls every
+// future read of the record.
+func (n *Node) coordObsolete(p *sim.Proc, r *kv.Record, ts ddp.Timestamp) {
+	obs := r.Meta.VolatileTS
+	n.consistencySpin(p, r, obs)
+	if n.policy.PersistencySpinOnObsolete {
+		n.persistencySpin(p, r, obs)
+	}
+	if r.Meta.ReleaseRDLockIfOwner(ts) {
+		n.wakeKey(r.Key)
+	}
+}
+
+// clientWriteB is the MINOS-B Coordinator algorithm (Fig 2, left).
+func (n *Node) clientWriteB(p *sim.Proc, key ddp.Key, sc ddp.ScopeID) {
+	start := p.Now()
+	cfg := n.cfg
+	r := n.Store.GetOrCreate(key)
+
+	n.compute(p, cfg.LookupNs+2*cfg.HostSyncNs) // lookup + TS_WR + Obsolete check (L4-5)
+	ts := n.generateTS(key, r)
+	if r.Meta.Obsolete(ts) {
+		n.c.Metrics.ObsoleteWrites++
+		n.coordObsolete(p, r, ts) // L6
+		n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+		return
+	}
+
+	n.compute(p, cfg.HostSyncNs) // Snatch RDLock CAS (L8)
+	r.Meta.SnatchRDLock(ts)
+
+	for r.Meta.WRLock { // grab WRLock (L9)
+		n.cond(key).Wait(p)
+	}
+	r.Meta.WRLock = true
+
+	n.compute(p, cfg.HostSyncNs) // final timestamp check (L10)
+	if r.Meta.Obsolete(ts) {
+		r.Meta.WRLock = false // release early (L15), then handleObsolete
+		n.wakeKey(key)
+		n.c.Metrics.ObsoleteWrites++
+		n.coordObsolete(p, r, ts)
+		n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+		return
+	}
+
+	ws := n.newWriteState(key, ts, sc)
+	ws.firstInvAt = p.Now()
+	inv := ddp.Message{
+		Kind: ddp.KindInv, From: n.ID, Key: key, TS: ts, Scope: sc,
+		Size: ddp.DataSize(cfg.ValueSize),
+	}
+	n.trace("host: send INVs for key %d %v", key, ts)
+	n.sendGroupB(p, inv, n.followers()) // send INVs (L11)
+
+	n.compute(p, cfg.LLCWriteNs) // update local volatile state (L12)
+	r.Meta.ApplyVolatile(ts)
+	r.Meta.WRLock = false // release WRLock (L13)
+	n.wakeKey(key)
+
+	// Step d: persist the local update (L18 / Fig 3 deltas).
+	switch n.policy.CoordPersist {
+	case ddp.CoordPersistInline:
+		n.persistInline(p, key, ts, sc)
+	case ddp.CoordPersistBackground:
+		n.persistBackground(key, ts, sc)
+	case ddp.CoordPersistOnScopeFlush:
+		n.bufferScopeEntry(sc, key, ts)
+	}
+
+	// Step e: spin for consistency acknowledgments (L19 / Fig 3).
+	for !ws.txn.ConsistencyComplete() {
+		ws.cond.Wait(p)
+	}
+	n.trace("host: all consistency ACKs for key %d %v", key, ts)
+	r.Meta.AdvanceGlbVolatile(ts)
+	n.wakeKey(key)
+	if n.policy.Return == ddp.ReturnWhenConsistent {
+		ws.spanEnd = p.Now()
+	}
+
+	// Strict / Event / Scope: release the lock and send VAL_Cs now.
+	if n.policy.SendsValAtConsistency() {
+		if n.policy.Release == ddp.ReleaseWhenConsistent {
+			r.Meta.ReleaseRDLockIfOwner(ts)
+			n.wakeKey(key)
+		}
+		n.sendGroupB(p, n.valMessage(ddp.KindValC, key, ts, sc), n.followers())
+	}
+
+	if n.policy.Return == ddp.ReturnWhenConsistent {
+		n.c.Metrics.WriteSpan.Add(float64(ws.spanEnd - ws.firstInvAt))
+		n.noteWriteCompleted(key, ts)
+		n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+		if n.policy.TracksPersistency {
+			// REnf: persistency completion continues off the client's
+			// critical path.
+			n.c.K.Spawn(fmt.Sprintf("n%d/renf-cont", n.ID), func(cp *sim.Proc) {
+				n.coordFinishDurable(cp, r, ws, key, ts, sc)
+			})
+		} else {
+			delete(n.pending, txnKey{key, ts})
+		}
+		return
+	}
+
+	// Synch / Strict: the response also waits for durability.
+	for !ws.txn.PersistencyComplete() {
+		ws.cond.Wait(p)
+	}
+	ws.spanEnd = p.Now()
+	n.coordFinishDurable(p, r, ws, key, ts, sc)
+	n.c.Metrics.WriteSpan.Add(float64(ws.spanEnd - ws.firstInvAt))
+	n.noteWriteCompleted(key, ts)
+	n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+}
+
+// coordFinishDurable completes the durability half of a write once all
+// persistency acknowledgments are in: advance glb_durableTS, release the
+// RDLock where the model requires it, send the final VALs, and retire
+// the transaction.
+func (n *Node) coordFinishDurable(p *sim.Proc, r *kv.Record, ws *writeState, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
+	for !ws.txn.PersistencyComplete() {
+		ws.cond.Wait(p)
+	}
+	n.waitLocallyDurable(p, key, ts)
+	r.Meta.AdvanceGlbDurable(ts)
+	n.wakeKey(key)
+
+	switch {
+	case n.policy.Release == ddp.ReleaseWhenDurable:
+		// REnf: reads stay blocked until the update is durable everywhere.
+		r.Meta.ReleaseRDLockIfOwner(ts)
+		n.wakeKey(key)
+	case !n.policy.SendsValAtConsistency():
+		// Synch: release between the last ACK and the VALs (L20-22).
+		r.Meta.ReleaseRDLockIfOwner(ts)
+		n.wakeKey(key)
+	}
+
+	if kind, ok := n.policy.DurableValKind(); ok {
+		n.trace("host: send %v for key %d %v", kind, key, ts)
+		n.sendGroupB(p, n.valMessage(kind, key, ts, sc), n.followers())
+	}
+	delete(n.pending, txnKey{key, ts})
+}
+
+// handleHostMessage dispatches one received message on a host core
+// (MINOS-B message path).
+func (n *Node) handleHostMessage(p *sim.Proc, m ddp.Message) {
+	n.compute(p, n.cfg.RxProcNs) // eRPC receive path
+	switch m.Kind {
+	case ddp.KindInv:
+		n.followerInvB(p, m)
+	case ddp.KindAck, ddp.KindAckC, ddp.KindAckP:
+		n.compute(p, n.cfg.HostSyncNs)
+		if m.Kind == ddp.KindAckP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.scopePersistAck(m)
+			return
+		}
+		n.recordAck(m)
+	case ddp.KindVal, ddp.KindValC, ddp.KindValP:
+		n.compute(p, n.cfg.HostSyncNs)
+		if m.Kind == ddp.KindValP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.scopeFlushComplete(m.Scope)
+			return
+		}
+		n.followerVal(m)
+	case ddp.KindPersist:
+		n.followerPersistB(p, m)
+	default:
+		panic(fmt.Sprintf("simcluster: node %d cannot handle %v", n.ID, m))
+	}
+}
+
+// followerInvB is the MINOS-B Follower algorithm for an INV
+// (Fig 2 L26-40 with Fig 3 deltas).
+func (n *Node) followerInvB(p *sim.Proc, m ddp.Message) {
+	start := sim.Time(m.ArriveNs) // handle time includes queueing (§IV)
+	cfg := n.cfg
+	n.trace("host: INV received key %d %v from n%d", m.Key, m.TS, m.From)
+	r := n.Store.GetOrCreate(m.Key)
+
+	n.compute(p, cfg.LookupNs+cfg.HostSyncNs) // KV lookup + Obsolete check (L27)
+	if r.Meta.Obsolete(m.TS) {
+		n.followerObsoleteAcks(p, r, m, func() { n.recordHandle(start) })
+		return
+	}
+
+	n.compute(p, cfg.HostSyncNs) // Snatch RDLock (L31)
+	r.Meta.SnatchRDLock(m.TS)
+
+	for r.Meta.WRLock { // grab WRLock (L32)
+		n.cond(m.Key).Wait(p)
+	}
+	r.Meta.WRLock = true
+
+	n.compute(p, cfg.HostSyncNs) // re-check obsolete (L33)
+	if r.Meta.Obsolete(m.TS) {
+		r.Meta.WRLock = false
+		n.wakeKey(m.Key)
+		n.followerObsoleteAcks(p, r, m, func() { n.recordHandle(start) })
+		return
+	}
+
+	n.compute(p, cfg.LLCWriteNs) // update LLC + volatileTS (L34-35)
+	r.Meta.ApplyVolatile(m.TS)
+	r.Meta.WRLock = false // (L36)
+	n.wakeKey(m.Key)
+
+	switch n.policy.FollowerPersist {
+	case ddp.PersistBeforeAck: // Synch: persist (L39) then combined ACK (L40)
+		n.persistInline(p, m.Key, m.TS, m.Scope)
+		n.sendAckB(p, m, ddp.KindAck)
+		n.recordHandle(start)
+	case ddp.PersistAfterAckC: // Strict, REnf
+		n.sendAckB(p, m, ddp.KindAckC)
+		if n.policy.Return == ddp.ReturnWhenConsistent {
+			n.recordHandle(start) // REnf: ACK_C gates the client response
+		}
+		n.persistInline(p, m.Key, m.TS, m.Scope)
+		n.sendAckB(p, m, ddp.KindAckP)
+		if n.policy.Return == ddp.ReturnWhenDurable {
+			n.recordHandle(start) // Strict: ACK_P gates the response
+		}
+	case ddp.PersistBackground: // Event
+		n.sendAckB(p, m, ddp.KindAckC)
+		n.recordHandle(start)
+		n.persistBackground(m.Key, m.TS, m.Scope)
+	case ddp.PersistOnScopeFlush: // Scope
+		n.sendAckB(p, m, ddp.KindAckC)
+		n.recordHandle(start)
+		n.bufferScopeEntry(m.Scope, m.Key, m.TS)
+	}
+}
+
+// followerObsoleteAcks handles an obsolete INV (Fig 2 L27-30, Fig 3):
+// spin until the superseding write completes, acknowledge as if the
+// write was done, and skip all state updates. The eventual VAL will be
+// discarded.
+func (n *Node) followerObsoleteAcks(p *sim.Proc, r *kv.Record, m ddp.Message, recorded func()) {
+	obs := r.Meta.VolatileTS
+	n.consistencySpin(p, r, obs)
+	if r.Meta.ReleaseRDLockIfOwner(m.TS) {
+		// An obsolete write that nonetheless won the RDLock (the
+		// superseding write finished before our snatch) must release it
+		// itself, or reads of this record stall forever.
+		n.wakeKey(m.Key)
+	}
+	if !n.policy.SeparateAcks {
+		// Synch: both spins complete before the combined ACK.
+		n.persistencySpin(p, r, obs)
+		n.sendAckB(p, m, ddp.KindAck)
+		recorded()
+		return
+	}
+	n.sendAckB(p, m, ddp.KindAckC)
+	if n.policy.Return == ddp.ReturnWhenConsistent || !n.policy.TracksPersistency {
+		recorded()
+		recorded = func() {}
+	}
+	if n.policy.PersistencySpinOnObsolete && n.policy.TracksPersistency {
+		n.persistencySpin(p, r, obs)
+		n.sendAckB(p, m, ddp.KindAckP)
+	}
+	recorded()
+}
+
+// recordHandle reports one follower INV handling time, the quantity
+// subtracted from the coordinator's span in the paper's communication
+// accounting (§IV).
+func (n *Node) recordHandle(start sim.Time) {
+	n.c.Metrics.FollowerHandle.Add(float64(n.c.K.Now() - start))
+}
+
+// followerVal applies a VAL/VAL_C/VAL_P at a follower (Fig 2 L41-44):
+// release the RDLock if this write still owns it and publish the global
+// timestamps the message vouches for. VALs for obsolete writes are
+// discarded naturally (they no longer own the lock, and timestamp
+// advances are monotonic).
+func (n *Node) followerVal(m ddp.Message) {
+	r := n.Store.GetOrCreate(m.Key)
+	switch m.Kind {
+	case n.policy.FollowerReleaseKind:
+		r.Meta.AdvanceGlbVolatile(m.TS)
+		if m.Kind == ddp.KindVal && n.policy.ValAfterDurable {
+			r.Meta.AdvanceGlbDurable(m.TS)
+		}
+		r.Meta.ReleaseRDLockIfOwner(m.TS)
+	case ddp.KindValP:
+		r.Meta.AdvanceGlbDurable(m.TS)
+	default:
+		// A VAL kind this policy never sends would be a protocol bug.
+		panic(fmt.Sprintf("simcluster: node %d got unexpected %v under %v", n.ID, m.Kind, n.policy.Model))
+	}
+	n.wakeKey(m.Key)
+}
+
+// clientPersistB runs the <Lin, Scope> [PERSIST]sc transaction at the
+// coordinator (Fig 3 vii): send [PERSIST]sc to all followers, persist
+// the local writes of the scope, spin for all [ACK_P]sc, then send
+// [VAL_P]sc.
+func (n *Node) clientPersistB(p *sim.Proc, sc ddp.ScopeID) {
+	start := p.Now()
+	ps := &persistState{
+		need: n.cfg.Nodes - 1,
+		got:  make(map[ddp.NodeID]bool),
+		cond: sim.NewCond(n.c.K),
+	}
+	n.scopeWait[sc] = ps
+
+	req := ddp.Message{Kind: ddp.KindPersist, From: n.ID, Scope: sc, Size: ddp.ControlSize()}
+	n.sendGroupB(p, req, n.followers())
+
+	// Persist this node's buffered writes for the scope.
+	entries := n.scopeBuf[sc]
+	for _, e := range entries {
+		n.persistInline(p, e.key, e.ts, sc)
+	}
+
+	for !ps.done() {
+		ps.cond.Wait(p)
+	}
+	// Every node persisted the scope: publish durability.
+	for _, e := range entries {
+		rec := n.Store.GetOrCreate(e.key)
+		rec.Meta.AdvanceGlbDurable(e.ts)
+		n.wakeKey(e.key)
+	}
+	delete(n.scopeBuf, sc)
+	delete(n.scopeWait, sc)
+
+	valP := ddp.Message{Kind: ddp.KindValP, From: n.ID, Scope: sc, Size: ddp.ControlSize()}
+	n.sendGroupB(p, valP, n.followers())
+	n.c.Metrics.PersistLat.Add(float64(p.Now() - start))
+}
+
+// scopePersistAck records one [ACK_P]sc at the coordinator.
+func (n *Node) scopePersistAck(m ddp.Message) {
+	ps, ok := n.scopeWait[m.Scope]
+	if !ok {
+		panic(fmt.Sprintf("simcluster: node %d got [ACK_P]sc for unknown scope %d", n.ID, m.Scope))
+	}
+	if !ps.got[m.From] {
+		ps.got[m.From] = true
+		ps.cond.Broadcast()
+	}
+}
+
+// followerPersistB handles [PERSIST]sc at a follower: persist every
+// buffered write of the scope, then acknowledge. The buffered entries
+// stay until [VAL_P]sc so their glb_durableTS can be published.
+func (n *Node) followerPersistB(p *sim.Proc, m ddp.Message) {
+	for _, e := range n.scopeBuf[m.Scope] {
+		n.persistInline(p, e.key, e.ts, m.Scope)
+	}
+	ack := ddp.Message{Kind: ddp.KindAckP, From: n.ID, Scope: m.Scope, Size: ddp.ControlSize()}
+	n.sendGroupB(p, ack, []ddp.NodeID{m.From})
+}
+
+// scopeFlushComplete handles [VAL_P]sc: all nodes have persisted the
+// scope, so publish glb_durableTS for its writes and drop the buffer.
+func (n *Node) scopeFlushComplete(sc ddp.ScopeID) {
+	for _, e := range n.scopeBuf[sc] {
+		r := n.Store.GetOrCreate(e.key)
+		r.Meta.AdvanceGlbDurable(e.ts)
+		n.wakeKey(e.key)
+	}
+	delete(n.scopeBuf, sc)
+}

@@ -1,0 +1,177 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/sim"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// Cluster is a simulated MINOS deployment: N nodes, their NICs, and the
+// network between them, plus shared metrics.
+type Cluster struct {
+	K       *sim.Kernel
+	Cfg     Config
+	Nodes   []*Node
+	Metrics *Metrics
+
+	// completed tracks, per key, the newest write whose response was
+	// returned to a client — the floor every later read must observe
+	// (runtime linearizability witness; see Metrics.StaleReads).
+	completed map[ddp.Key]ddp.Timestamp
+
+	// Tracer, when set, receives a line per protocol event — the Fig 7
+	// timelines as text. Set it before Run.
+	Tracer func(at sim.Time, event string)
+}
+
+// New builds a cluster from cfg. seed drives every random choice in the
+// simulation, so identical (cfg, seed) pairs replay identical timelines.
+func New(cfg Config, seed int64) *Cluster {
+	if cfg.Nodes < 2 {
+		panic("simcluster: need at least 2 nodes")
+	}
+	c := &Cluster{
+		K:         sim.NewKernel(seed),
+		Cfg:       cfg,
+		Metrics:   &Metrics{},
+		completed: make(map[ddp.Key]ddp.Timestamp),
+	}
+	c.Nodes = make([]*Node, cfg.Nodes)
+	for i := range c.Nodes {
+		c.Nodes[i] = newNode(c, ddp.NodeID(i))
+	}
+	for _, n := range c.Nodes {
+		n.start()
+	}
+	return c
+}
+
+// deliver routes a message arriving from the network into dest's receive
+// path: straight into the SmartNIC under MINOS-O, or across PCIe into
+// the host receive queue under MINOS-B.
+func (c *Cluster) deliver(dest ddp.NodeID, m ddp.Message) {
+	d := c.Nodes[dest]
+	if d.snic != nil {
+		d.snic.netQ.ForcePut(m)
+		return
+	}
+	d.pcieIn.Send(m.Size, func() { d.recvQ.ForcePut(m) })
+}
+
+// RunOpts configures a workload execution on the cluster.
+type RunOpts struct {
+	// Workload is the YCSB-style request mix.
+	Workload workload.Config
+	// RequestsPerNode is the closed-loop request count each node issues
+	// (split across its workers).
+	RequestsPerNode int
+	// WorkersPerNode is the number of concurrent client threads per node
+	// (defaults to the host core count, the paper's "5 cores busy").
+	WorkersPerNode int
+	// Seed offsets the per-worker workload generators.
+	Seed int64
+}
+
+// Run drives the workload to completion and returns the metrics. It may
+// be called once per cluster.
+func (c *Cluster) Run(o RunOpts) *Metrics {
+	workers := o.WorkersPerNode
+	if workers <= 0 {
+		workers = c.Cfg.HostCores
+	}
+	if o.RequestsPerNode <= 0 {
+		o.RequestsPerNode = 1000
+	}
+	if c.Cfg.Model == ddp.LinScope && o.Workload.PersistEvery == 0 {
+		// The Scope model needs periodic [PERSIST]sc flushes to bound
+		// the un-persisted window; the paper's scopes are small.
+		o.Workload.PersistEvery = 8
+	}
+
+	var lastDone sim.Time
+	workersLeft := 0
+	for _, n := range c.Nodes {
+		n := n
+		per := o.RequestsPerNode / workers
+		for w := 0; w < workers; w++ {
+			w := w
+			count := per
+			if w == workers-1 {
+				count = o.RequestsPerNode - per*(workers-1)
+			}
+			gen := workload.NewGenerator(o.Workload, o.Seed+int64(n.ID)*1009+int64(w)*7919)
+			workersLeft++
+			c.K.Spawn(fmt.Sprintf("n%d/worker%d", n.ID, w), func(p *sim.Proc) {
+				defer func() { workersLeft-- }()
+				scope := newScopeAllocator(n.ID, w)
+				sc := scope.next()
+				opened := false
+				for i := 0; i < count; i++ {
+					op := gen.Next()
+					switch op.Kind {
+					case workload.OpRead:
+						n.ClientRead(p, ddp.Key(op.Key))
+					case workload.OpReadModifyWrite:
+						// YCSB-F: read the key, then write it back.
+						n.ClientRead(p, ddp.Key(op.Key))
+						fallthrough
+					case workload.OpWrite:
+						var tag ddp.ScopeID
+						if n.policy.Scoped {
+							tag = sc
+							opened = true
+						}
+						n.ClientWrite(p, ddp.Key(op.Key), tag)
+					case workload.OpPersist:
+						if n.policy.Scoped && opened {
+							n.ClientPersist(p, sc)
+							sc = scope.next()
+							opened = false
+						}
+					}
+				}
+				if n.policy.Scoped && opened {
+					// Close the final scope so deferred persists flush.
+					n.ClientPersist(p, sc)
+				}
+				if t := p.Now(); t > lastDone {
+					lastDone = t
+				}
+			})
+		}
+	}
+
+	c.K.Run()
+	if workersLeft != 0 {
+		panic(fmt.Sprintf("simcluster: %d workers blocked forever — protocol deadlock", workersLeft))
+	}
+	c.Metrics.Makespan = sim.Duration(lastDone)
+	c.K.Stop()
+	return c.Metrics
+}
+
+// scopeAllocator issues cluster-unique scope IDs for one worker.
+type scopeAllocator struct {
+	base ddp.ScopeID
+	n    ddp.ScopeID
+}
+
+func newScopeAllocator(node ddp.NodeID, worker int) *scopeAllocator {
+	return &scopeAllocator{
+		base: ddp.ScopeID(uint64(node)<<40 | uint64(worker)<<32),
+	}
+}
+
+func (s *scopeAllocator) next() ddp.ScopeID {
+	s.n++
+	return s.base | s.n
+}
+
+// RunDefault builds a cluster from cfg and runs the given workload with
+// defaults — the one-call entry point used by the experiment harness.
+func RunDefault(cfg Config, wl workload.Config, requestsPerNode int, seed int64) *Metrics {
+	c := New(cfg, seed)
+	return c.Run(RunOpts{Workload: wl, RequestsPerNode: requestsPerNode, Seed: seed})
+}

@@ -1,0 +1,322 @@
+package simcluster
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// smallWorkload forces heavy key contention so snatches, obsolete writes,
+// and spins all get exercised.
+func smallWorkload() workload.Config {
+	return workload.Config{Records: 16, WriteRatio: 0.5, Dist: workload.Zipfian}
+}
+
+func runSmall(t *testing.T, cfg Config, wl workload.Config, requests int) (*Cluster, *Metrics) {
+	t.Helper()
+	c := New(cfg, 42)
+	m := c.Run(RunOpts{Workload: wl, RequestsPerNode: requests, Seed: 42})
+	return c, m
+}
+
+// checkConverged verifies the cluster reached a consistent quiescent
+// state: every replica agrees on every record's volatile version, all
+// read locks are free, and glb_volatileTS caught up everywhere.
+func checkConverged(t *testing.T, c *Cluster) {
+	t.Helper()
+	ref := c.Nodes[0]
+	ref.Store.Range(func(r *kv.Record) bool {
+		for _, n := range c.Nodes[1:] {
+			other := n.Store.Get(r.Key)
+			if other == nil {
+				if r.Meta.VolatileTS.Version != 0 {
+					t.Errorf("key %d: node %d never saw a written record", r.Key, n.ID)
+				}
+				continue
+			}
+			if other.Meta.VolatileTS != r.Meta.VolatileTS {
+				t.Errorf("key %d: volatileTS diverged: node0=%v node%d=%v",
+					r.Key, r.Meta.VolatileTS, n.ID, other.Meta.VolatileTS)
+			}
+		}
+		return true
+	})
+	for _, n := range c.Nodes {
+		n.Store.Range(func(r *kv.Record) bool {
+			if r.Meta.RDLocked() {
+				t.Errorf("node %d key %d: RDLock leaked (owner %v)", n.ID, r.Key, r.Meta.RDLockOwner)
+			}
+			if r.Meta.WRLock {
+				t.Errorf("node %d key %d: WRLock leaked", n.ID, r.Key)
+			}
+			if r.Meta.GlbVolatileTS != r.Meta.VolatileTS {
+				t.Errorf("node %d key %d: glb_volatileTS %v lags volatileTS %v at quiescence",
+					n.ID, r.Key, r.Meta.GlbVolatileTS, r.Meta.VolatileTS)
+			}
+			return true
+		})
+	}
+}
+
+// checkDurable verifies that, at quiescence, every node's log holds the
+// newest version of every written record (all models eventually persist
+// everything once scopes are flushed and background persists drain).
+func checkDurable(t *testing.T, c *Cluster) {
+	t.Helper()
+	for _, n := range c.Nodes {
+		n.Store.Range(func(r *kv.Record) bool {
+			if r.Meta.VolatileTS.Version == 0 {
+				return true // never written
+			}
+			if !n.Log.LocallyDurable(r.Key, r.Meta.VolatileTS) {
+				t.Errorf("node %d key %d: newest version %v not durable at quiescence",
+					n.ID, r.Key, r.Meta.VolatileTS)
+			}
+			return true
+		})
+	}
+}
+
+func TestAllModelsBaselineConverge(t *testing.T) {
+	for _, model := range ddp.Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = model
+			c, m := runSmall(t, cfg, smallWorkload(), 200)
+			if m.Writes() == 0 || m.Reads() == 0 {
+				t.Fatalf("no completed ops: writes=%d reads=%d", m.Writes(), m.Reads())
+			}
+			// Scope-model streams interleave [PERSIST]sc transactions
+			// into the request budget.
+			total := m.Writes() + m.Reads() + m.PersistLat.N()
+			if total < cfg.Nodes*200 || m.Writes()+m.Reads() > cfg.Nodes*200 {
+				t.Fatalf("completed %d ops (%d persists), want >= %d", total, m.PersistLat.N(), cfg.Nodes*200)
+			}
+			checkConverged(t, c)
+			checkDurable(t, c)
+		})
+	}
+}
+
+func TestAllModelsOffloadConverge(t *testing.T) {
+	for _, model := range ddp.Models {
+		model := model
+		t.Run(model.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = model
+			cfg.Opts = MinosO
+			c, m := runSmall(t, cfg, smallWorkload(), 200)
+			total := m.Writes() + m.Reads() + m.PersistLat.N()
+			if total < cfg.Nodes*200 || m.Writes()+m.Reads() > cfg.Nodes*200 {
+				t.Fatalf("completed %d ops (%d persists), want >= %d", total, m.PersistLat.N(), cfg.Nodes*200)
+			}
+			checkConverged(t, c)
+			checkDurable(t, c)
+		})
+	}
+}
+
+func TestFig12ConfigurationsRun(t *testing.T) {
+	variants := []Opts{
+		MinosB,
+		{Broadcast: true},
+		{Batch: true},
+		{Offload: true},
+		{Offload: true, Broadcast: true},
+		{Offload: true, Batch: true},
+		MinosO,
+	}
+	for _, opts := range variants {
+		opts := opts
+		t.Run(opts.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Opts = opts
+			wl := smallWorkload()
+			wl.WriteRatio = 1.0
+			c, m := runSmall(t, cfg, wl, 100)
+			if m.Writes() != cfg.Nodes*100 {
+				t.Fatalf("writes=%d, want %d", m.Writes(), cfg.Nodes*100)
+			}
+			checkConverged(t, c)
+		})
+	}
+}
+
+func TestDeterministicMetrics(t *testing.T) {
+	run := func() (float64, float64, int64) {
+		cfg := DefaultConfig()
+		m := RunDefault(cfg, smallWorkload(), 150, 7)
+		return m.AvgWriteNs(), m.AvgReadNs(), int64(m.Makespan)
+	}
+	w1, r1, mk1 := run()
+	w2, r2, mk2 := run()
+	if w1 != w2 || r1 != r2 || mk1 != mk2 {
+		t.Fatalf("same seed diverged: (%v,%v,%d) vs (%v,%v,%d)", w1, r1, mk1, w2, r2, mk2)
+	}
+}
+
+func TestOffloadBeatsBaseline(t *testing.T) {
+	wl := workload.Config{Records: 1000, WriteRatio: 0.5, Dist: workload.Zipfian}
+	base := RunDefault(DefaultConfig(), wl, 400, 3)
+
+	ocfg := DefaultConfig()
+	ocfg.Opts = MinosO
+	off := RunDefault(ocfg, wl, 400, 3)
+
+	if off.AvgWriteNs() >= base.AvgWriteNs() {
+		t.Errorf("MINOS-O write latency %.0fns not better than MINOS-B %.0fns",
+			off.AvgWriteNs(), base.AvgWriteNs())
+	}
+	speedup := base.AvgWriteNs() / off.AvgWriteNs()
+	if speedup < 1.3 {
+		t.Errorf("write speedup %.2fx, expected >1.3x (paper reports 2-3x)", speedup)
+	}
+	if off.WriteThroughput() <= base.WriteThroughput() {
+		t.Errorf("MINOS-O throughput %.0f <= MINOS-B %.0f",
+			off.WriteThroughput(), base.WriteThroughput())
+	}
+}
+
+func TestCommunicationDominatesBaselineWrites(t *testing.T) {
+	// §IV: communication contributes 51-73% of MINOS-B write latency.
+	wl := workload.Config{Records: 1000, WriteRatio: 0.5, Dist: workload.Zipfian}
+	m := RunDefault(DefaultConfig(), wl, 400, 5)
+	frac := m.CommNs() / (m.CommNs() + m.CompNs())
+	if frac < 0.35 || frac > 0.9 {
+		t.Errorf("communication fraction %.2f far outside the paper's 0.51-0.73 band", frac)
+	}
+}
+
+func TestPersistencyModelOrderingBaseline(t *testing.T) {
+	// Under MINOS-B, conservative persistency must cost more than
+	// relaxed: Synch >= Event (Fig 4).
+	wl := workload.Config{Records: 1000, WriteRatio: 0.5, Dist: workload.Zipfian}
+	lat := map[ddp.Model]float64{}
+	for _, model := range []ddp.Model{ddp.LinSynch, ddp.LinEvent} {
+		cfg := DefaultConfig()
+		cfg.Model = model
+		lat[model] = RunDefault(cfg, wl, 400, 9).AvgWriteNs()
+	}
+	if lat[ddp.LinSynch] <= lat[ddp.LinEvent] {
+		t.Errorf("Synch (%.0fns) should be slower than Event (%.0fns) under MINOS-B",
+			lat[ddp.LinSynch], lat[ddp.LinEvent])
+	}
+}
+
+func TestObsoleteWritesUnderContention(t *testing.T) {
+	// A 4-record database with 100% writes must produce write conflicts
+	// that exercise the snatch/obsolete machinery.
+	cfg := DefaultConfig()
+	wl := workload.Config{Records: 4, WriteRatio: 1.0, Dist: workload.Uniform}
+	c, m := runSmall(t, cfg, wl, 300)
+	if m.ObsoleteWrites == 0 {
+		t.Error("expected obsolete writes under extreme contention")
+	}
+	checkConverged(t, c)
+}
+
+func TestScopePersistFlushesEverything(t *testing.T) {
+	for _, opts := range []Opts{MinosB, MinosO} {
+		opts := opts
+		t.Run(opts.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Model = ddp.LinScope
+			cfg.Opts = opts
+			wl := smallWorkload()
+			wl.PersistEvery = 4
+			c, m := runSmall(t, cfg, wl, 200)
+			if m.PersistLat.N() == 0 {
+				t.Fatal("no [PERSIST]sc transactions ran")
+			}
+			checkConverged(t, c)
+			checkDurable(t, c)
+			// All scope buffers must be flushed.
+			for _, n := range c.Nodes {
+				if len(n.scopeBuf) != 0 {
+					t.Errorf("node %d: %d scopes never flushed", n.ID, len(n.scopeBuf))
+				}
+			}
+		})
+	}
+}
+
+func TestNodeCountScaling(t *testing.T) {
+	wl := workload.Config{Records: 1000, WriteRatio: 0.5, Dist: workload.Zipfian}
+	var prev float64
+	for _, nodes := range []int{2, 4, 8} {
+		cfg := DefaultConfig()
+		cfg.Nodes = nodes
+		m := RunDefault(cfg, wl, 200, 11)
+		if m.AvgWriteNs() <= 0 {
+			t.Fatalf("%d nodes: no write latency", nodes)
+		}
+		if prev > 0 && m.AvgWriteNs() < prev {
+			t.Errorf("%d nodes: write latency %.0f decreased vs smaller cluster %.0f (B should degrade)",
+				nodes, m.AvgWriteNs(), prev)
+		}
+		prev = m.AvgWriteNs()
+	}
+}
+
+func TestFIFOSizeSensitivity(t *testing.T) {
+	// Fig 13: a 1-entry FIFO must be slower than an unlimited one.
+	wl := workload.Config{Records: 64, WriteRatio: 0.5, Dist: workload.Zipfian}
+	run := func(size int) float64 {
+		cfg := DefaultConfig()
+		cfg.Opts = MinosO
+		cfg.VFIFOSize = size
+		cfg.DFIFOSize = size
+		return RunDefault(cfg, wl, 300, 13).AvgWriteNs()
+	}
+	one := run(1)
+	unlimited := run(0)
+	if one < unlimited {
+		t.Errorf("1-entry FIFO (%.0fns) should not beat unlimited (%.0fns)", one, unlimited)
+	}
+}
+
+func TestReadStallsHappen(t *testing.T) {
+	cfg := DefaultConfig()
+	wl := workload.Config{Records: 2, WriteRatio: 0.5, Dist: workload.Uniform}
+	_, m := runSmall(t, cfg, wl, 300)
+	if m.ReadStalls == 0 {
+		t.Error("expected read stalls with 2 hot records")
+	}
+}
+
+func TestTableIIIConfigDefaults(t *testing.T) {
+	cfg := DefaultConfig()
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"nodes", int64(cfg.Nodes), 5},
+		{"host cores", int64(cfg.HostCores), 5},
+		{"snic cores", int64(cfg.SNICCores), 8},
+		{"host sync", cfg.HostSyncNs, 42},
+		{"snic sync", cfg.SNICSyncNs, 105},
+		{"pcie latency", cfg.PCIeLatNs, 500},
+		{"net latency", cfg.NetLatNs, 150},
+		{"send inv", cfg.SendInvNs, 200},
+		{"send ack", cfg.SendAckNs, 100},
+		{"msg gap", cfg.MsgGapNs, 100},
+		{"vfifo ns/KB", cfg.VFIFONsPerKB, 465},
+		{"dfifo ns/KB", cfg.DFIFONsPerKB, 1295},
+		{"vfifo size", int64(cfg.VFIFOSize), 5},
+		{"dfifo size", int64(cfg.DFIFOSize), 5},
+		{"nvm ns/KB", cfg.NVM.NsPerKB, 1295},
+		{"value size", int64(cfg.ValueSize), 1024},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d (Table II/III)", c.name, c.got, c.want)
+		}
+	}
+	if cfg.PCIeGBps != 6.25 || cfg.NetGBps != 7 {
+		t.Errorf("bandwidths %.2f/%.2f, want 6.25/7 GB/s", cfg.PCIeGBps, cfg.NetGBps)
+	}
+}

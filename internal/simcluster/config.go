@@ -1,0 +1,196 @@
+// Package simcluster simulates the paper's distributed machines: hosts
+// with a fixed core count, classic NICs reached over PCIe, network links
+// between NICs, and emulated NVM — running the MINOS-B algorithms
+// (Fig 2/3) — plus the MINOS-O SmartNIC architecture (Fig 5–8) with its
+// four optimizations as independent toggles (offload+coherence+WRLock
+// elimination, message batching, message broadcasting).
+//
+// The simulation parameters default to Tables II and III of the paper.
+// All protocol semantics (timestamps, lock snatching, obsoleteness,
+// per-model policies) come from internal/ddp.
+package simcluster
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/nvm"
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+// Opts selects which MINOS-O mechanisms are active, reproducing the
+// seven configurations of Fig 12. The zero value is plain MINOS-B.
+type Opts struct {
+	// Offload moves protocol execution to the SmartNIC and implies the
+	// paper's "Combined" group: selective host–SmartNIC coherence and
+	// write-lock elimination via the vFIFO/dFIFO queues. The paper
+	// applies these three together because separately they are
+	// sub-optimal (§VIII-D).
+	Offload bool
+	// Batch sends one batched INV across PCIe (and one batched ACK back)
+	// instead of one message per follower.
+	Batch bool
+	// Broadcast deposits an outgoing INV/VAL once in the NIC send buffer
+	// and lets a hardware FSM fan it out, eliminating the per-message
+	// deposit cost and inter-message gap.
+	Broadcast bool
+}
+
+// MinosB is the baseline configuration.
+var MinosB = Opts{}
+
+// MinosO is the full MINOS-Offload configuration.
+var MinosO = Opts{Offload: true, Batch: true, Broadcast: true}
+
+func (o Opts) String() string {
+	switch o {
+	case MinosB:
+		return "MINOS-B"
+	case MinosO:
+		return "MINOS-O"
+	default:
+		s := "MINOS-B"
+		if o.Offload {
+			s += "+Combined"
+		}
+		if o.Broadcast {
+			s += "+broadcast"
+		}
+		if o.Batch {
+			s += "+batching"
+		}
+		return s
+	}
+}
+
+// Config holds the simulated machine parameters (Tables II and III).
+// All latencies are in nanoseconds of simulated time.
+type Config struct {
+	// Nodes is the cluster size (paper default 5; Fig 10 sweeps 2–10,
+	// Fig 11 uses 16).
+	Nodes int
+
+	// HostCores is the number of busy cores per host (5).
+	HostCores int
+	// SNICCores is the number of SmartNIC cores (8).
+	SNICCores int
+
+	// HostSyncNs is the host synchronization (compare-and-swap) latency.
+	HostSyncNs int64
+	// SNICSyncNs is the SmartNIC synchronization latency.
+	SNICSyncNs int64
+
+	// PCIeLatNs and PCIeGBps describe the host–NIC PCIe link.
+	PCIeLatNs int64
+	PCIeGBps  float64
+	// NetLatNs and NetGBps describe the NIC–NIC network link.
+	NetLatNs int64
+	NetGBps  float64
+
+	// SendInvNs and SendAckNs are the NIC costs to emit one INV or one
+	// ACK (Table III); VALs cost SendAckNs (control-sized).
+	SendInvNs int64
+	SendAckNs int64
+	// MsgGapNs is the time between consecutive messages when the same
+	// message goes to several followers without broadcast support.
+	MsgGapNs int64
+	// UnpackNs is the per-destination cost for a NIC to unpack a batched
+	// message when no broadcast FSM can consume it directly (§VIII-D:
+	// batching without broadcast slows execution).
+	UnpackNs int64
+
+	// VFIFONsPerKB and DFIFONsPerKB are the MINOS-O FIFO write
+	// latencies for a 1 KB record (465 and 1295).
+	VFIFONsPerKB int64
+	DFIFONsPerKB int64
+	// VFIFOSize and DFIFOSize are the FIFO capacities in entries
+	// (5 and 5); 0 means unlimited (the Fig 13 normalization baseline).
+	VFIFOSize int
+	DFIFOSize int
+	// VDrainEngines is the number of parallel vFIFO drain engines
+	// ("dequeueing can be done in parallel for updates to different
+	// records", §V-B.4). Ablation knob; default 2.
+	VDrainEngines int
+
+	// NVM is the host persist-latency model (1295 ns/KB).
+	NVM nvm.LatencyModel
+
+	// LLCWriteNs and LLCReadNs are the costs to write/read a record in
+	// the host LLC (calibrated, not in Table III).
+	LLCWriteNs int64
+	LLCReadNs  int64
+
+	// RxProcNs is the host cost to receive and demarshal one message
+	// (eRPC receive path); SNICRxNs is the SmartNIC's hardware-assisted
+	// equivalent. LookupNs is one MINOS-KV hashtable access. These are
+	// calibrated against the paper's Fig 4 communication/computation
+	// split, not given in Table III.
+	RxProcNs int64
+	SNICRxNs int64
+	LookupNs int64
+
+	// ValueSize is the record payload in bytes (1 KB, the YCSB default).
+	ValueSize int
+
+	// ExtraNetRTTNs adds a fixed one-way latency to every NIC–NIC
+	// message, used by the Fig 11 microservice study, which assumes a
+	// 500 µs node-to-node round trip.
+	ExtraNetRTTNs int64
+
+	// Opts selects the MINOS-O mechanisms.
+	Opts Opts
+
+	// Model is the <consistency, persistency> model to run.
+	Model ddp.Model
+}
+
+// DefaultConfig returns the Table II/III parameters with the default
+// 5-node cluster under <Lin, Synch>, as plain MINOS-B.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:         5,
+		HostCores:     5,
+		SNICCores:     8,
+		HostSyncNs:    42,
+		SNICSyncNs:    105,
+		PCIeLatNs:     500,
+		PCIeGBps:      6.25,
+		NetLatNs:      150,
+		NetGBps:       7,
+		SendInvNs:     200,
+		SendAckNs:     100,
+		MsgGapNs:      100,
+		UnpackNs:      300,
+		VFIFONsPerKB:  465,
+		DFIFONsPerKB:  1295,
+		VFIFOSize:     5,
+		DFIFOSize:     5,
+		VDrainEngines: 2,
+		NVM:           nvm.DefaultLatency,
+		LLCWriteNs:    180,
+		LLCReadNs:     100,
+		RxProcNs:      500,
+		SNICRxNs:      150,
+		LookupNs:      150,
+		ValueSize:     1024,
+		Model:         ddp.LinSynch,
+	}
+}
+
+// scaled returns d scaled from a per-KB cost to the configured value
+// size, with a floor of one byte.
+func scaledPerKB(nsPerKB int64, size int) sim.Duration {
+	if size <= 0 {
+		size = 1
+	}
+	return sim.Duration((nsPerKB*int64(size) + 1023) / 1024)
+}
+
+// vfifoWrite returns the latency to write one record into the vFIFO.
+func (c Config) vfifoWrite() sim.Duration { return scaledPerKB(c.VFIFONsPerKB, c.ValueSize) }
+
+// dfifoWrite returns the latency to write one record into the dFIFO.
+func (c Config) dfifoWrite() sim.Duration { return scaledPerKB(c.DFIFONsPerKB, c.ValueSize) }
+
+// persistCost returns the host NVM persist latency for one record.
+func (c Config) persistCost() sim.Duration {
+	return sim.Duration(c.NVM.PersistNs(c.ValueSize))
+}

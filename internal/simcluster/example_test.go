@@ -1,0 +1,26 @@
+package simcluster_test
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/simcluster"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// Example compares MINOS-B and MINOS-O on one deterministic workload.
+func Example() {
+	wl := workload.Config{Records: 1000, WriteRatio: 1.0, Dist: workload.Uniform}
+
+	base := simcluster.DefaultConfig() // Table II/III parameters, MINOS-B
+	b := simcluster.RunDefault(base, wl, 400, 7)
+
+	off := simcluster.DefaultConfig()
+	off.Opts = simcluster.MinosO
+	o := simcluster.RunDefault(off, wl, 400, 7)
+
+	fmt.Printf("MINOS-O write speedup over MINOS-B: %.1fx\n", b.AvgWriteNs()/o.AvgWriteNs())
+	fmt.Println("stale reads:", b.StaleReads+o.StaleReads)
+	// Output:
+	// MINOS-O write speedup over MINOS-B: 1.8x
+	// stale reads: 0
+}

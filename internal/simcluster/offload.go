@@ -1,0 +1,612 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/sim"
+)
+
+// This file implements the MINOS-O SmartNIC architecture (Fig 5) and the
+// offloaded algorithms (Fig 7/8): protocol execution on SmartNIC cores,
+// selective host–SmartNIC coherence for the four metadata fields (modeled
+// as cheap shared access — both sides read and write record metadata
+// directly, paying only their local synchronization cost), write-lock
+// elimination via the vFIFO/dFIFO queues, message batching across PCIe,
+// and hardware message broadcast at the network port.
+
+// fifoEntry is one update queued in the vFIFO or dFIFO.
+type fifoEntry struct {
+	key  ddp.Key
+	ts   ddp.Timestamp
+	sc   ddp.ScopeID
+	size int
+	// drained is set when the vFIFO hardware has applied (or skipped)
+	// the update in the host LLC. RDLock release waits on it.
+	drained bool
+}
+
+// snic models one MINOS-O SmartNIC.
+type snic struct {
+	n     *Node
+	cores *sim.Pool
+
+	// netQ receives messages from the network (no PCIe crossing — this
+	// is the key follower-side saving).
+	netQ *sim.Queue[ddp.Message]
+	// hostQ receives commands from the local host over PCIe.
+	hostQ *sim.Queue[ddp.Message]
+
+	// vfifo serializes updates to local volatile memory, replacing the
+	// WRLock; dfifo persists updates locally in SmartNIC NVM before
+	// pushing them to the host log in the background.
+	vfifo *sim.Queue[*fifoEntry]
+	dfifo *sim.Queue[*fifoEntry]
+
+	// inFlight maps a write (key, TS) to its undrained vFIFO entry so
+	// VAL handlers can wait for the drain.
+	inFlight map[txnKey]*fifoEntry
+}
+
+func newSNIC(n *Node) *snic {
+	k := n.c.K
+	cfg := n.cfg
+	return &snic{
+		n:        n,
+		cores:    sim.NewPool(k, cfg.SNICCores),
+		netQ:     sim.NewQueue[ddp.Message](k, 0),
+		hostQ:    sim.NewQueue[ddp.Message](k, 0),
+		vfifo:    sim.NewQueue[*fifoEntry](k, cfg.VFIFOSize),
+		dfifo:    sim.NewQueue[*fifoEntry](k, cfg.DFIFOSize),
+		inFlight: make(map[txnKey]*fifoEntry),
+	}
+}
+
+// start spawns the SmartNIC's dispatchers and FIFO drain engines.
+func (s *snic) start() {
+	k := s.n.c.K
+	id := s.n.ID
+	dispatch := func(name string, q *sim.Queue[ddp.Message], handle func(*sim.Proc, ddp.Message)) {
+		k.Spawn(fmt.Sprintf("n%d/snic/%s", id, name), func(p *sim.Proc) {
+			for {
+				m, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				msg := m
+				msg.ArriveNs = int64(k.Now())
+				k.Spawn(fmt.Sprintf("n%d/snic/h/%s", id, msg.Kind), func(h *sim.Proc) {
+					handle(h, msg)
+				})
+			}
+		})
+	}
+	dispatch("net", s.netQ, s.handleNetMessage)
+	dispatch("host", s.hostQ, s.handleHostCommand)
+
+	// vFIFO drain engines: dequeue in parallel for different records,
+	// skip obsolete updates, DMA the rest into the host LLC.
+	engines := s.n.cfg.VDrainEngines
+	if engines <= 0 {
+		engines = 2
+	}
+	for i := 0; i < engines; i++ {
+		k.Spawn(fmt.Sprintf("n%d/snic/vdrain%d", id, i), func(p *sim.Proc) {
+			s.vfifoDrain(p)
+		})
+	}
+	// dFIFO drain engine: push already-durable entries to the host NVM
+	// log in the background.
+	k.Spawn(fmt.Sprintf("n%d/snic/ddrain", id), func(p *sim.Proc) {
+		s.dfifoDrain(p)
+	})
+}
+
+// snicCompute charges d nanoseconds on a SmartNIC core.
+func (s *snic) snicCompute(p *sim.Proc, ns int64) {
+	s.cores.Use(p, sim.Duration(ns))
+}
+
+// multicast fans m out to dests from the SmartNIC's network port.
+func (s *snic) multicast(m ddp.Message, dests []ddp.NodeID) {
+	cfg := s.n.cfg
+	sendCost := cfg.SendAckNs
+	if m.Kind == ddp.KindInv {
+		sendCost = cfg.SendInvNs
+	}
+	for i, d := range dests {
+		var occupy sim.Duration
+		if !cfg.Opts.Broadcast && i > 0 {
+			// Without the broadcast FSM, consecutive copies pace at the
+			// inter-message gap.
+			occupy = sim.Duration(cfg.MsgGapNs)
+		}
+		dd := d
+		s.n.egress.Transfer(m.Size, occupy, sim.Duration(sendCost),
+			func() { s.n.c.deliver(dd, m) })
+	}
+}
+
+// sendAck sends one acknowledgment from the SmartNIC back to the
+// coordinator — directly from the NIC, with no PCIe crossing.
+func (s *snic) sendAck(m ddp.Message, kind ddp.MsgKind) {
+	s.n.trace("SNIC: send %v key %d %v -> n%d", kind, m.Key, m.TS, m.From)
+	ack := ddp.Message{
+		Kind: kind, From: s.n.ID, Key: m.Key, TS: m.TS, Scope: m.Scope,
+		Size: ddp.ControlSize(),
+	}
+	s.multicast(ack, []ddp.NodeID{m.From})
+}
+
+// enqueueVFIFO writes one update into the vFIFO (replacing the WRLock):
+// the write itself costs the vFIFO latency; a full FIFO back-pressures
+// the caller (the Fig 13 sensitivity).
+func (s *snic) enqueueVFIFO(p *sim.Proc, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) *fifoEntry {
+	e := &fifoEntry{key: key, ts: ts, sc: sc, size: ddp.DataSize(s.n.cfg.ValueSize)}
+	s.snicCompute(p, int64(s.n.cfg.vfifoWrite()))
+	s.inFlight[txnKey{key, ts}] = e
+	s.vfifo.Put(p, e)
+	s.n.trace("SNIC: vFIFO enqueued key %d %v", key, ts)
+	return e
+}
+
+// enqueueDFIFO writes one update into the durable FIFO. Completing the
+// write to the SmartNIC's NVM *is* the local durability point: the log
+// append happens here, and the background drain merely ships the entry
+// to the host NVM log.
+func (s *snic) enqueueDFIFO(p *sim.Proc, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
+	e := &fifoEntry{key: key, ts: ts, sc: sc, size: ddp.DataSize(s.n.cfg.ValueSize)}
+	s.snicCompute(p, int64(s.n.cfg.dfifoWrite()))
+	s.n.Log.Append(key, ts, nil, sc)
+	s.n.c.Metrics.PersistCount++
+	s.n.wakeKey(key)
+	s.dfifo.Put(p, e)
+	s.n.trace("SNIC: dFIFO enqueued key %d %v (durable)", key, ts)
+}
+
+// vfifoDrain is the vFIFO hardware: dequeue, re-check obsoleteness, and
+// DMA surviving updates into the host LLC. The DMA engine is pipelined:
+// the drain paces at PCIe serialization bandwidth and the update lands
+// (and frees waiters) when the transfer is delivered. Blocking a full
+// PCIe round trip per entry would cap the drain far below the arrival
+// rate and make the FIFOs a false bottleneck.
+func (s *snic) vfifoDrain(p *sim.Proc) {
+	n := s.n
+	for {
+		e, ok := s.vfifo.Get(p)
+		if !ok {
+			return
+		}
+		// The drain is dedicated hardware (§V-B.4 "the hardware
+		// dequeues an entry... checks for obsoleteness"): it does not
+		// consume SmartNIC cores; its throughput is paced by the DMA
+		// serialization below.
+		r := n.Store.GetOrCreate(e.key)
+		if r.Meta.Obsolete(e.ts) {
+			// Skip the DMA entirely: a newer version is already applied
+			// (this is how eliminating the WRLock stays correct).
+			s.finishDrain(e)
+			continue
+		}
+		ee := e
+		// Fire the DMA and pace at the engine's own transfer rate. The
+		// engine must not wait serially behind the shared PCIe backlog
+		// (that feedback loop would collapse drain throughput below the
+		// arrival rate and make every finite FIFO look equally slow).
+		n.pcieIn.Send(e.size, func() {
+			rr := n.Store.GetOrCreate(ee.key)
+			if !rr.Meta.Obsolete(ee.ts) { // re-check at delivery
+				rr.Meta.ApplyVolatile(ee.ts)
+			}
+			s.finishDrain(ee)
+		})
+		p.Sleep(n.pcieIn.TxTime(e.size))
+	}
+}
+
+// finishDrain marks a vFIFO entry applied-or-skipped and wakes waiters.
+func (s *snic) finishDrain(e *fifoEntry) {
+	e.drained = true
+	delete(s.inFlight, txnKey{e.key, e.ts})
+	s.n.wakeKey(e.key)
+}
+
+// dfifoDrain ships durable entries to the host NVM log in the
+// background, paced at PCIe bandwidth. Nothing in the protocol waits for
+// this — the update is already durable in SmartNIC NVM.
+func (s *snic) dfifoDrain(p *sim.Proc) {
+	n := s.n
+	for {
+		e, ok := s.dfifo.Get(p)
+		if !ok {
+			return
+		}
+		n.pcieIn.Send(e.size, func() {})
+		p.Sleep(n.pcieIn.TxTime(e.size))
+	}
+}
+
+// waitDrained blocks until the write's vFIFO entry has been applied (or
+// skipped) in the host LLC.
+func (s *snic) waitDrained(p *sim.Proc, e *fifoEntry) {
+	for !e.drained {
+		s.n.cond(e.key).Wait(p)
+	}
+}
+
+// notifyHost tells the host (over PCIe) that a write's return condition
+// is met — the "batched ACK" of Fig 8. Without batching, the host has
+// already seen the individual ACKs stream past; this is the final one.
+func (s *snic) notifyHost(ws *writeState) {
+	s.n.trace("SNIC: batched ACK -> host (key %d %v)", ws.txn.Key, ws.txn.TS)
+	s.n.pcieIn.Send(ddp.ControlSize(), func() {
+		ws.hostNotified = true
+		ws.cond.Broadcast()
+	})
+}
+
+// clientWriteO is the host half of the MINOS-O Coordinator (Fig 8 left,
+// L4-14): check obsoleteness and snatch the RDLock through the coherent
+// metadata, hand the batched INV to the SmartNIC, and spin for its
+// completion notification.
+func (n *Node) clientWriteO(p *sim.Proc, key ddp.Key, sc ddp.ScopeID) {
+	start := p.Now()
+	cfg := n.cfg
+	r := n.Store.GetOrCreate(key)
+
+	n.compute(p, cfg.LookupNs+2*cfg.HostSyncNs) // lookup + TS + Obsolete check
+	ts := n.generateTS(key, r)
+	if r.Meta.Obsolete(ts) {
+		n.c.Metrics.ObsoleteWrites++
+		n.coordObsolete(p, r, ts)
+		n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+		return
+	}
+	n.compute(p, cfg.HostSyncNs) // Snatch RDLock (coherent CAS)
+	r.Meta.SnatchRDLock(ts)
+	n.compute(p, cfg.HostSyncNs) // re-check (Fig 8 L9)
+	if r.Meta.Obsolete(ts) {
+		n.c.Metrics.ObsoleteWrites++
+		n.coordObsolete(p, r, ts)
+		n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+		return
+	}
+
+	ws := n.newWriteState(key, ts, sc)
+	ws.firstInvAt = p.Now()
+	dests := n.followers()
+	if cfg.Opts.Batch {
+		inv := ddp.Message{
+			Kind: ddp.KindInv, From: n.ID, Key: key, TS: ts, Scope: sc,
+			Size: ddp.DataSize(cfg.ValueSize), Batched: true, Dests: dests,
+		}
+		n.compute(p, cfg.HostSyncNs) // one deposit
+		n.pcieOut.Send(inv.Size+8*len(dests), func() { n.snic.hostQ.ForcePut(inv) })
+	} else {
+		// Combined-without-batching: one PCIe message per follower.
+		for i, d := range dests {
+			inv := ddp.Message{
+				Kind: ddp.KindInv, From: n.ID, Key: key, TS: ts, Scope: sc,
+				Size: ddp.DataSize(cfg.ValueSize), Dests: []ddp.NodeID{d},
+			}
+			n.compute(p, cfg.HostSyncNs)
+			first := i == 0
+			n.pcieOut.Send(inv.Size, func() { n.snic.deliverHostInv(inv, first) })
+		}
+	}
+
+	// Spin for the SmartNIC's completion notification.
+	for !ws.hostNotified {
+		ws.cond.Wait(p)
+	}
+	if cfg.Opts.Batch {
+		n.compute(p, cfg.HostSyncNs) // examine the single batched ACK
+	} else {
+		// The host examined one passed-up ACK per follower.
+		n.compute(p, int64(len(dests))*cfg.HostSyncNs)
+	}
+	n.noteWriteCompleted(key, ts)
+	n.c.Metrics.WriteLat.Add(float64(p.Now() - start))
+}
+
+// deliverHostInv coalesces unbatched per-follower INVs from the host:
+// the first starts the SmartNIC coordination; the rest only add the
+// destinations (the SmartNIC still emits one INV per follower).
+func (s *snic) deliverHostInv(m ddp.Message, first bool) {
+	if first {
+		s.hostQ.ForcePut(m)
+		return
+	}
+	// Subsequent PCIe messages for the same write: network send only.
+	s.multicast(m, m.Dests)
+}
+
+// handleHostCommand processes commands arriving from the host.
+func (s *snic) handleHostCommand(p *sim.Proc, m ddp.Message) {
+	switch m.Kind {
+	case ddp.KindInv:
+		s.coordinate(p, m)
+	case ddp.KindPersist:
+		s.coordinatePersist(p, m)
+	default:
+		panic(fmt.Sprintf("simcluster: snic %d got host command %v", s.n.ID, m))
+	}
+}
+
+// coordinate is the SmartNIC half of the MINOS-O Coordinator (Fig 8
+// L15-24 plus the Fig 7 per-model variations).
+func (s *snic) coordinate(p *sim.Proc, m ddp.Message) {
+	n := s.n
+	cfg := n.cfg
+	ws, ok := n.pending[txnKey{m.Key, m.TS}]
+	if !ok {
+		panic(fmt.Sprintf("simcluster: snic %d coordinating unknown write %v on key %d", n.ID, m.TS, m.Key))
+	}
+	// m.Dests carries only the destinations delivered with this PCIe
+	// message (all of them when batched, the first otherwise — the rest
+	// were forwarded by deliverHostInv). Protocol validations always go
+	// to every follower.
+	r := n.Store.GetOrCreate(m.Key)
+	valDests := n.followers()
+
+	s.snicCompute(p, cfg.SNICSyncNs) // process the (batched) INV
+	inv := m
+	inv.Batched = false
+	inv.Dests = nil
+	if m.Batched && !cfg.Opts.Broadcast {
+		// No broadcast FSM: the SmartNIC cores unpack the batch per
+		// destination before it can be sent (§VIII-D — this is why
+		// Combined+batching is slower than Combined alone).
+		s.snicCompute(p, int64(len(m.Dests))*cfg.UnpackNs)
+	}
+	n.trace("SNIC: broadcast INV key %d %v", m.Key, m.TS)
+	s.multicast(inv, m.Dests) // broadcast INV (Fig 8 L16)
+
+	// Enqueue the local update (Fig 8 L17).
+	e := s.enqueueVFIFO(p, m.Key, m.TS, m.Scope)
+	switch n.policy.CoordPersist {
+	case ddp.CoordPersistInline:
+		s.enqueueDFIFO(p, m.Key, m.TS, m.Scope)
+	case ddp.CoordPersistBackground:
+		n.c.K.Spawn(fmt.Sprintf("n%d/snic/bgd", n.ID), func(bp *sim.Proc) {
+			s.enqueueDFIFO(bp, m.Key, m.TS, m.Scope)
+		})
+	case ddp.CoordPersistOnScopeFlush:
+		n.bufferScopeEntry(m.Scope, m.Key, m.TS)
+	}
+
+	// Spin for consistency acknowledgments.
+	for !ws.txn.ConsistencyComplete() {
+		ws.cond.Wait(p)
+	}
+	r.Meta.AdvanceGlbVolatile(m.TS)
+	n.wakeKey(m.Key)
+	if n.policy.Return == ddp.ReturnWhenConsistent {
+		ws.spanEnd = p.Now()
+		s.notifyHost(ws)
+	}
+
+	if n.policy.SendsValAtConsistency() {
+		if n.policy.Release == ddp.ReleaseWhenConsistent {
+			s.waitDrained(p, e) // Fig 8 L21: drain gates the unlock
+			r.Meta.ReleaseRDLockIfOwner(m.TS)
+			n.wakeKey(m.Key)
+		}
+		s.multicast(n.valMessage(ddp.KindValC, m.Key, m.TS, m.Scope), valDests)
+	}
+
+	if !n.policy.TracksPersistency {
+		delete(n.pending, txnKey{m.Key, m.TS})
+		return
+	}
+
+	for !ws.txn.PersistencyComplete() {
+		ws.cond.Wait(p)
+	}
+	if n.policy.Return == ddp.ReturnWhenDurable {
+		ws.spanEnd = p.Now()
+		s.notifyHost(ws)
+	}
+	n.waitLocallyDurable(p, m.Key, m.TS)
+	r.Meta.AdvanceGlbDurable(m.TS)
+	n.wakeKey(m.Key)
+
+	if n.policy.Release == ddp.ReleaseWhenDurable || !n.policy.SendsValAtConsistency() {
+		s.waitDrained(p, e)
+		r.Meta.ReleaseRDLockIfOwner(m.TS)
+		n.wakeKey(m.Key)
+	}
+	if kind, ok := n.policy.DurableValKind(); ok {
+		s.multicast(n.valMessage(kind, m.Key, m.TS, m.Scope), valDests)
+	}
+	delete(n.pending, txnKey{m.Key, m.TS})
+}
+
+// handleNetMessage dispatches one message from the network on the
+// SmartNIC.
+func (s *snic) handleNetMessage(p *sim.Proc, m ddp.Message) {
+	n := s.n
+	s.snicCompute(p, n.cfg.SNICRxNs) // hardware-assisted receive path
+	switch m.Kind {
+	case ddp.KindInv:
+		s.followerInv(p, m)
+	case ddp.KindAck, ddp.KindAckC, ddp.KindAckP:
+		s.snicCompute(p, n.cfg.SNICSyncNs)
+		if m.Kind == ddp.KindAckP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.scopePersistAck(m)
+			return
+		}
+		n.recordAck(m)
+		if !n.cfg.Opts.Batch {
+			// Pass each ACK up to the host individually.
+			n.pcieIn.Send(ddp.ControlSize(), func() {})
+		}
+	case ddp.KindVal, ddp.KindValC, ddp.KindValP:
+		s.snicCompute(p, n.cfg.SNICSyncNs)
+		if m.Kind == ddp.KindValP && m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+			n.scopeFlushComplete(m.Scope)
+			return
+		}
+		s.followerVal(p, m)
+	case ddp.KindPersist:
+		s.followerPersist(p, m)
+	default:
+		panic(fmt.Sprintf("simcluster: snic %d cannot handle %v", n.ID, m))
+	}
+}
+
+// followerInv is the MINOS-O Follower (Fig 8 right, L28-38): everything
+// runs on the SmartNIC; the host is not invoked.
+func (s *snic) followerInv(p *sim.Proc, m ddp.Message) {
+	start := sim.Time(m.ArriveNs) // handle time includes queueing (§IV)
+	n := s.n
+	cfg := n.cfg
+	r := n.Store.GetOrCreate(m.Key)
+
+	s.snicCompute(p, cfg.SNICSyncNs) // Obsolete check (L29)
+	if r.Meta.Obsolete(m.TS) {
+		s.followerObsoleteAcks(p, r, m, start)
+		return
+	}
+	s.snicCompute(p, cfg.SNICSyncNs) // Snatch RDLock (L33)
+	r.Meta.SnatchRDLock(m.TS)
+	if r.Meta.Obsolete(m.TS) { // L34/37
+		s.followerObsoleteAcks(p, r, m, start)
+		return
+	}
+
+	s.enqueueVFIFO(p, m.Key, m.TS, m.Scope) // L35: no WRLock needed
+	switch n.policy.FollowerPersist {
+	case ddp.PersistBeforeAck: // Synch: both FIFOs gate the combined ACK
+		s.enqueueDFIFO(p, m.Key, m.TS, m.Scope)
+		s.sendAck(m, ddp.KindAck)
+		n.recordHandle(start)
+	case ddp.PersistAfterAckC: // Strict, REnf
+		s.sendAck(m, ddp.KindAckC)
+		if n.policy.Return == ddp.ReturnWhenConsistent {
+			n.recordHandle(start)
+		}
+		s.enqueueDFIFO(p, m.Key, m.TS, m.Scope)
+		s.sendAck(m, ddp.KindAckP)
+		if n.policy.Return == ddp.ReturnWhenDurable {
+			n.recordHandle(start)
+		}
+	case ddp.PersistBackground: // Event: only the vFIFO is critical
+		s.sendAck(m, ddp.KindAckC)
+		n.recordHandle(start)
+		n.c.K.Spawn(fmt.Sprintf("n%d/snic/bgd", n.ID), func(bp *sim.Proc) {
+			s.enqueueDFIFO(bp, m.Key, m.TS, m.Scope)
+		})
+	case ddp.PersistOnScopeFlush: // Scope
+		s.sendAck(m, ddp.KindAckC)
+		n.recordHandle(start)
+		n.bufferScopeEntry(m.Scope, m.Key, m.TS)
+	}
+}
+
+// followerObsoleteAcks mirrors the MINOS-B obsolete path on the
+// SmartNIC (Fig 8 L29-32).
+func (s *snic) followerObsoleteAcks(p *sim.Proc, r *kv.Record, m ddp.Message, start sim.Time) {
+	n := s.n
+	obs := r.Meta.VolatileTS
+	n.consistencySpin(p, r, obs)
+	if r.Meta.ReleaseRDLockIfOwner(m.TS) {
+		// Same leak guard as MINOS-B: an obsolete write that won the
+		// lock after the superseding write already finished must release
+		// it itself.
+		n.wakeKey(m.Key)
+	}
+	if !n.policy.SeparateAcks {
+		n.persistencySpin(p, r, obs)
+		s.sendAck(m, ddp.KindAck)
+		n.recordHandle(start)
+		return
+	}
+	s.sendAck(m, ddp.KindAckC)
+	recorded := false
+	if n.policy.Return == ddp.ReturnWhenConsistent || !n.policy.TracksPersistency {
+		n.recordHandle(start)
+		recorded = true
+	}
+	if n.policy.PersistencySpinOnObsolete && n.policy.TracksPersistency {
+		n.persistencySpin(p, r, obs)
+		s.sendAck(m, ddp.KindAckP)
+	}
+	if !recorded {
+		n.recordHandle(start)
+	}
+}
+
+// followerVal applies a VAL at a follower SmartNIC (Fig 8 L39-42): the
+// unlock additionally waits for the write's vFIFO entry to drain.
+func (s *snic) followerVal(p *sim.Proc, m ddp.Message) {
+	if m.Kind == s.n.policy.FollowerReleaseKind {
+		if e, ok := s.inFlight[txnKey{m.Key, m.TS}]; ok {
+			s.waitDrained(p, e)
+		}
+	}
+	s.n.followerVal(m)
+}
+
+// clientPersistO is the host half of [PERSIST]sc under MINOS-O: hand the
+// command to the SmartNIC and wait for its completion notification.
+func (n *Node) clientPersistO(p *sim.Proc, sc ddp.ScopeID) {
+	start := p.Now()
+	ps := &persistState{
+		need: n.cfg.Nodes - 1,
+		got:  make(map[ddp.NodeID]bool),
+		cond: sim.NewCond(n.c.K),
+	}
+	n.scopeWait[sc] = ps
+	req := ddp.Message{Kind: ddp.KindPersist, From: n.ID, Scope: sc, Size: ddp.ControlSize()}
+	n.compute(p, n.cfg.HostSyncNs)
+	n.pcieOut.Send(req.Size, func() { n.snic.hostQ.ForcePut(req) })
+	for !ps.notified {
+		ps.cond.Wait(p)
+	}
+	n.c.Metrics.PersistLat.Add(float64(p.Now() - start))
+}
+
+// coordinatePersist runs [PERSIST]sc on the coordinator's SmartNIC.
+func (s *snic) coordinatePersist(p *sim.Proc, m ddp.Message) {
+	n := s.n
+	sc := m.Scope
+	ps := n.scopeWait[sc]
+	dests := n.followers()
+	s.snicCompute(p, n.cfg.SNICSyncNs)
+	s.multicast(m, dests)
+
+	entries := n.scopeBuf[sc]
+	for _, e := range entries {
+		s.enqueueDFIFO(p, e.key, e.ts, sc)
+	}
+	for !ps.done() {
+		ps.cond.Wait(p)
+	}
+	for _, e := range entries {
+		r := n.Store.GetOrCreate(e.key)
+		r.Meta.AdvanceGlbDurable(e.ts)
+		n.wakeKey(e.key)
+	}
+	delete(n.scopeBuf, sc)
+	delete(n.scopeWait, sc)
+
+	// Notify the host, then validate the scope at the followers.
+	n.pcieIn.Send(ddp.ControlSize(), func() {
+		ps.notified = true
+		ps.cond.Broadcast()
+	})
+	valP := ddp.Message{Kind: ddp.KindValP, From: n.ID, Scope: sc, Size: ddp.ControlSize()}
+	s.multicast(valP, dests)
+}
+
+// followerPersist handles [PERSIST]sc on a follower SmartNIC.
+func (s *snic) followerPersist(p *sim.Proc, m ddp.Message) {
+	n := s.n
+	for _, e := range n.scopeBuf[m.Scope] {
+		s.enqueueDFIFO(p, e.key, e.ts, m.Scope)
+	}
+	ack := ddp.Message{Kind: ddp.KindAckP, From: n.ID, Scope: m.Scope, Size: ddp.ControlSize()}
+	s.multicast(ack, []ddp.NodeID{m.From})
+}

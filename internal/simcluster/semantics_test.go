@@ -1,0 +1,216 @@
+package simcluster
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/sim"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// TestREnfReadsCostMoreThanEvent: read-enforced persistency holds the
+// RDLock until durability completes everywhere, so reads of hot records
+// stall longer than under Event.
+func TestREnfReadsCostMoreThanEvent(t *testing.T) {
+	wl := workload.Config{Records: 32, WriteRatio: 0.5, Dist: workload.Zipfian}
+	lat := map[ddp.Model]float64{}
+	for _, model := range []ddp.Model{ddp.LinREnf, ddp.LinEvent} {
+		cfg := DefaultConfig()
+		cfg.Model = model
+		lat[model] = RunDefault(cfg, wl, 400, 21).AvgReadNs()
+	}
+	if lat[ddp.LinREnf] <= lat[ddp.LinEvent] {
+		t.Errorf("REnf reads (%.0fns) should stall longer than Event reads (%.0fns)",
+			lat[ddp.LinREnf], lat[ddp.LinEvent])
+	}
+}
+
+// TestStrictCostsMostUncontended: with a single worker and no
+// contention, Strict's extra message round (VAL_C + ACK_P/VAL_P) makes
+// it the most expensive write.
+func TestStrictCostsMostUncontended(t *testing.T) {
+	wl := workload.Config{Records: 10_000, WriteRatio: 1.0, Dist: workload.Uniform}
+	lat := map[ddp.Model]float64{}
+	for _, model := range ddp.Models {
+		cfg := DefaultConfig()
+		cfg.Model = model
+		c := New(cfg, 5)
+		m := c.Run(RunOpts{Workload: wl, RequestsPerNode: 150, WorkersPerNode: 1, Seed: 5})
+		lat[model] = m.AvgWriteNs()
+	}
+	for _, model := range ddp.Models {
+		if model != ddp.LinStrict && lat[ddp.LinStrict] < lat[model] {
+			t.Errorf("Strict (%.0fns) should not be cheaper than %v (%.0fns)",
+				lat[ddp.LinStrict], model, lat[model])
+		}
+	}
+	// Relaxed models beat Synch when uncontended (persist off the path).
+	if lat[ddp.LinEvent] >= lat[ddp.LinSynch] {
+		t.Errorf("Event (%.0fns) should beat Synch (%.0fns) uncontended",
+			lat[ddp.LinEvent], lat[ddp.LinSynch])
+	}
+}
+
+// TestPersistLatencyHurtsBaselineMore: raising host NVM latency must
+// widen the O/B gap (the Fig 14 mechanism: O persists in SmartNIC NVM
+// and ships to the host off the critical path).
+func TestPersistLatencyHurtsBaselineMore(t *testing.T) {
+	wl := workload.Config{Records: 1000, WriteRatio: 0.5, Dist: workload.Zipfian}
+	speedup := func(nsPerKB int64) float64 {
+		b := DefaultConfig()
+		b.NVM.NsPerKB = nsPerKB
+		o := DefaultConfig()
+		o.NVM.NsPerKB = nsPerKB
+		o.Opts = MinosO
+		return RunDefault(b, wl, 300, 17).AvgWriteNs() / RunDefault(o, wl, 300, 17).AvgWriteNs()
+	}
+	fast, slow := speedup(100), speedup(50_000)
+	if slow <= fast {
+		t.Errorf("speedup at 50µs/KB (%.2fx) should exceed speedup at 100ns/KB (%.2fx)", slow, fast)
+	}
+}
+
+// TestExtraNetRTTDominates: adding a large one-way network latency must
+// push write latency to at least that scale (the Fig 11 regime).
+func TestExtraNetRTTDominates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExtraNetRTTNs = 100_000 // +100µs one-way
+	wl := workload.Config{Records: 1000, WriteRatio: 1.0, Dist: workload.Uniform}
+	m := RunDefault(cfg, wl, 100, 23)
+	if m.AvgWriteNs() < 200_000 {
+		t.Errorf("write latency %.0fns; with 100µs one-way links a write needs >= 1 RTT", m.AvgWriteNs())
+	}
+}
+
+// TestValueSizeScalesCosts: larger records cost more to replicate.
+func TestValueSizeScalesCosts(t *testing.T) {
+	wl := workload.Config{Records: 1000, WriteRatio: 1.0, Dist: workload.Uniform}
+	lat := func(size int) float64 {
+		cfg := DefaultConfig()
+		cfg.ValueSize = size
+		wl := wl
+		wl.ValueSize = size
+		return RunDefault(cfg, wl, 200, 29).AvgWriteNs()
+	}
+	small, big := lat(128), lat(8192)
+	if big <= small {
+		t.Errorf("8KB writes (%.0fns) should cost more than 128B writes (%.0fns)", big, small)
+	}
+}
+
+// TestOptsString: the ablation labels match Fig 12's vocabulary.
+func TestOptsString(t *testing.T) {
+	cases := map[string]Opts{
+		"MINOS-B":                    MinosB,
+		"MINOS-O":                    MinosO,
+		"MINOS-B+Combined":           {Offload: true},
+		"MINOS-B+broadcast":          {Broadcast: true},
+		"MINOS-B+batching":           {Batch: true},
+		"MINOS-B+Combined+broadcast": {Offload: true, Broadcast: true},
+		"MINOS-B+Combined+batching":  {Offload: true, Batch: true},
+	}
+	for want, opts := range cases {
+		if got := opts.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", opts, got, want)
+		}
+	}
+}
+
+// TestMetricsAccessors: derived metrics are consistent.
+func TestMetricsAccessors(t *testing.T) {
+	m := RunDefault(DefaultConfig(), smallWorkload(), 200, 31)
+	if m.Writes()+m.Reads() == 0 {
+		t.Fatal("no ops")
+	}
+	if m.TotalThroughput() <= 0 || m.WriteThroughput() <= 0 {
+		t.Error("throughput must be positive")
+	}
+	sum := m.WriteThroughput() + m.ReadThroughput()
+	if diff := sum - m.TotalThroughput(); diff > 1 || diff < -1 {
+		t.Errorf("throughput decomposition off: %f + %f != %f",
+			m.WriteThroughput(), m.ReadThroughput(), m.TotalThroughput())
+	}
+	if m.CommNs() < 0 || m.CompNs() < 0 {
+		t.Error("negative breakdown")
+	}
+	if m.PersistCount == 0 {
+		t.Error("Synch run must persist")
+	}
+	if m.FollowerHandle.N() == 0 {
+		t.Error("follower handle times not recorded")
+	}
+}
+
+// TestSmartNICCoresMatterUnderLoad: shrinking the SmartNIC to one core
+// must hurt MINOS-O throughput (the offloaded work has to run
+// somewhere).
+func TestSmartNICCoresMatterUnderLoad(t *testing.T) {
+	wl := workload.Config{Records: 1000, WriteRatio: 1.0, Dist: workload.Uniform}
+	run := func(cores int) float64 {
+		cfg := DefaultConfig()
+		cfg.Opts = MinosO
+		cfg.SNICCores = cores
+		return RunDefault(cfg, wl, 300, 37).WriteThroughput()
+	}
+	if one, eight := run(1), run(8); one >= eight {
+		t.Errorf("1 SNIC core (%.0f op/s) should underperform 8 cores (%.0f op/s)", one, eight)
+	}
+}
+
+// TestConfigStringsInTables: experiment tables need stable labels.
+func TestConfigStringsInTables(t *testing.T) {
+	if !strings.Contains(MinosO.String(), "MINOS-O") {
+		t.Error("MinosO label wrong")
+	}
+}
+
+// TestNoStaleReads: the runtime linearizability witness must stay zero
+// for every model and both systems, even under heavy contention.
+func TestNoStaleReads(t *testing.T) {
+	wl := workload.Config{Records: 8, WriteRatio: 0.5, Dist: workload.Zipfian}
+	for _, opts := range []Opts{MinosB, MinosO} {
+		for _, model := range ddp.Models {
+			cfg := DefaultConfig()
+			cfg.Model = model
+			cfg.Opts = opts
+			m := RunDefault(cfg, wl, 300, 43)
+			if m.StaleReads != 0 {
+				t.Errorf("%v/%v: %d stale reads — linearizability violated",
+					opts, model, m.StaleReads)
+			}
+		}
+	}
+}
+
+// TestTracerEmitsTimeline: the Fig 7-style tracer fires for both
+// systems and carries the protocol's key phases.
+func TestTracerEmitsTimeline(t *testing.T) {
+	for _, opts := range []Opts{MinosB, MinosO} {
+		cfg := DefaultConfig()
+		cfg.Nodes = 3
+		cfg.Opts = opts
+		c := New(cfg, 1)
+		var events []string
+		c.Tracer = func(_ sim.Time, ev string) { events = append(events, ev) }
+		wl := workload.Config{Records: 4, WriteRatio: 1.0, Dist: workload.Uniform}
+		c.Run(RunOpts{Workload: wl, RequestsPerNode: 2, WorkersPerNode: 1, Seed: 1})
+		if len(events) == 0 {
+			t.Fatalf("%v: tracer silent", opts)
+		}
+		joined := strings.Join(events, "\n")
+		if opts == MinosO {
+			for _, want := range []string{"broadcast INV", "vFIFO enqueued", "dFIFO enqueued", "batched ACK"} {
+				if !strings.Contains(joined, want) {
+					t.Errorf("MINOS-O timeline missing %q", want)
+				}
+			}
+		} else {
+			for _, want := range []string{"send INVs", "INV received", "send ACK", "send VAL"} {
+				if !strings.Contains(joined, want) {
+					t.Errorf("MINOS-B timeline missing %q", want)
+				}
+			}
+		}
+	}
+}

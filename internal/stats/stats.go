@@ -1,0 +1,209 @@
+// Package stats provides the measurement machinery the evaluation needs:
+// running means, percentile-capable samplers, latency breakdowns into
+// communication vs computation time (Fig 4), and normalized series
+// formatting for the figure harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean is a numerically stable running mean/variance accumulator
+// (Welford's algorithm).
+type Mean struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates x.
+func (m *Mean) Add(x float64) {
+	m.n++
+	d := x - m.mean
+	m.mean += d / float64(m.n)
+	m.m2 += d * (x - m.mean)
+}
+
+// N returns the sample count.
+func (m *Mean) N() int64 { return m.n }
+
+// Value returns the mean, or 0 with no samples.
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.mean
+}
+
+// Variance returns the sample variance.
+func (m *Mean) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m *Mean) Stddev() float64 { return math.Sqrt(m.Variance()) }
+
+// Sampler accumulates individual samples for percentile queries.
+type Sampler struct {
+	xs     []float64
+	sorted bool
+	sum    float64
+}
+
+// Add records x.
+func (s *Sampler) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+	s.sum += x
+}
+
+// N returns the sample count.
+func (s *Sampler) N() int { return len(s.xs) }
+
+// Mean returns the sample mean.
+func (s *Sampler) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by
+// nearest-rank on the sorted samples.
+func (s *Sampler) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.xs)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.xs[rank]
+}
+
+// Max returns the largest sample.
+func (s *Sampler) Max() float64 { return s.Percentile(100) }
+
+// Min returns the smallest sample.
+func (s *Sampler) Min() float64 { return s.Percentile(0) }
+
+// Breakdown accumulates a latency split into communication and
+// computation components, the decomposition of Fig 4 (§IV).
+type Breakdown struct {
+	Comm Mean
+	Comp Mean
+}
+
+// Add records one transaction's split.
+func (b *Breakdown) Add(comm, comp float64) {
+	b.Comm.Add(comm)
+	b.Comp.Add(comp)
+}
+
+// Total returns mean communication + mean computation time.
+func (b *Breakdown) Total() float64 { return b.Comm.Value() + b.Comp.Value() }
+
+// CommFraction returns the communication share of the total, in [0,1].
+func (b *Breakdown) CommFraction() float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b.Comm.Value() / t
+}
+
+// Normalize divides each value by base; base 0 yields zeros.
+func Normalize(values []float64, base float64) []float64 {
+	out := make([]float64, len(values))
+	if base == 0 {
+		return out
+	}
+	for i, v := range values {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Table is a simple fixed-column text table for the figure harness.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float with 3 significant decimals for table cells.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Ns formats a nanosecond quantity with a unit for table cells.
+func Ns(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.2fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// ChaosNetwork wraps a MemNetwork and injects random per-message
+// delivery delays while preserving per-channel (sender, receiver) FIFO
+// order — the ordering real TCP connections provide. It shakes out
+// protocol races that instant in-process delivery never exercises:
+// VALs arriving mid-persist, acknowledgments racing obsolete writes,
+// interleavings between channels drifting arbitrarily far apart.
+type ChaosNetwork struct {
+	inner *MemNetwork
+	rng   *rand.Rand
+	mu    sync.Mutex
+	// MaxDelay bounds each message's injected delay.
+	maxDelay time.Duration
+
+	chans map[[2]ddp.NodeID]chan queued
+	wg    sync.WaitGroup
+	stop  chan struct{}
+	once  sync.Once
+}
+
+type queued struct {
+	to ddp.NodeID
+	f  Frame
+}
+
+// NewChaosNetwork builds an n-node fabric whose deliveries are delayed
+// uniformly in [0, maxDelay], per channel, in FIFO order. seed makes the
+// delays reproducible.
+func NewChaosNetwork(n int, maxDelay time.Duration, seed int64) *ChaosNetwork {
+	return &ChaosNetwork{
+		inner:    NewMemNetwork(n),
+		rng:      rand.New(rand.NewSource(seed)),
+		maxDelay: maxDelay,
+		chans:    make(map[[2]ddp.NodeID]chan queued),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Endpoint returns node id's transport, with chaos on its sends.
+func (c *ChaosNetwork) Endpoint(id ddp.NodeID) Transport {
+	return &chaosTransport{net: c, inner: c.inner.Endpoint(id)}
+}
+
+// Close stops the delay pumps.
+func (c *ChaosNetwork) Close() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// channel returns (lazily starting) the FIFO delay pump for (from, to).
+func (c *ChaosNetwork) channel(from, to ddp.NodeID) chan queued {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := [2]ddp.NodeID{from, to}
+	ch, ok := c.chans[key]
+	if !ok {
+		ch = make(chan queued, 4096)
+		c.chans[key] = ch
+		src := c.inner.Endpoint(from)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case q := <-ch:
+					c.mu.Lock()
+					d := time.Duration(c.rng.Int63n(int64(c.maxDelay) + 1))
+					c.mu.Unlock()
+					timer := time.NewTimer(d)
+					select {
+					case <-c.stop:
+						timer.Stop()
+						return
+					case <-timer.C:
+					}
+					_ = src.Send(q.to, q.f) // best effort, like the wire
+				}
+			}
+		}()
+	}
+	return ch
+}
+
+// chaosTransport is one endpoint's view of the ChaosNetwork.
+type chaosTransport struct {
+	net   *ChaosNetwork
+	inner *MemTransport
+}
+
+var _ Transport = (*chaosTransport)(nil)
+
+func (t *chaosTransport) Self() ddp.NodeID    { return t.inner.Self() }
+func (t *chaosTransport) Peers() []ddp.NodeID { return t.inner.Peers() }
+func (t *chaosTransport) Recv() <-chan Frame  { return t.inner.Recv() }
+func (t *chaosTransport) Close() error        { return t.inner.Close() }
+func (t *chaosTransport) Send(to ddp.NodeID, f Frame) error {
+	f.From = t.inner.Self()
+	select {
+	case t.net.channel(t.inner.Self(), to) <- queued{to: to, f: f}:
+		return nil
+	default:
+		return ErrDisconnected // pump overwhelmed; treat as loss
+	}
+}

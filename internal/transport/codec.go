@@ -1,0 +1,276 @@
+// Package transport carries DDP protocol messages between live MINOS-B
+// nodes. It provides a compact binary codec, an in-process transport for
+// tests and single-binary clusters, and a TCP transport for real
+// deployments — the role eRPC plays in the paper (§VII). The transport
+// also carries control frames the protocol layer does not see:
+// heartbeats for failure detection and log-shipping frames for recovery
+// (§III-E).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// FrameKind distinguishes what a frame carries.
+type FrameKind uint8
+
+const (
+	// FrameMessage carries one ddp.Message.
+	FrameMessage FrameKind = iota
+	// FrameHeartbeat is a liveness beacon (payload: none).
+	FrameHeartbeat
+	// FrameRecoveryRequest asks a peer for its log tail (payload: the
+	// first log sequence number the requester is missing).
+	FrameRecoveryRequest
+	// FrameRecoveryEntries carries a batch of log entries.
+	FrameRecoveryEntries
+)
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Kind FrameKind
+	From ddp.NodeID
+	// Msg is set for FrameMessage.
+	Msg ddp.Message
+	// Since is set for FrameRecoveryRequest.
+	Since uint64
+	// Entries is set for FrameRecoveryEntries.
+	Entries []LogEntry
+}
+
+// LogEntry is a recovery log record shipped to a rejoining node.
+type LogEntry struct {
+	Seq   uint64
+	Key   ddp.Key
+	TS    ddp.Timestamp
+	Value []byte
+	Scope ddp.ScopeID
+}
+
+const maxFrameSize = 64 << 20 // hard cap against corrupt length prefixes
+
+// EncodeFrame serializes f with a little-endian binary layout:
+//
+//	u32 payload length | u8 kind | i32 from | payload
+func EncodeFrame(f Frame) []byte {
+	payload := encodePayload(f)
+	buf := make([]byte, 0, 9+len(payload))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(5+len(payload)))
+	buf = append(buf, byte(f.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.From))
+	buf = append(buf, payload...)
+	return buf
+}
+
+func encodePayload(f Frame) []byte {
+	var b []byte
+	switch f.Kind {
+	case FrameMessage:
+		b = appendMessage(b, f.Msg)
+	case FrameHeartbeat:
+	case FrameRecoveryRequest:
+		b = binary.LittleEndian.AppendUint64(b, f.Since)
+	case FrameRecoveryEntries:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Entries)))
+		for _, e := range f.Entries {
+			b = appendLogEntry(b, e)
+		}
+	}
+	return b
+}
+
+func appendMessage(b []byte, m ddp.Message) []byte {
+	b = append(b, byte(m.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.From))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Key))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.TS.Node))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.TS.Version))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Scope))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Value)))
+	b = append(b, m.Value...)
+	return b
+}
+
+func appendLogEntry(b []byte, e LogEntry) []byte {
+	b = binary.LittleEndian.AppendUint64(b, e.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Key))
+	b = binary.LittleEndian.AppendUint32(b, uint32(e.TS.Node))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.TS.Version))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Scope))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(e.Value)))
+	b = append(b, e.Value...)
+	return b
+}
+
+// DecodeFrame parses one frame from buf, which must contain exactly the
+// bytes after the length prefix (kind onward).
+func DecodeFrame(buf []byte) (Frame, error) {
+	var f Frame
+	r := reader{buf: buf}
+	kind, err := r.u8()
+	if err != nil {
+		return f, err
+	}
+	f.Kind = FrameKind(kind)
+	from, err := r.u32()
+	if err != nil {
+		return f, err
+	}
+	f.From = ddp.NodeID(int32(from))
+	switch f.Kind {
+	case FrameMessage:
+		f.Msg, err = r.message()
+	case FrameHeartbeat:
+	case FrameRecoveryRequest:
+		f.Since, err = r.u64()
+	case FrameRecoveryEntries:
+		var n uint32
+		if n, err = r.u32(); err == nil {
+			if int(n) > maxFrameSize/16 {
+				return f, fmt.Errorf("transport: absurd entry count %d", n)
+			}
+			f.Entries = make([]LogEntry, 0, n)
+			for i := uint32(0); i < n && err == nil; i++ {
+				var e LogEntry
+				e, err = r.logEntry()
+				f.Entries = append(f.Entries, e)
+			}
+		}
+	default:
+		return f, fmt.Errorf("transport: unknown frame kind %d", kind)
+	}
+	if err != nil {
+		return f, fmt.Errorf("transport: decoding %v frame: %w", f.Kind, err)
+	}
+	if r.off != len(r.buf) {
+		return f, fmt.Errorf("transport: %d trailing bytes in %v frame", len(r.buf)-r.off, f.Kind)
+	}
+	return f, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return fmt.Errorf("truncated at offset %d (need %d of %d)", r.off, n, len(r.buf))
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *reader) message() (ddp.Message, error) {
+	var m ddp.Message
+	kind, err := r.u8()
+	if err != nil {
+		return m, err
+	}
+	m.Kind = ddp.MsgKind(kind)
+	if !m.Kind.Valid() {
+		return m, fmt.Errorf("illegal message kind %d", kind)
+	}
+	from, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	m.From = ddp.NodeID(int32(from))
+	key, err := r.u64()
+	if err != nil {
+		return m, err
+	}
+	m.Key = ddp.Key(key)
+	node, err := r.u32()
+	if err != nil {
+		return m, err
+	}
+	ver, err := r.u64()
+	if err != nil {
+		return m, err
+	}
+	m.TS = ddp.Timestamp{Node: ddp.NodeID(int32(node)), Version: ddp.Version(int64(ver))}
+	sc, err := r.u64()
+	if err != nil {
+		return m, err
+	}
+	m.Scope = ddp.ScopeID(sc)
+	m.Value, err = r.bytes()
+	m.Size = ddp.DataSize(len(m.Value))
+	return m, err
+}
+
+func (r *reader) logEntry() (LogEntry, error) {
+	var e LogEntry
+	var err error
+	if e.Seq, err = r.u64(); err != nil {
+		return e, err
+	}
+	key, err := r.u64()
+	if err != nil {
+		return e, err
+	}
+	e.Key = ddp.Key(key)
+	node, err := r.u32()
+	if err != nil {
+		return e, err
+	}
+	ver, err := r.u64()
+	if err != nil {
+		return e, err
+	}
+	e.TS = ddp.Timestamp{Node: ddp.NodeID(int32(node)), Version: ddp.Version(int64(ver))}
+	sc, err := r.u64()
+	if err != nil {
+		return e, err
+	}
+	e.Scope = ddp.ScopeID(sc)
+	e.Value, err = r.bytes()
+	return e, err
+}

@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// TestTCPReconnectAfterPeerRestart: a peer that dies and comes back on
+// the same address must be reachable again without operator action.
+func TestTCPReconnectAfterPeerRestart(t *testing.T) {
+	a, err := NewTCPTransport(0, map[ddp.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := NewTCPTransport(1, map[ddp.NodeID]string{0: a.Addr(), 1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeerAddr(1, b1.Addr())
+
+	if err := a.Send(1, Frame{Kind: FrameHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	if f := <-b1.Recv(); f.Kind != FrameHeartbeat {
+		t.Fatalf("got %+v", f)
+	}
+
+	// Kill node 1 and restart it on a fresh ephemeral port.
+	addr1 := b1.Addr()
+	b1.Close()
+	// Sends now fail (connection broken, then dial refused) until the
+	// peer returns; each failure must be an error, not a hang.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(1, Frame{Kind: FrameHeartbeat}); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sends kept succeeding with the peer down")
+		}
+	}
+	_ = addr1
+
+	b2, err := NewTCPTransport(1, map[ddp.NodeID]string{0: a.Addr(), 1: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	a.SetPeerAddr(1, b2.Addr())
+
+	// The next send re-dials the restarted peer.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(1, Frame{Kind: FrameHeartbeat}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never reconnected to the restarted peer")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case f := <-b2.Recv():
+		if f.Kind != FrameHeartbeat || f.From != 0 {
+			t.Fatalf("got %+v", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("restarted peer received nothing")
+	}
+}
+
+// TestTCPSelfDescription: identity accessors.
+func TestTCPSelfDescription(t *testing.T) {
+	tr, err := NewTCPTransport(2, map[ddp.NodeID]string{
+		0: "127.0.0.1:1", 1: "127.0.0.1:2", 2: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Self() != 2 {
+		t.Errorf("Self() = %d", tr.Self())
+	}
+	peers := tr.Peers()
+	if len(peers) != 2 {
+		t.Errorf("Peers() = %v", peers)
+	}
+	for _, p := range peers {
+		if p == 2 {
+			t.Error("Peers() must exclude self")
+		}
+	}
+	if tr.Addr() == "" {
+		t.Error("Addr() empty")
+	}
+}
+
+// TestTCPSendUnknownPeer: addressing outside the cluster errs.
+func TestTCPSendUnknownPeer(t *testing.T) {
+	tr, err := NewTCPTransport(0, map[ddp.NodeID]string{0: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.Send(9, Frame{Kind: FrameHeartbeat}); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+// TestTCPSendAfterClose errs with ErrClosed.
+func TestTCPSendAfterClose(t *testing.T) {
+	tr, err := NewTCPTransport(0, map[ddp.NodeID]string{0: "127.0.0.1:0", 1: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if err := tr.Send(1, Frame{Kind: FrameHeartbeat}); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	// Double close is safe.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// TCPTransport connects a node to its peers over TCP with
+// length-prefixed binary frames. Each node listens on its own address
+// and dials every peer lazily; connections are re-dialed on failure, so
+// a restarted peer is reachable again without operator action.
+type TCPTransport struct {
+	self  ddp.NodeID
+	addrs map[ddp.NodeID]string // peer ID -> host:port, including self
+
+	ln   net.Listener
+	rx   chan Frame
+	done chan struct{}
+
+	mu      sync.Mutex
+	conns   map[ddp.NodeID]*lockedConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// lockedConn serializes concurrent frame writes on one connection so
+// frames from different goroutines cannot interleave.
+type lockedConn struct {
+	wmu sync.Mutex
+	c   net.Conn
+}
+
+func (lc *lockedConn) write(buf []byte) error {
+	lc.wmu.Lock()
+	defer lc.wmu.Unlock()
+	_, err := lc.c.Write(buf)
+	return err
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCPTransport starts listening on addrs[self] and returns the
+// transport. addrs maps every cluster node (including self) to its
+// listen address.
+func NewTCPTransport(self ddp.NodeID, addrs map[ddp.NodeID]string) (*TCPTransport, error) {
+	addr, ok := addrs[self]
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for self (node %d)", self)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		self:    self,
+		addrs:   addrs,
+		ln:      ln,
+		rx:      make(chan Frame, 4096),
+		done:    make(chan struct{}),
+		conns:   make(map[ddp.NodeID]*lockedConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address (useful when the
+// configured address used port 0).
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddr updates a peer's dial address. Use it to wire up clusters
+// whose members listen on ephemeral ports: start every listener first,
+// then exchange the real addresses before any protocol traffic.
+func (t *TCPTransport) SetPeerAddr(id ddp.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+	if c := t.conns[id]; c != nil {
+		delete(t.conns, id)
+		c.c.Close()
+	}
+}
+
+// Self returns this endpoint's node ID.
+func (t *TCPTransport) Self() ddp.NodeID { return t.self }
+
+// Peers returns the other cluster members.
+func (t *TCPTransport) Peers() []ddp.NodeID {
+	out := make([]ddp.NodeID, 0, len(t.addrs)-1)
+	for id := range t.addrs {
+		if id != t.self {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Recv returns the inbound frame channel.
+func (t *TCPTransport) Recv() <-chan Frame { return t.rx }
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one connection into rx.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.inbound[conn] = struct{}{}
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxFrameSize {
+			return // corrupt stream
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		f, err := DecodeFrame(body)
+		if err != nil {
+			return
+		}
+		select {
+		case t.rx <- f:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// Send frames f to the peer, dialing (or re-dialing) as needed.
+func (t *TCPTransport) Send(to ddp.NodeID, f Frame) error {
+	f.From = t.self
+	buf := EncodeFrame(f)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	conn := t.conns[to]
+	t.mu.Unlock()
+
+	if conn == nil {
+		t.mu.Lock()
+		addr, ok := t.addrs[to]
+		t.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("transport: unknown peer %d", to)
+		}
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("transport: dial node %d: %w", to, err)
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			c.Close()
+			return ErrClosed
+		}
+		if existing := t.conns[to]; existing != nil {
+			c.Close()
+			conn = existing
+		} else {
+			conn = &lockedConn{c: c}
+			t.conns[to] = conn
+		}
+		t.mu.Unlock()
+	}
+
+	if err := conn.write(buf); err != nil {
+		// Drop the broken connection; the next Send re-dials.
+		t.mu.Lock()
+		if t.conns[to] == conn {
+			delete(t.conns, to)
+		}
+		t.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("transport: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// Close stops the listener, closes all connections and the receive
+// channel.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[ddp.NodeID]*lockedConn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	close(t.done)
+	t.ln.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	close(t.rx)
+	return nil
+}

@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// Transport moves frames between nodes. Implementations guarantee
+// per-peer FIFO delivery of frames that are delivered at all; they do
+// not guarantee delivery across disconnections.
+type Transport interface {
+	// Send transmits f to peer. Sending to an unknown or disconnected
+	// peer returns an error.
+	Send(to ddp.NodeID, f Frame) error
+	// Recv returns the channel of inbound frames. The channel closes
+	// when the transport closes.
+	Recv() <-chan Frame
+	// Self returns this endpoint's node ID.
+	Self() ddp.NodeID
+	// Peers returns the other node IDs in the cluster.
+	Peers() []ddp.NodeID
+	// Close shuts the transport down.
+	Close() error
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrDisconnected is returned by Send when the peer is partitioned away
+// (in-process transport failure injection).
+var ErrDisconnected = errors.New("transport: peer disconnected")
+
+// MemNetwork is an in-process cluster fabric: every endpoint sends
+// frames straight into its peers' receive channels. It supports failure
+// injection (Disconnect/Reconnect) for testing detection and recovery.
+type MemNetwork struct {
+	mu        sync.Mutex
+	endpoints []*MemTransport
+	down      map[ddp.NodeID]bool
+}
+
+// NewMemNetwork builds a fully connected in-process network of n nodes
+// and returns one endpoint per node, indexed by NodeID.
+func NewMemNetwork(n int) *MemNetwork {
+	net := &MemNetwork{down: make(map[ddp.NodeID]bool)}
+	for i := 0; i < n; i++ {
+		net.endpoints = append(net.endpoints, &MemTransport{
+			net:  net,
+			self: ddp.NodeID(i),
+			rx:   make(chan Frame, 4096),
+		})
+	}
+	return net
+}
+
+// Endpoint returns node id's transport.
+func (n *MemNetwork) Endpoint(id ddp.NodeID) *MemTransport { return n.endpoints[int(id)] }
+
+// Size returns the cluster size.
+func (n *MemNetwork) Size() int { return len(n.endpoints) }
+
+// Disconnect partitions id away: frames to and from it are dropped.
+func (n *MemNetwork) Disconnect(id ddp.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = true
+}
+
+// Reconnect heals id's partition.
+func (n *MemNetwork) Reconnect(id ddp.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.down, id)
+}
+
+func (n *MemNetwork) isDown(id ddp.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[id]
+}
+
+// MemTransport is one node's endpoint on a MemNetwork.
+type MemTransport struct {
+	net  *MemNetwork
+	self ddp.NodeID
+
+	mu     sync.Mutex
+	rx     chan Frame
+	closed bool
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// Self returns this endpoint's node ID.
+func (t *MemTransport) Self() ddp.NodeID { return t.self }
+
+// Peers returns every other node in the network.
+func (t *MemTransport) Peers() []ddp.NodeID {
+	out := make([]ddp.NodeID, 0, t.net.Size()-1)
+	for i := 0; i < t.net.Size(); i++ {
+		if ddp.NodeID(i) != t.self {
+			out = append(out, ddp.NodeID(i))
+		}
+	}
+	return out
+}
+
+// Recv returns the inbound frame channel.
+func (t *MemTransport) Recv() <-chan Frame { return t.rx }
+
+// Send delivers f to peer unless either side is partitioned or closed.
+func (t *MemTransport) Send(to ddp.NodeID, f Frame) error {
+	if int(to) < 0 || int(to) >= t.net.Size() || to == t.self {
+		return errors.New("transport: bad destination")
+	}
+	if t.net.isDown(t.self) || t.net.isDown(to) {
+		return ErrDisconnected
+	}
+	f.From = t.self
+	dst := t.net.endpoints[int(to)]
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	if dst.closed {
+		return ErrClosed
+	}
+	select {
+	case dst.rx <- f:
+		return nil
+	default:
+		// A full receive queue on a live in-process peer means the
+		// consumer stopped; treat as disconnection rather than blocking
+		// the protocol forever.
+		return ErrDisconnected
+	}
+}
+
+// Close shuts the endpoint down and closes its receive channel.
+func (t *MemTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		close(t.rx)
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// Example generates the paper's default workload stream.
+func Example() {
+	g := workload.NewGenerator(workload.Default(), 42)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == workload.OpWrite {
+			writes++
+		}
+	}
+	fmt.Printf("~%d%% writes, zipfian keys over %d records\n",
+		(writes*100+n/2)/n, g.Config().Records)
+	// Output: ~50% writes, zipfian keys over 100000 records
+}
+
+// ExamplePreset runs a named YCSB core workload.
+func ExamplePreset() {
+	cfg := workload.PresetF.Config() // read-modify-write
+	g := workload.NewGenerator(cfg, 1)
+	for i := 0; i < 10; i++ {
+		if op := g.Next(); op.Kind == workload.OpReadModifyWrite {
+			fmt.Println("YCSB-F emits", op.Kind)
+			return
+		}
+	}
+	// Output: YCSB-F emits RMW
+}

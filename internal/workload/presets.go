@@ -1,0 +1,74 @@
+package workload
+
+import "fmt"
+
+// The canonical YCSB core workloads, mapped onto MINOS-KV operations.
+// The paper uses "various workloads with different write and read
+// ratios" generated from YCSB; these presets name the standard points.
+
+// OpReadModifyWrite is YCSB-F's composite operation: a read of the key
+// followed by a write to it, issued back-to-back by the same client.
+const OpReadModifyWrite OpKind = 3
+
+// Preset identifies a standard YCSB core workload.
+type Preset int
+
+const (
+	// PresetA is update-heavy: 50% reads, 50% writes, zipfian.
+	PresetA Preset = iota
+	// PresetB is read-mostly: 95% reads, 5% writes, zipfian.
+	PresetB
+	// PresetC is read-only: 100% reads, zipfian.
+	PresetC
+	// PresetD is read-latest: 95% reads, 5% writes, latest distribution.
+	PresetD
+	// PresetF is read-modify-write: 50% reads, 50% RMW, zipfian.
+	PresetF
+)
+
+var presetNames = map[Preset]string{
+	PresetA: "A", PresetB: "B", PresetC: "C", PresetD: "D", PresetF: "F",
+}
+
+func (p Preset) String() string {
+	if n, ok := presetNames[p]; ok {
+		return "YCSB-" + n
+	}
+	return fmt.Sprintf("Preset(%d)", int(p))
+}
+
+// ParsePreset accepts "A", "B", "C", "D", "F" (case-insensitive) or the
+// full "YCSB-A" form.
+func ParsePreset(s string) (Preset, error) {
+	for p, n := range presetNames {
+		if s == n || s == "ycsb-"+n || s == "YCSB-"+n ||
+			s == string(n[0]|0x20) { // lowercase letter
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown preset %q (have A, B, C, D, F)", s)
+}
+
+// Presets lists the supported presets in YCSB order.
+var Presets = []Preset{PresetA, PresetB, PresetC, PresetD, PresetF}
+
+// Config returns the preset's workload configuration over the default
+// database (100K records, 1KB values).
+func (p Preset) Config() Config {
+	cfg := Default()
+	switch p {
+	case PresetA:
+		cfg.WriteRatio = 0.5
+	case PresetB:
+		cfg.WriteRatio = 0.05
+	case PresetC:
+		cfg.WriteRatio = 0
+	case PresetD:
+		cfg.WriteRatio = 0.05
+		cfg.Dist = Latest
+	case PresetF:
+		cfg.WriteRatio = 0.5
+		cfg.RMW = true
+	}
+	return cfg
+}

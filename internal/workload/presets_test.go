@@ -1,0 +1,82 @@
+package workload
+
+import "testing"
+
+func TestPresetConfigs(t *testing.T) {
+	cases := []struct {
+		p     Preset
+		write float64
+		dist  Distribution
+		rmw   bool
+	}{
+		{PresetA, 0.5, Zipfian, false},
+		{PresetB, 0.05, Zipfian, false},
+		{PresetC, 0, Zipfian, false},
+		{PresetD, 0.05, Latest, false},
+		{PresetF, 0.5, Zipfian, true},
+	}
+	for _, c := range cases {
+		cfg := c.p.Config()
+		if cfg.WriteRatio != c.write || cfg.Dist != c.dist || cfg.RMW != c.rmw {
+			t.Errorf("%v: got write=%v dist=%v rmw=%v", c.p, cfg.WriteRatio, cfg.Dist, cfg.RMW)
+		}
+		if cfg.Records != 100_000 || cfg.ValueSize != 1024 {
+			t.Errorf("%v: database defaults lost", c.p)
+		}
+	}
+}
+
+func TestParsePreset(t *testing.T) {
+	for _, p := range Presets {
+		name := p.String() // "YCSB-A"
+		got, err := ParsePreset(name)
+		if err != nil || got != p {
+			t.Errorf("ParsePreset(%q) = %v, %v", name, got, err)
+		}
+		short := name[len(name)-1:] // "A"
+		if got, err := ParsePreset(short); err != nil || got != p {
+			t.Errorf("ParsePreset(%q) = %v, %v", short, got, err)
+		}
+	}
+	if _, err := ParsePreset("E"); err == nil {
+		t.Error("YCSB-E (scans) is not supported and must be rejected")
+	}
+}
+
+func TestRMWGeneration(t *testing.T) {
+	g := NewGenerator(PresetF.Config(), 11)
+	sawRMW, sawWrite := false, false
+	for i := 0; i < 2000; i++ {
+		switch g.Next().Kind {
+		case OpReadModifyWrite:
+			sawRMW = true
+		case OpWrite:
+			sawWrite = true
+		}
+	}
+	if !sawRMW {
+		t.Error("YCSB-F generated no RMW ops")
+	}
+	if sawWrite {
+		t.Error("YCSB-F should emit RMW, not plain writes")
+	}
+	if OpReadModifyWrite.String() != "RMW" {
+		t.Error("RMW name wrong")
+	}
+}
+
+func TestPresetReadLatest(t *testing.T) {
+	g := NewGenerator(PresetD.Config(), 13)
+	// "Latest" skews toward the high end of the key space.
+	high := 0
+	const n = 20000
+	records := uint64(g.Config().Records)
+	for i := 0; i < n; i++ {
+		if g.Next().Key >= records*9/10 {
+			high++
+		}
+	}
+	if frac := float64(high) / n; frac < 0.5 {
+		t.Errorf("latest distribution drew only %.2f from the top decile", frac)
+	}
+}

@@ -1,0 +1,227 @@
+// Package workload generates YCSB-style request streams (§VII,
+// "Workloads Used"): configurable read/write mix, zipfian or uniform key
+// distribution over a database of N records, and a fixed number of
+// requests per node. The defaults reproduce the paper's default workload:
+// zipfian keys, 50% writes, 100,000 records, 100,000 requests per node,
+// 1 KB values.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpKind is the type of a client operation.
+type OpKind uint8
+
+const (
+	// OpRead is a client-read, always satisfied locally.
+	OpRead OpKind = iota
+	// OpWrite is a client-write, replicated to all nodes.
+	OpWrite
+	// OpPersist is a <Lin, Scope> [PERSIST]sc scope flush.
+	OpPersist
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpPersist:
+		return "PERSIST"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(o))
+	}
+}
+
+// Op is one client operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+}
+
+// Distribution selects how keys are drawn.
+type Distribution int
+
+const (
+	// Zipfian is YCSB's default: a few keys are hot.
+	Zipfian Distribution = iota
+	// Uniform draws keys uniformly at random.
+	Uniform
+	// Latest skews toward recently inserted keys (approximated here by
+	// a zipfian over the key space reversed).
+	Latest
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Zipfian:
+		return "zipfian"
+	case Uniform:
+		return "uniform"
+	case Latest:
+		return "latest"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// Config describes a workload.
+type Config struct {
+	// Records is the database size (default 100,000).
+	Records int
+	// WriteRatio is the fraction of writes in [0,1] (default 0.5).
+	WriteRatio float64
+	// Dist is the key distribution (default Zipfian).
+	Dist Distribution
+	// ZipfTheta is the zipfian skew (YCSB default 0.99).
+	ZipfTheta float64
+	// ValueSize is the record payload size in bytes (default 1024).
+	ValueSize int
+	// PersistEvery, when positive, inserts an OpPersist after every
+	// PersistEvery writes — used by the <Lin, Scope> model.
+	PersistEvery int
+	// RMW turns the write share into read-modify-write composites
+	// (YCSB-F): each "write" op is a read of the key followed by a
+	// write to it.
+	RMW bool
+}
+
+// Default returns the paper's default workload configuration.
+func Default() Config {
+	return Config{
+		Records:    100_000,
+		WriteRatio: 0.5,
+		Dist:       Zipfian,
+		ZipfTheta:  0.99,
+		ValueSize:  1024,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records <= 0 {
+		c.Records = 100_000
+	}
+	if c.ZipfTheta <= 0 || c.ZipfTheta >= 1 {
+		c.ZipfTheta = 0.99
+	}
+	if c.ValueSize <= 0 {
+		c.ValueSize = 1024
+	}
+	return c
+}
+
+// Generator produces a deterministic stream of operations for one
+// client. Each generator owns its RNG so per-node streams are
+// independent yet reproducible.
+type Generator struct {
+	cfg          Config
+	rng          *rand.Rand
+	zipf         *zipfGen
+	writesSince  int
+	pendingFlush bool
+}
+
+// NewGenerator returns a generator for cfg seeded with seed.
+func NewGenerator(cfg Config, seed int64) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Dist == Zipfian || cfg.Dist == Latest {
+		g.zipf = newZipfGen(uint64(cfg.Records), cfg.ZipfTheta)
+	}
+	return g
+}
+
+// Config returns the generator's (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	if g.pendingFlush {
+		g.pendingFlush = false
+		return Op{Kind: OpPersist}
+	}
+	kind := OpRead
+	if g.rng.Float64() < g.cfg.WriteRatio {
+		kind = OpWrite
+		if g.cfg.RMW {
+			kind = OpReadModifyWrite
+		}
+	}
+	op := Op{Kind: kind, Key: g.nextKey()}
+	if kind != OpRead && g.cfg.PersistEvery > 0 {
+		g.writesSince++
+		if g.writesSince >= g.cfg.PersistEvery {
+			g.writesSince = 0
+			g.pendingFlush = true
+		}
+	}
+	return op
+}
+
+func (g *Generator) nextKey() uint64 {
+	n := uint64(g.cfg.Records)
+	switch g.cfg.Dist {
+	case Uniform:
+		return uint64(g.rng.Int63n(int64(n)))
+	case Latest:
+		return n - 1 - g.zipf.next(g.rng)
+	default:
+		return g.zipf.next(g.rng)
+	}
+}
+
+// zipfGen draws from a zipfian distribution over [0, n) with parameter
+// theta, using the Gray et al. incremental method that YCSB uses
+// (constant time per sample, no large tables).
+type zipfGen struct {
+	n               uint64
+	theta           float64
+	alpha, zetan    float64
+	eta, zeta2theta float64
+	halfPowTheta    float64
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2theta = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2theta/z.zetan)
+	z.halfPowTheta = 1.0 + math.Pow(0.5, theta)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < z.halfPowTheta {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Stream materializes count operations (handy for tests and traces).
+func (g *Generator) Stream(count int) []Op {
+	ops := make([]Op, count)
+	for i := range ops {
+		ops[i] = g.Next()
+	}
+	return ops
+}

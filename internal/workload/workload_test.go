@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	c := Default()
+	if c.Records != 100_000 || c.WriteRatio != 0.5 || c.Dist != Zipfian ||
+		c.ValueSize != 1024 {
+		t.Fatalf("defaults %+v do not match the paper's default workload", c)
+	}
+}
+
+func TestWriteRatioRespected(t *testing.T) {
+	for _, ratio := range []float64{0, 0.2, 0.5, 0.8, 1.0} {
+		g := NewGenerator(Config{Records: 1000, WriteRatio: ratio}, 1)
+		writes := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if g.Next().Kind == OpWrite {
+				writes++
+			}
+		}
+		got := float64(writes) / n
+		if math.Abs(got-ratio) > 0.02 {
+			t.Errorf("ratio %.1f: observed %.3f", ratio, got)
+		}
+	}
+}
+
+func TestKeysInRange(t *testing.T) {
+	for _, dist := range []Distribution{Zipfian, Uniform, Latest} {
+		g := NewGenerator(Config{Records: 500, WriteRatio: 0.5, Dist: dist}, 2)
+		for i := 0; i < 10000; i++ {
+			op := g.Next()
+			if op.Key >= 500 {
+				t.Fatalf("%v produced key %d out of range [0,500)", dist, op.Key)
+			}
+		}
+	}
+}
+
+func TestZipfianIsSkewed(t *testing.T) {
+	g := NewGenerator(Config{Records: 10_000, WriteRatio: 0, Dist: Zipfian}, 3)
+	counts := map[uint64]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	// With theta=0.99 over 10k keys, the hottest key should draw a large
+	// share; the top-10 keys together well over 20%.
+	top := 0
+	for k := uint64(0); k < 10; k++ {
+		top += counts[k]
+	}
+	if frac := float64(top) / n; frac < 0.2 {
+		t.Errorf("top-10 zipfian keys drew only %.3f of requests", frac)
+	}
+}
+
+func TestUniformIsNotSkewed(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, WriteRatio: 0, Dist: Uniform}, 4)
+	counts := make([]int, 100)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Key]++
+	}
+	for k, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.004 || frac > 0.02 {
+			t.Errorf("uniform key %d drew %.4f of requests, expected ~0.01", k, frac)
+		}
+	}
+}
+
+func TestDeterministicStreams(t *testing.T) {
+	a := NewGenerator(Default(), 42).Stream(1000)
+	b := NewGenerator(Default(), 42).Stream(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := NewGenerator(Default(), 43).Stream(1000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestPersistEvery(t *testing.T) {
+	g := NewGenerator(Config{Records: 100, WriteRatio: 1.0, PersistEvery: 3}, 5)
+	writes, persists := 0, 0
+	for i := 0; i < 400; i++ {
+		switch g.Next().Kind {
+		case OpWrite:
+			writes++
+		case OpPersist:
+			persists++
+		}
+	}
+	if persists == 0 {
+		t.Fatal("PersistEvery produced no OpPersist")
+	}
+	if got := writes / persists; got != 3 {
+		t.Fatalf("writes per persist = %d, want 3", got)
+	}
+}
+
+// Property: any configuration yields keys within [0, Records) and only
+// valid op kinds.
+func TestPropertyGeneratorSafety(t *testing.T) {
+	f := func(records uint16, ratioRaw uint8, distRaw uint8, seed int64) bool {
+		cfg := Config{
+			Records:    int(records%5000) + 1,
+			WriteRatio: float64(ratioRaw%101) / 100,
+			Dist:       Distribution(distRaw % 3),
+		}
+		g := NewGenerator(cfg, seed)
+		for i := 0; i < 200; i++ {
+			op := g.Next()
+			if op.Kind != OpRead && op.Kind != OpWrite {
+				return false
+			}
+			if op.Key >= uint64(cfg.Records) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	g := NewGenerator(Default(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
