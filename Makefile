@@ -1,0 +1,32 @@
+# MINOS reproduction — build / test / lint entry points.
+# CI (.github/workflows/ci.yml) runs exactly these targets.
+
+GO ?= go
+
+.PHONY: all build test race lint vet check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: plain unit tests (includes the analyzer fixtures).
+test:
+	$(GO) test ./...
+
+# Race-detector pass. The simulation-heavy experiments package runs
+# 10-20x slower under -race; the generous timeout is deliberate.
+race:
+	$(GO) test -race -timeout 45m ./...
+
+# go vet plus the protocol/determinism analyzers (internal/lint).
+lint: vet
+	$(GO) run ./cmd/minos-lint ./...
+
+vet:
+	$(GO) vet ./...
+
+check: lint test
+
+clean:
+	$(GO) clean ./...

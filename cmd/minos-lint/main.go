@@ -1,0 +1,63 @@
+// Command minos-lint runs the MINOS protocol/determinism analyzer suite
+// (internal/lint) over Go packages.
+//
+// It is a unitchecker: the go toolchain drives it one compilation unit
+// at a time, supplying type information via export data, exactly as it
+// drives `go vet`. Invoked directly with package patterns it re-executes
+// itself through the toolchain:
+//
+//	go run ./cmd/minos-lint ./...        # whole module
+//	go vet -vettool=$(which minos-lint) ./...
+//
+// Exit status is non-zero if any analyzer reports a finding.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"github.com/minos-ddp/minos/internal/lint"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/unitchecker"
+)
+
+func main() {
+	if vetProtocol(os.Args[1:]) {
+		// Invoked by `go vet -vettool=...`: speak the unitchecker
+		// protocol (-V=full version query, then one *.cfg per package).
+		unitchecker.Main(lint.Analyzers()...) // does not return
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minos-lint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "minos-lint: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// vetProtocol reports whether the arguments look like the go vet driver
+// protocol rather than user-supplied package patterns.
+func vetProtocol(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,163 @@
+// Package lint implements minos-lint: a suite of static analyzers
+// enforcing the protocol and determinism invariants MINOS's correctness
+// arguments rest on but the Go compiler cannot see.
+//
+// The paper's claims split along the repo's two runtimes, and so do the
+// analyzers:
+//
+//   - The discrete-event simulator (internal/sim, internal/simcluster,
+//     internal/netsim, internal/check) must be bit-for-bit deterministic:
+//     the MINOS-B vs MINOS-O comparisons (Figs 9-13) are only
+//     reproducible if the same seed always yields the same event
+//     timeline. [SimDet] forbids wall-clock time, the global math/rand
+//     source, raw goroutines outside the sim kernel, and map iteration
+//     whose order can leak into event ordering or emitted results.
+//
+//   - The live runtime (internal/node, internal/transport, internal/kv)
+//     must honour the DDP contract: a Strict/Synch acknowledgment must
+//     never be sent before the corresponding NVM persist
+//     ([PersistOrder], the paper's persist-before-ack rule), protocol
+//     messages must never be dropped silently ([SendCheck]), and locks
+//     must not be copied, leaked, or held across blocking I/O
+//     ([LockSafe]).
+//
+// Findings can be suppressed — with justification — by a trailing or
+// preceding comment of the form
+//
+//	//minos:allow analyzername  -- reason
+//
+// and order-dependent-looking map iteration that is in fact ordered can
+// be marked //minos:ordered.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full minos-lint suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{SimDet, LockSafe, SendCheck, PersistOrder}
+}
+
+// pathHasElem reports whether the slash-separated import path contains
+// elem as an exact path element.
+func pathHasElem(path, elem string) bool {
+	for _, e := range strings.Split(path, "/") {
+		if e == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// simSidePackage reports whether path names a package in the
+// deterministic-simulation domain.
+func simSidePackage(path string) bool {
+	return pathHasElem(path, "sim") || pathHasElem(path, "simcluster") ||
+		pathHasElem(path, "netsim") || pathHasElem(path, "check")
+}
+
+// excludedPackage reports packages the suite never analyzes: vendored
+// third-party code and lint fixtures embedded in the tree.
+func excludedPackage(path string) bool {
+	return pathHasElem(path, "third_party") || pathHasElem(path, "testdata")
+}
+
+// allows maps file -> line -> analyzer names suppressed on that line via
+// //minos:allow or //minos:ordered directives.
+type allows map[string]map[int]map[string]bool
+
+// buildAllows scans every comment in the pass for suppression
+// directives. A directive suppresses findings on its own line and on the
+// line directly below it (so it can sit above the flagged statement).
+func buildAllows(pass *analysis.Pass) allows {
+	a := make(allows)
+	add := func(pos token.Pos, name string) {
+		p := pass.Fset.Position(pos)
+		if a[p.Filename] == nil {
+			a[p.Filename] = make(map[int]map[string]bool)
+		}
+		for _, line := range []int{p.Line, p.Line + 1} {
+			if a[p.Filename][line] == nil {
+				a[p.Filename][line] = make(map[string]bool)
+			}
+			a[p.Filename][line][name] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				switch {
+				case strings.HasPrefix(text, "minos:allow"):
+					rest := strings.TrimPrefix(text, "minos:allow")
+					// Strip a trailing "-- reason" justification.
+					if i := strings.Index(rest, "--"); i >= 0 {
+						rest = rest[:i]
+					}
+					for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+						return r == ',' || r == ' ' || r == '\t'
+					}) {
+						add(c.Pos(), name)
+					}
+				case strings.HasPrefix(text, "minos:ordered"):
+					// Ordered map iteration: a SimDet-specific waiver.
+					add(c.Pos(), "simdet")
+				}
+			}
+		}
+	}
+	return a
+}
+
+// allowed reports whether a finding of the named analyzer at pos is
+// suppressed by a directive.
+func (a allows) allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	return a[p.Filename] != nil && a[p.Filename][p.Line] != nil && a[p.Filename][p.Line][name]
+}
+
+// report emits a diagnostic unless a directive suppresses it.
+func report(pass *analysis.Pass, al allows, pos token.Pos, format string, args ...interface{}) {
+	if al.allowed(pass.Fset, pos, pass.Analyzer.Name) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit body from an
+// inspector stack.
+func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// walkSameFunc walks the subtree rooted at n without descending into
+// nested function literals, calling fn for every node visited.
+func walkSameFunc(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// contains reports whether node n's source extent covers pos.
+func contains(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

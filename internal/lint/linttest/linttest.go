@@ -1,0 +1,284 @@
+// Package linttest is a self-contained analysistest replacement.
+//
+// The real golang.org/x/tools/go/analysis/analysistest depends on
+// go/packages, which is not part of the toolchain-vendored x/tools
+// subset this module builds against. This harness reimplements the core
+// of it with only the standard library: fixture packages under
+// testdata/src/<importpath> are parsed and type-checked (stdlib imports
+// resolve through the source importer, fixture imports recursively
+// through the harness), the analyzer and its prerequisites run over
+// them, and reported diagnostics are matched against the classic
+//
+//	code() // want "regexp" "another regexp"
+//
+// expectation comments: every diagnostic must be expected, every
+// expectation must fire.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the fixture packages (import paths relative to
+// testdata/src) with a, checking diagnostics against want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset:   token.NewFileSet(),
+		srcDir: filepath.Join(testdata, "src"),
+		pkgs:   make(map[string]*fixturePkg),
+	}
+	l.base = importer.ForCompiler(l.fset, "source", nil)
+
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags := runWithDeps(t, a, p, make(map[*analysis.Analyzer]interface{}))
+		checkExpectations(t, l.fset, p, diags)
+	}
+}
+
+// fixturePkg is one loaded, type-checked fixture package.
+type fixturePkg struct {
+	path      string
+	fset      *token.FileSet
+	files     []*ast.File
+	filenames []string
+	pkg       *types.Package
+	info      *types.Info
+}
+
+type loader struct {
+	fset   *token.FileSet
+	srcDir string
+	pkgs   map[string]*fixturePkg
+	base   types.Importer
+}
+
+// Import makes loader a types.Importer: fixture dirs shadow real
+// packages, everything else falls back to GOROOT source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(l.srcDir, path)); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.base.Import(path)
+}
+
+func (l *loader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.srcDir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &fixturePkg{path: path, fset: l.fset}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	for _, name := range names {
+		fn := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+		p.filenames = append(p.filenames, fn)
+	}
+	p.info = &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		FileVersions: make(map[*ast.File]string),
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, p.files, p.info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	p.pkg = pkg
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// runWithDeps runs a's prerequisites, then a itself, returning a's
+// diagnostics. Results are memoized per package in results.
+func runWithDeps(t *testing.T, a *analysis.Analyzer, p *fixturePkg, results map[*analysis.Analyzer]interface{}) []analysis.Diagnostic {
+	t.Helper()
+	for _, req := range a.Requires {
+		if _, done := results[req]; !done {
+			runWithDeps(t, req, p, results)
+		}
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       p.fset,
+		Files:      p.files,
+		Pkg:        p.pkg,
+		TypesInfo:  p.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   make(map[*analysis.Analyzer]interface{}),
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return false
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return false
+		},
+		ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+		ExportPackageFact: func(fact analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = results[req]
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("%s failed on %s: %v", a.Name, p.path, err)
+	}
+	results[a] = res
+	return diags
+}
+
+// wantExpectation is one "// want" regexp at a file:line.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts expectations from a fixture file's comments.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*wantExpectation {
+	t.Helper()
+	var out []*wantExpectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, raw := range splitQuoted(t, m[1]) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+				}
+				out = append(out, &wantExpectation{
+					file: pos.Filename, line: pos.Line, re: re, raw: raw,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go string literals: "a" "b" `c`.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var lit string
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(s) {
+				t.Fatalf("unterminated want literal: %s", s)
+			}
+			var err error
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("bad want literal %q: %v", s[:end+1], err)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("unterminated want literal: %s", s)
+			}
+			lit = s[1 : 1+end]
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			t.Fatalf("want expectations must be quoted string literals, got: %s", s)
+		}
+		out = append(out, lit)
+	}
+	return out
+}
+
+// checkExpectations cross-checks diagnostics against want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, p *fixturePkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range p.files {
+		wants = append(wants, parseWants(t, fset, f)...)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/cfg"
+)
+
+// PersistOrder encodes the paper's persist-before-ack rule for the live
+// node (Fig 2 L39-40, Fig 3): under Strict and Synchronous persistency a
+// follower's durable acknowledgment ([ACK] / [ACK_P]) tells the
+// coordinator the update is in NVM, so constructing one must be
+// dominated by the durable-write call. Concretely: in internal/node, on
+// every control-flow path from function entry to a statement that builds
+// a message with Kind KindAck or KindAckP, a durability event must
+// already have happened — a persist() call, a wait on the persistency
+// acknowledgments (waitPersistency / waitLocallyDurable), or a
+// PersistencyDone spin. Consistency-only acknowledgments (KindAckC) are
+// exempt: they legitimately precede the persist.
+//
+// A loop whose body performs the durable write counts as evidence even
+// on its zero-iteration exit: "persist everything buffered" over an
+// empty buffer is vacuously durable.
+var PersistOrder = &analysis.Analyzer{
+	Name: "persistorder",
+	Doc: "require Strict/Synchronous acknowledgments (KindAck/KindAckP) to be " +
+		"preceded by the durable write on every control-flow path " +
+		"(persist-before-ack)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      runPersistOrder,
+}
+
+// durableEvidenceFuncs are calls that establish durability of the
+// update being acknowledged.
+var durableEvidenceFuncs = map[string]bool{
+	"persist":            true, // the NVM append (Node.persist)
+	"waitPersistency":    true, // coordinator-side spin on [ACK_P]s
+	"waitLocallyDurable": true, // spin on the local log
+	"PersistencyDone":    true, // metadata spin predicate
+}
+
+// durableAckKinds are the message kinds that promise durability.
+var durableAckKinds = map[string]bool{
+	"KindAck":  true, // Synch combined acknowledgment
+	"KindAckP": true, // Strict/REnf persistency acknowledgment
+}
+
+func runPersistOrder(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if excludedPackage(path) || !pathHasElem(path, "node") {
+		return nil, nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				checkPersistOrder(pass, al, n.Body, cfgs.FuncDecl(n))
+			}
+		case *ast.FuncLit:
+			checkPersistOrder(pass, al, n.Body, cfgs.FuncLit(n))
+		}
+	})
+	return nil, nil
+}
+
+// ackSite is one construction of a durable acknowledgment.
+type ackSite struct {
+	pos  token.Pos
+	kind string
+}
+
+// checkPersistOrder verifies persist-before-ack within one function.
+func checkPersistOrder(pass *analysis.Pass, al allows, body *ast.BlockStmt, g *cfg.CFG) {
+	acks := findDurableAcks(body)
+	if len(acks) == 0 || g == nil {
+		return
+	}
+	evidence := findEvidenceIntervals(body)
+
+	// Dataflow over the CFG: a block start is "clean" if it is reachable
+	// from entry without passing a durability event. Walking a clean
+	// block, evidence flips the rest of the block (and its successors,
+	// via not propagating clean) to covered; an ack met while still
+	// clean is a violation.
+	if len(g.Blocks) == 0 {
+		return
+	}
+	clean := make(map[*cfg.Block]bool)
+	clean[g.Blocks[0]] = true
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if !clean[b] {
+				continue
+			}
+			stillClean := true
+			for _, n := range b.Nodes {
+				if nodeHasEvidence(n, evidence) {
+					stillClean = false
+					break
+				}
+			}
+			if stillClean {
+				for _, s := range b.Succs {
+					if !clean[s] {
+						clean[s] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, b := range g.Blocks {
+		if !clean[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if nodeHasEvidence(n, evidence) {
+				break // rest of block is covered
+			}
+			for _, a := range acks {
+				if contains(n, a.pos) && !reported[a.pos] {
+					reported[a.pos] = true
+					report(pass, al, a.pos,
+						"%s acknowledgment is constructed on a path with no preceding "+
+							"durable write (persist-before-ack, Fig 2 L39-40): call persist "+
+							"or wait for persistency before acknowledging durability", a.kind)
+				}
+			}
+		}
+	}
+}
+
+// findDurableAcks locates calls whose arguments mention KindAck or
+// KindAckP — sendAck(m, KindAck), send(to, Message{Kind: KindAckP, ...}).
+func findDurableAcks(body *ast.BlockStmt) []ackSite {
+	var out []ackSite
+	walkSameFunc(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			kind := ""
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && durableAckKinds[id.Name] {
+					kind = id.Name
+				}
+				return kind == ""
+			})
+			if kind != "" {
+				out = append(out, ackSite{call.Pos(), kind})
+				break
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// evidenceInterval is a source extent that establishes durability: the
+// durable call itself, widened to its innermost enclosing loop so that
+// "persist each buffered entry" loops count on the zero-iteration path
+// too.
+type evidenceInterval struct{ lo, hi token.Pos }
+
+func findEvidenceIntervals(body *ast.BlockStmt) []evidenceInterval {
+	// Track loop nesting so each evidence call can be widened.
+	var out []evidenceInterval
+	var walk func(n ast.Node, loop ast.Node)
+	walk = func(n ast.Node, loop ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == nil || m == n {
+				return m == n
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt:
+				walk(loopBody(m), m)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && durableEvidenceFuncs[sel.Sel.Name] {
+					iv := evidenceInterval{m.Pos(), m.End()}
+					if loop != nil {
+						iv = evidenceInterval{loop.Pos(), loop.End()}
+					}
+					out = append(out, iv)
+				}
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+	return out
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		// Include Cond: spin loops carry their evidence in the condition.
+		return n
+	case *ast.RangeStmt:
+		return n
+	}
+	return n
+}
+
+// nodeHasEvidence reports whether CFG node n overlaps any evidence
+// interval.
+func nodeHasEvidence(n ast.Node, evidence []evidenceInterval) bool {
+	for _, iv := range evidence {
+		if n.Pos() < iv.hi && iv.lo < n.End() {
+			return true
+		}
+	}
+	return false
+}

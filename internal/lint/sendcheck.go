@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/types/typeutil"
+)
+
+// SendCheck requires every Transport.Send / enqueue error to be checked
+// or explicitly discarded with `_ =`. A silently dropped send error is a
+// silently dropped protocol message: an INV that never reaches a
+// follower, an ACK the coordinator spins on forever. The failure
+// detector can only compensate for losses it is allowed to see.
+var SendCheck = &analysis.Analyzer{
+	Name: "sendcheck",
+	Doc: "require transport send/enqueue errors to be checked or explicitly " +
+		"discarded with `_ =`",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSendCheck,
+}
+
+func runSendCheck(pass *analysis.Pass) (interface{}, error) {
+	if excludedPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{
+		(*ast.ExprStmt)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.DeferStmt)(nil),
+	}, func(n ast.Node) {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			c, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			call = c
+		case *ast.GoStmt:
+			call = n.Call
+		case *ast.DeferStmt:
+			call = n.Call
+		}
+		if isTransportSend(pass, call) {
+			report(pass, al, call.Pos(),
+				"result of %s is discarded: a dropped send error is a silently lost "+
+					"protocol message; check it or discard explicitly with `_ = ...`",
+				callName(call))
+		}
+	})
+	return nil, nil
+}
+
+// isTransportSend reports whether call invokes a transport-layer send:
+// a method named Send, SendFrame or Enqueue that returns an error and is
+// declared in a package with a "transport" path element (concrete
+// transports and the Transport interface alike).
+func isTransportSend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Send", "SendFrame", "Enqueue":
+	default:
+		return false
+	}
+	if !pathHasElem(fn.Pkg().Path(), "transport") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok &&
+			named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders a call target for diagnostics ("tr.Send").
+func callName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel)
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/lint/linttest"
+)
+
+func TestSendCheck(t *testing.T) {
+	linttest.Run(t, "testdata", SendCheck, "sendcheck/a")
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/types/typeutil"
+)
+
+// SimDet enforces bit-for-bit determinism in the simulation-side
+// packages (sim, simcluster, netsim, check). The MINOS-B vs MINOS-O
+// comparisons are reproducible only if a fixed seed always produces an
+// identical event timeline, so these packages must not observe the wall
+// clock, the process-global random source, the Go scheduler, or map
+// iteration order.
+var SimDet = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "enforce determinism invariants in simulation packages: no wall-clock time, " +
+		"no global math/rand, no raw goroutines outside the sim kernel, and no " +
+		"order-sensitive map iteration",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSimDet,
+}
+
+// wallClockFuncs are time-package functions whose results depend on the
+// wall clock or real scheduling and therefore differ across runs.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// seededConstructors are math/rand functions that are safe because they
+// only build explicitly seeded generators.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runSimDet(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if excludedPackage(path) || !simSidePackage(path) {
+		return nil, nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// The kernel package itself (path element "sim") is the one place
+	// goroutines may be spawned: Kernel.Spawn parks them behind the
+	// event queue, which is what makes them deterministic.
+	inKernel := pathHasElem(path, "sim") && !pathHasElem(path, "simcluster")
+
+	nodeFilter := []ast.Node{
+		(*ast.CallExpr)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.RangeStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkSimCall(pass, al, n)
+		case *ast.GoStmt:
+			if !inKernel {
+				report(pass, al, n.Pos(),
+					"raw goroutine in deterministic simulation package %s: goroutine "+
+						"scheduling is nondeterministic; run code as a sim process via "+
+						"Kernel.Spawn instead", pass.Pkg.Name())
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, al, n, enclosingFunc(stack))
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkSimCall flags calls that read the wall clock or the global
+// math/rand source.
+func checkSimCall(pass *analysis.Pass, al allows, call *ast.CallExpr) {
+	fn := typeutil.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			report(pass, al, call.Pos(),
+				"time.%s in simulation package: wall-clock time is nondeterministic; "+
+					"use the kernel's simulated clock (Kernel.Now / Proc.Sleep)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededConstructors[fn.Name()] {
+			report(pass, al, call.Pos(),
+				"global math/rand.%s in simulation package: the process-global source "+
+					"is shared and unseeded; use the per-simulation seeded *rand.Rand "+
+					"(Kernel.Rand)", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags iteration over a map whose order can leak into
+// event ordering or emitted results. Order-insensitive bodies (pure
+// aggregation, map/set writes, deletes) are allowed, as is the
+// collect-then-sort idiom where every slice appended to inside the loop
+// is passed to a sort function later in the same enclosing function.
+func checkMapRange(pass *analysis.Pass, al allows, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	appended := make(map[types.Object]bool)
+	if reason := orderSensitive(pass, rng.Body.List, appended); reason != "" {
+		report(pass, al, rng.Pos(),
+			"map iteration order is nondeterministic and this loop %s; iterate over "+
+				"sorted keys (or mark the loop //minos:ordered with a justification)", reason)
+		return
+	}
+	// Every slice the loop appends to must be sorted afterwards,
+	// otherwise the collected order is the (random) map order.
+	for obj := range appended {
+		if !sortedLater(pass, fnBody, rng, obj) {
+			report(pass, al, rng.Pos(),
+				"slice %s collects map keys/values in nondeterministic order and is "+
+					"never sorted in this function; sort it before use", obj.Name())
+			return
+		}
+	}
+}
+
+// orderSensitive classifies the body of a map-range loop. It returns ""
+// if every statement is order-insensitive, else a short description of
+// the offending effect. Slices grown with append are recorded in
+// appended for the caller's sorted-later check.
+func orderSensitive(pass *analysis.Pass, stmts []ast.Stmt, appended map[types.Object]bool) string {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+				token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+				continue // commutative aggregation
+			case token.ASSIGN, token.DEFINE:
+				if obj, ok := appendTarget(pass, s); ok {
+					appended[obj] = true
+					continue
+				}
+				// m[k] = v map/set insertion is order-insensitive.
+				if len(s.Lhs) == 1 {
+					if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+						if xt := pass.TypesInfo.TypeOf(ix.X); xt != nil {
+							if _, isMap := xt.Underlying().(*types.Map); isMap {
+								continue
+							}
+						}
+					}
+				}
+				return "assigns outside the loop in iteration order"
+			default:
+				return "has order-dependent updates"
+			}
+		case *ast.IncDecStmt:
+			continue
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+					continue
+				}
+			}
+			return "calls functions in iteration order"
+		case *ast.IfStmt:
+			if r := orderSensitive(pass, s.Body.List, appended); r != "" {
+				return r
+			}
+			if s.Else != nil {
+				var elseStmts []ast.Stmt
+				switch e := s.Else.(type) {
+				case *ast.BlockStmt:
+					elseStmts = e.List
+				default:
+					elseStmts = []ast.Stmt{e}
+				}
+				if r := orderSensitive(pass, elseStmts, appended); r != "" {
+					return r
+				}
+			}
+		case *ast.BlockStmt:
+			if r := orderSensitive(pass, s.List, appended); r != "" {
+				return r
+			}
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE {
+				continue
+			}
+			// break out of a map range = "pick an arbitrary element".
+			return "exits early, selecting an arbitrary element"
+		default:
+			return "has order-dependent effects"
+		}
+	}
+	return ""
+}
+
+// appendTarget matches `x = append(x, ...)` / `x := append(...)` and
+// returns x's object.
+func appendTarget(pass *analysis.Pass, s *ast.AssignStmt) (types.Object, bool) {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.ObjectOf(lhs)
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
+}
+
+// sortedLater reports whether obj is passed to a sort/slices sorting
+// function somewhere after the range loop in the enclosing function.
+func sortedLater(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if fnBody == nil {
+		return false
+	}
+	found := false
+	walkSameFunc(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			mentioned := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					mentioned = true
+				}
+				return !mentioned
+			})
+			if mentioned {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

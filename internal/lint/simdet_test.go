@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/lint/linttest"
+)
+
+func TestSimDet(t *testing.T) {
+	linttest.Run(t, "testdata", SimDet, "simdet/sim", "simdet/simcluster")
+}

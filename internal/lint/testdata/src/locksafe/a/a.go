@@ -1,0 +1,124 @@
+// Fixture for the locksafe analyzer.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func ByValue(b Box) int { // want `parameter of ByValue passes a lock by value`
+	return b.n
+}
+
+func (b Box) Get() int { // want `receiver of Get passes a lock by value`
+	return b.n
+}
+
+func CopyDeref(b *Box) {
+	c := *b // want `assignment copies a value containing a mutex`
+	_ = c
+}
+
+func RangeCopy(boxes []Box) {
+	for _, b := range boxes { // want `range copies a value containing a mutex`
+		_ = b
+	}
+}
+
+type Guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g *Guarded) LeakOnBranch(cond bool) int {
+	g.mu.Lock() // want `g\.mu\.Lock is not released on the return path`
+	if cond {
+		return 0
+	}
+	g.mu.Unlock()
+	return g.v
+}
+
+func (g *Guarded) SendLocked(ch chan int) {
+	g.mu.Lock()
+	ch <- 1 // want `held across a channel send`
+	g.mu.Unlock()
+}
+
+func (g *Guarded) RecvUnderDeferredLock(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	<-ch // want `held across a channel receive`
+}
+
+func (g *Guarded) SleepLocked() {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want `held across time\.Sleep`
+	g.mu.Unlock()
+}
+
+func (g *Guarded) NonBlockingSelectOK(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case ch <- g.v:
+	default:
+	}
+}
+
+func (g *Guarded) BlockingSelect(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want `held across a blocking select`
+	case ch <- g.v:
+	}
+}
+
+func (g *Guarded) DeferOK() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func (g *Guarded) BranchyOK(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+		return 0
+	}
+	g.mu.Unlock()
+	return 1
+}
+
+func release(g *Guarded) { g.mu.Unlock() }
+
+func HandoffOK(g *Guarded) {
+	g.mu.Lock()
+	release(g) // ownership transferred: callee unlocks
+}
+
+// SelfContainedDeferOK: the deferred closure takes and releases the lock
+// itself; it must not be mistaken for a deferred release of the explicit
+// Lock/Unlock pair above it, which would make the receive look locked.
+func (g *Guarded) SelfContainedDeferOK(ch chan int) {
+	g.mu.Lock()
+	g.v++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.v--
+		g.mu.Unlock()
+	}()
+	<-ch
+}
+
+func (g *Guarded) WaivedSend(ch chan int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch <- g.v //minos:allow locksafe -- fixture waiver
+}

@@ -1,0 +1,64 @@
+// Fixture for the persistorder analyzer: the path element "node" marks
+// this as live-protocol handler code.
+package node
+
+type MsgKind int
+
+const (
+	KindInv MsgKind = iota
+	KindAck
+	KindAckC
+	KindAckP
+)
+
+type Message struct {
+	Kind MsgKind
+	From int
+}
+
+type Node struct{ buffered []Message }
+
+func (n *Node) persist(m Message)            {}
+func (n *Node) send(to int, m Message)       {}
+func (n *Node) sendAck(m Message, k MsgKind) {}
+func (n *Node) waitPersistency() error       { return nil }
+
+func (n *Node) ackWithoutPersist(m Message) {
+	n.sendAck(m, KindAck) // want `persist-before-ack`
+}
+
+func (n *Node) ackAfterPersist(m Message) {
+	n.persist(m)
+	n.sendAck(m, KindAck)
+}
+
+func (n *Node) consistencyAckOK(m Message) {
+	n.sendAck(m, KindAckC)
+	n.persist(m)
+	n.sendAck(m, KindAckP)
+}
+
+func (n *Node) branchMissesPersist(m Message, fast bool) {
+	if !fast {
+		n.persist(m)
+	}
+	n.sendAck(m, KindAckP) // want `persist-before-ack`
+}
+
+func (n *Node) loopPersistOK(m Message) {
+	for _, b := range n.buffered {
+		n.persist(b)
+	}
+	n.send(m.From, Message{Kind: KindAckP, From: 0})
+}
+
+func (n *Node) waitThenAckOK(m Message) {
+	if err := n.waitPersistency(); err != nil {
+		return
+	}
+	n.sendAck(m, KindAckP)
+}
+
+func (n *Node) composedAckLiteral(m Message) {
+	n.send(m.From, Message{Kind: KindAck}) // want `persist-before-ack`
+}

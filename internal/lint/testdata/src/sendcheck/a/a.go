@@ -1,0 +1,31 @@
+// Fixture for the sendcheck analyzer.
+package a
+
+import "sendcheck/transport"
+
+func Drops(tr transport.Transport, m *transport.Mem) {
+	tr.Send(1, transport.Frame{})   // want `result of tr\.Send is discarded`
+	m.Enqueue(transport.Frame{})    // want `result of m\.Enqueue is discarded`
+	go m.Send(2, transport.Frame{}) // want `result of m\.Send is discarded`
+}
+
+func Checked(tr transport.Transport, m *transport.Mem) {
+	_ = tr.Send(1, transport.Frame{}) // explicit discard: allowed
+	if err := m.Send(2, transport.Frame{}); err != nil {
+		panic(err)
+	}
+	err := m.Enqueue(transport.Frame{})
+	_ = err
+}
+
+func Waived(tr transport.Transport) {
+	tr.Send(1, transport.Frame{}) //minos:allow sendcheck -- fixture waiver
+}
+
+type local struct{}
+
+func (local) Send(to int) error { return nil }
+
+func NotATransport(l local) {
+	l.Send(5) // not in a transport package: ignored
+}

@@ -1,0 +1,16 @@
+// Fixture transport package: the path element "transport" is what marks
+// Send/Enqueue methods here as protocol-message carriers.
+package transport
+
+type Frame struct{ B []byte }
+
+type Transport interface {
+	Send(to int, f Frame) error
+	Recv() <-chan Frame
+}
+
+type Mem struct{}
+
+func (*Mem) Send(to int, f Frame) error { return nil }
+func (*Mem) Recv() <-chan Frame         { return nil }
+func (*Mem) Enqueue(f Frame) error      { return nil }

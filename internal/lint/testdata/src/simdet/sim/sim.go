@@ -1,0 +1,87 @@
+// Fixture for the simdet analyzer: path element "sim" marks this as the
+// kernel package, where raw goroutines are allowed but wall-clock and
+// global-rand use is not.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type Kernel struct {
+	rng   *rand.Rand
+	procs map[int]string
+}
+
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), procs: map[int]string{}}
+}
+
+func (k *Kernel) wallClock() {
+	t := time.Now()  // want `time\.Now in simulation package`
+	_ = time.Since(t) // want `time\.Since in simulation package`
+	time.Sleep(1)    // want `time\.Sleep in simulation package`
+}
+
+func (k *Kernel) globalRand() {
+	_ = rand.Intn(4)                   // want `global math/rand\.Intn in simulation package`
+	rand.Shuffle(2, func(i, j int) {}) // want `global math/rand\.Shuffle in simulation package`
+}
+
+func (k *Kernel) seededRandOK() {
+	r := rand.New(rand.NewSource(7))
+	_ = r.Float64()
+	_ = k.rng.Intn(4)
+}
+
+func (k *Kernel) goroutineOKInKernel(fn func()) {
+	go fn()
+}
+
+func (k *Kernel) sortedKeysOK() []int {
+	var out []int
+	for id := range k.procs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (k *Kernel) aggregateOK() int {
+	n := 0
+	for range k.procs {
+		n++
+	}
+	return n
+}
+
+func (k *Kernel) unsortedCollect() []string {
+	var out []string
+	for _, name := range k.procs { // want `never sorted in this function`
+		out = append(out, name)
+	}
+	return out
+}
+
+func (k *Kernel) arbitraryPick() {
+	for id := range k.procs { // want `selecting an arbitrary element`
+		delete(k.procs, id)
+		break
+	}
+}
+
+func (k *Kernel) emitsInMapOrder(emit func(string)) {
+	for _, name := range k.procs { // want `calls functions in iteration order`
+		emit(name)
+	}
+}
+
+func (k *Kernel) waivedOrder() []int {
+	var out []int
+	//minos:ordered -- demo waiver: consumer treats out as a set
+	for id := range k.procs {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+// Fixture: a non-kernel simulation package, where even raw goroutines
+// are forbidden.
+package simcluster
+
+func spawnRaw(fn func()) {
+	go fn() // want `raw goroutine in deterministic simulation package`
+}
+
+func mapWritesOK(in map[int]int, out map[int]int) {
+	for k, v := range in {
+		out[k] = v
+	}
+}

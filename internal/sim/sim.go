@@ -19,6 +19,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of
@@ -92,6 +93,7 @@ type Kernel struct {
 	park     chan struct{} // running process parks itself here
 	rng      *rand.Rand
 	procs    map[*Proc]struct{}
+	spawned  uint64 // processes ever spawned; orders Stop teardown
 	stopping bool
 	executed uint64 // events executed, for diagnostics
 }
@@ -212,12 +214,19 @@ func (k *Kernel) Deadlocked() bool {
 func (k *Kernel) Stop() {
 	k.stopping = true
 	for len(k.procs) > 0 {
-		var p *Proc
+		// Tear processes down in spawn order, not map order, so that any
+		// side effects of unwinding (metrics flushes, queue releases seen
+		// by later-resumed processes) are identical across runs.
+		live := make([]*Proc, 0, len(k.procs))
 		for q := range k.procs {
-			p = q
-			break
+			live = append(live, q)
 		}
-		k.resume(p)
+		sort.Slice(live, func(i, j int) bool { return live[i].spawnSeq < live[j].spawnSeq })
+		for _, p := range live {
+			if _, alive := k.procs[p]; alive && !p.done {
+				k.resume(p)
+			}
+		}
 	}
 }
 
@@ -234,18 +243,20 @@ type stopToken struct{}
 // Proc is a simulation process: a goroutine scheduled by the kernel.
 // All Proc methods must be called from the process's own goroutine.
 type Proc struct {
-	k       *Kernel
-	name    string
-	resume  chan struct{}
-	wakeSeq uint64
-	done    bool
+	k        *Kernel
+	name     string
+	resume   chan struct{}
+	wakeSeq  uint64
+	spawnSeq uint64 // position in spawn order, for deterministic Stop
+	done     bool
 }
 
 // Spawn starts a new process executing fn. The process is scheduled to
 // begin at the current simulated time. Spawn may be called before Run,
 // from another process, or from a kernel callback.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.spawned++
+	p := &Proc{k: k, name: name, resume: make(chan struct{}), spawnSeq: k.spawned}
 	k.procs[p] = struct{}{}
 	go func() {
 		<-p.resume

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -50,15 +51,18 @@ func TestNegativeDelaysPanic(t *testing.T) {
 }
 
 func TestDurationString(t *testing.T) {
-	cases := map[Duration]string{
-		500:             "500ns",
-		1500:            "1.500µs",
-		2 * Millisecond: "2.000ms",
-		3 * Second:      "3.000s",
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500µs"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000s"},
 	}
-	for d, want := range cases {
-		if got := d.String(); got != want {
-			t.Errorf("%d.String() = %q, want %q", int64(d), got, want)
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
 		}
 	}
 }
@@ -150,4 +154,40 @@ func TestProcNameAndKernel(t *testing.T) {
 		}
 	})
 	k.Run()
+}
+
+// TestStopTeardownOrder: Stop unwinds still-blocked processes in spawn
+// order, not map-iteration order, so teardown side effects (queue
+// releases, metric flushes) are identical across same-seed runs.
+func TestStopTeardownOrder(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(5)
+		q := NewQueue[int](k, 0)
+		var order []string
+		for i := 0; i < 8; i++ {
+			name := fmt.Sprintf("blocked%d", i)
+			k.Spawn(name, func(p *Proc) {
+				defer func() { order = append(order, p.Name()) }()
+				q.Get(p) // blocks forever: no producer exists
+			})
+		}
+		k.Run()
+		if !k.Deadlocked() {
+			t.Fatal("expected a deadlocked kernel before Stop")
+		}
+		k.Stop()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 8 {
+		t.Fatalf("unwound %d processes, want 8", len(a))
+	}
+	for i, name := range a {
+		if want := fmt.Sprintf("blocked%d", i); name != want {
+			t.Fatalf("teardown[%d] = %q, want %q (spawn order)", i, name, want)
+		}
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same-seed teardown diverged: %v vs %v", a, b)
+	}
 }

@@ -101,18 +101,21 @@ func TestValueSizeScalesCosts(t *testing.T) {
 
 // TestOptsString: the ablation labels match Fig 12's vocabulary.
 func TestOptsString(t *testing.T) {
-	cases := map[string]Opts{
-		"MINOS-B":                    MinosB,
-		"MINOS-O":                    MinosO,
-		"MINOS-B+Combined":           {Offload: true},
-		"MINOS-B+broadcast":          {Broadcast: true},
-		"MINOS-B+batching":           {Batch: true},
-		"MINOS-B+Combined+broadcast": {Offload: true, Broadcast: true},
-		"MINOS-B+Combined+batching":  {Offload: true, Batch: true},
+	cases := []struct {
+		want string
+		opts Opts
+	}{
+		{"MINOS-B", MinosB},
+		{"MINOS-O", MinosO},
+		{"MINOS-B+Combined", Opts{Offload: true}},
+		{"MINOS-B+broadcast", Opts{Broadcast: true}},
+		{"MINOS-B+batching", Opts{Batch: true}},
+		{"MINOS-B+Combined+broadcast", Opts{Offload: true, Broadcast: true}},
+		{"MINOS-B+Combined+batching", Opts{Offload: true, Batch: true}},
 	}
-	for want, opts := range cases {
-		if got := opts.String(); got != want {
-			t.Errorf("%+v.String() = %q, want %q", opts, got, want)
+	for _, c := range cases {
+		if got := c.opts.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.opts, got, c.want)
 		}
 	}
 }

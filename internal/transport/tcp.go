@@ -40,6 +40,7 @@ type lockedConn struct {
 func (lc *lockedConn) write(buf []byte) error {
 	lc.wmu.Lock()
 	defer lc.wmu.Unlock()
+	//minos:allow locksafe -- wmu exists precisely to hold writers across this syscall
 	_, err := lc.c.Write(buf)
 	return err
 }
@@ -81,11 +82,12 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 // then exchange the real addresses before any protocol traffic.
 func (t *TCPTransport) SetPeerAddr(id ddp.NodeID, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.addrs[id] = addr
-	if c := t.conns[id]; c != nil {
-		delete(t.conns, id)
-		c.c.Close()
+	c := t.conns[id]
+	delete(t.conns, id)
+	t.mu.Unlock()
+	if c != nil {
+		c.c.Close() // close outside the lock: Close can block on TCP teardown
 	}
 }
 
@@ -189,14 +191,17 @@ func (t *TCPTransport) Send(to ddp.NodeID, f Frame) error {
 			c.Close()
 			return ErrClosed
 		}
-		if existing := t.conns[to]; existing != nil {
-			c.Close()
+		existing := t.conns[to]
+		if existing != nil {
 			conn = existing
 		} else {
 			conn = &lockedConn{c: c}
 			t.conns[to] = conn
 		}
 		t.mu.Unlock()
+		if existing != nil {
+			c.Close() // lost a dial race; discard our connection
+		}
 	}
 
 	if err := conn.write(buf); err != nil {
