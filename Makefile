@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check clean
+.PHONY: all build test race lint vet check bench-smoke clean
 
 all: build
 
@@ -27,6 +27,11 @@ vet:
 	$(GO) vet ./...
 
 check: lint test
+
+# Quick-scale sweep with the parallel runner; records per-figure wall
+# clock in BENCH_sweep.json (CI uploads it as the perf trajectory).
+bench-smoke:
+	$(GO) run ./cmd/minos-bench -requests 400 -ablations -json BENCH_sweep.json > /dev/null
 
 clean:
 	$(GO) clean ./...

@@ -6,10 +6,13 @@
 //
 //	minos-bench                 # all figures at the standard scale
 //	minos-bench -fig 12         # one figure
+//	minos-bench -parallel 1     # sequential cells (identical output)
 //	minos-bench -requests 100000 -seed 7
+//	minos-bench -json BENCH_sweep.json   # per-figure wall-clock record
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,18 +26,15 @@ func main() {
 	requests := flag.Int("requests", experiments.Standard.Requests,
 		"requests per node per configuration (paper: 100000)")
 	seed := flag.Int64("seed", experiments.Standard.Seed, "simulation seed")
+	parallel := flag.Int("parallel", 0,
+		"simulation cells evaluated concurrently per figure (0 = GOMAXPROCS, 1 = sequential; output is identical at any setting)")
 	ablations := flag.Bool("ablations", false,
 		"also run the design-choice ablations (SmartNIC cores, drain engines, host cores, YCSB presets)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
+	jsonOut := flag.String("json", "", "write per-figure wall-clock milliseconds to this JSON file")
 	flag.Parse()
 
-	sc := experiments.Scale{Requests: *requests, Seed: *seed}
-	if *ablations {
-		runAblations(sc)
-		if *fig == 0 {
-			return
-		}
-	}
+	sc := experiments.Scale{Requests: *requests, Seed: *seed, Parallel: *parallel}
 	dir := *csvDir
 	runners := map[int]func(){
 		4: func() {
@@ -91,25 +91,52 @@ func main() {
 		},
 	}
 
+	timings := map[string]float64{}
+	wholeRun := time.Now()
 	order := []int{4, 9, 10, 11, 12, 13, 14}
 	if *fig != 0 {
-		run, ok := runners[*fig]
-		if !ok {
+		if _, ok := runners[*fig]; !ok {
 			fmt.Fprintf(os.Stderr, "minos-bench: no figure %d (have 4,9,10,11,12,13,14)\n", *fig)
 			os.Exit(2)
 		}
-		timed(*fig, run)
-		return
+		order = []int{*fig}
 	}
 	for _, f := range order {
-		timed(f, runners[f])
+		timed(timings, fmt.Sprintf("fig%d", f), f, runners[f])
+	}
+	if *ablations {
+		timed(timings, "ablations", 0, func() { runAblations(sc) })
+	}
+	timings["total"] = float64(time.Since(wholeRun).Milliseconds())
+	if *jsonOut != "" {
+		if err := writeTimings(*jsonOut, timings); err != nil {
+			fmt.Fprintf(os.Stderr, "minos-bench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
 	}
 }
 
-func timed(fig int, run func()) {
+// timed runs one figure, printing and recording its wall clock in ms.
+func timed(timings map[string]float64, name string, fig int, run func()) {
 	start := time.Now()
 	run()
-	fmt.Printf("(figure %d regenerated in %v)\n\n", fig, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	timings[name] = float64(elapsed.Milliseconds())
+	if fig != 0 {
+		fmt.Printf("(figure %d regenerated in %v)\n\n", fig, elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("(%s regenerated in %v)\n\n", name, elapsed.Round(time.Millisecond))
+	}
+}
+
+// writeTimings records the per-figure wall clock — the perf trajectory
+// artifact CI uploads as BENCH_sweep.json.
+func writeTimings(path string, timings map[string]float64) error {
+	buf, err := json.MarshalIndent(timings, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 func fig9Summary(res *experiments.Fig9Result) {

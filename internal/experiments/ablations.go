@@ -29,12 +29,18 @@ type AblationRow struct {
 // MINOS-O's follower-side work (vFIFO/dFIFO writes, protocol handling)
 // has to run somewhere, so starving the NIC of cores erodes the win.
 func AblationSNICCores(sc Scale) ([]AblationRow, *stats.Table) {
-	var rows []AblationRow
-	for _, cores := range []int{1, 2, 4, 8, 16} {
+	coreCounts := []int{1, 2, 4, 8, 16}
+	cells := make([]Cell, 0, len(coreCounts))
+	for _, cores := range coreCounts {
 		cfg := simcluster.DefaultConfig()
 		cfg.Opts = simcluster.MinosO
 		cfg.SNICCores = cores
-		m := run(cfg, defaultWorkload(1.0), sc)
+		cells = append(cells, cell(cfg, defaultWorkload(1.0), sc))
+	}
+	metrics := runCells(sc, cells)
+	var rows []AblationRow
+	for i, cores := range coreCounts {
+		m := metrics[i]
 		rows = append(rows, AblationRow{
 			Group: "snic-cores", Setting: fmt.Sprintf("%d", cores), System: "MINOS-O",
 			WriteNs: m.AvgWriteNs(), Thr: m.WriteThroughput(),
@@ -47,12 +53,18 @@ func AblationSNICCores(sc Scale) ([]AblationRow, *stats.Table) {
 // one engine the drain serializes all records; the paper's design
 // drains different records in parallel (§V-B.4).
 func AblationDrainEngines(sc Scale) ([]AblationRow, *stats.Table) {
-	var rows []AblationRow
-	for _, engines := range []int{1, 2, 4, 8} {
+	engineCounts := []int{1, 2, 4, 8}
+	cells := make([]Cell, 0, len(engineCounts))
+	for _, engines := range engineCounts {
 		cfg := simcluster.DefaultConfig()
 		cfg.Opts = simcluster.MinosO
 		cfg.VDrainEngines = engines
-		m := run(cfg, defaultWorkload(0.5), sc)
+		cells = append(cells, cell(cfg, defaultWorkload(0.5), sc))
+	}
+	metrics := runCells(sc, cells)
+	var rows []AblationRow
+	for i, engines := range engineCounts {
+		m := metrics[i]
 		rows = append(rows, AblationRow{
 			Group: "drain-engines", Setting: fmt.Sprintf("%d", engines), System: "MINOS-O",
 			WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),
@@ -65,11 +77,17 @@ func AblationDrainEngines(sc Scale) ([]AblationRow, *stats.Table) {
 // baseline's bottleneck is host compute, so cores buy it throughput —
 // the capacity MINOS-O frees by offloading.
 func AblationHostCores(sc Scale) ([]AblationRow, *stats.Table) {
-	var rows []AblationRow
-	for _, cores := range []int{2, 5, 10, 20} {
+	coreCounts := []int{2, 5, 10, 20}
+	cells := make([]Cell, 0, len(coreCounts))
+	for _, cores := range coreCounts {
 		cfg := simcluster.DefaultConfig()
 		cfg.HostCores = cores
-		m := run(cfg, defaultWorkload(0.5), sc)
+		cells = append(cells, cell(cfg, defaultWorkload(0.5), sc))
+	}
+	metrics := runCells(sc, cells)
+	var rows []AblationRow
+	for i, cores := range coreCounts {
+		m := metrics[i]
 		rows = append(rows, AblationRow{
 			Group: "host-cores", Setting: fmt.Sprintf("%d", cores), System: "MINOS-B",
 			WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),
@@ -82,13 +100,21 @@ func AblationHostCores(sc Scale) ([]AblationRow, *stats.Table) {
 // both systems — the sweep the paper's "various workloads" sentence
 // gestures at.
 func YCSBPresets(sc Scale) ([]AblationRow, *stats.Table) {
-	var rows []AblationRow
+	systems := []simcluster.Opts{simcluster.MinosB, simcluster.MinosO}
+	var cells []Cell
 	for _, preset := range workload.Presets {
-		for _, opts := range []simcluster.Opts{simcluster.MinosB, simcluster.MinosO} {
+		for _, opts := range systems {
 			cfg := simcluster.DefaultConfig()
 			cfg.Model = ddp.LinSynch
 			cfg.Opts = opts
-			m := run(cfg, preset.Config(), sc)
+			cells = append(cells, cell(cfg, preset.Config(), sc))
+		}
+	}
+	metrics := runCells(sc, cells)
+	var rows []AblationRow
+	for pi, preset := range workload.Presets {
+		for si, opts := range systems {
+			m := metrics[pi*len(systems)+si]
 			rows = append(rows, AblationRow{
 				Group: "ycsb", Setting: preset.String(), System: opts.String(),
 				WriteNs: m.AvgWriteNs(), ReadNs: m.AvgReadNs(), Thr: m.TotalThroughput(),

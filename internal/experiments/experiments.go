@@ -19,6 +19,10 @@ type Scale struct {
 	Requests int
 	// Seed drives all randomness; fixed seeds make runs reproducible.
 	Seed int64
+	// Parallel bounds the worker pool evaluating a figure's cells:
+	// 0 (the default) uses GOMAXPROCS, 1 forces the sequential path.
+	// Results are identical at any setting; see Runner.
+	Parallel int
 }
 
 var (
@@ -41,9 +45,4 @@ func defaultWorkload(writeRatio float64) workload.Config {
 	wl := workload.Default()
 	wl.WriteRatio = writeRatio
 	return wl
-}
-
-// run executes one configuration.
-func run(cfg simcluster.Config, wl workload.Config, sc Scale) *simcluster.Metrics {
-	return simcluster.RunDefault(cfg, wl, sc.Requests, sc.Seed)
 }

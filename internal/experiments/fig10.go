@@ -42,8 +42,9 @@ type Fig10Result struct {
 // MINOS-B <Lin, Synch> at two nodes.
 func Fig10(sc Scale) (*Fig10Result, *stats.Table) {
 	res := &Fig10Result{}
-	metrics := map[[3]int]*simcluster.Metrics{}
 	systems := []simcluster.Opts{simcluster.MinosB, simcluster.MinosO}
+	var cells []Cell
+	idx := make(map[[3]int]int)
 	for si, opts := range systems {
 		for mi, model := range ddp.Models {
 			for ni, nodes := range Fig10NodeCounts {
@@ -51,16 +52,19 @@ func Fig10(sc Scale) (*Fig10Result, *stats.Table) {
 				cfg.Model = model
 				cfg.Opts = opts
 				cfg.Nodes = nodes
-				metrics[[3]int{si, mi, ni}] = run(cfg, defaultWorkload(0.5), sc)
+				idx[[3]int{si, mi, ni}] = len(cells)
+				cells = append(cells, cell(cfg, defaultWorkload(0.5), sc))
 			}
 		}
 	}
-	base := metrics[[3]int{0, 0, 0}] // B, Synch, 2 nodes
+	results := runCells(sc, cells)
+	metrics := func(key [3]int) *simcluster.Metrics { return results[idx[key]] }
+	base := metrics([3]int{0, 0, 0}) // B, Synch, 2 nodes
 	var sw, sr, st, cnt float64
 	for si, opts := range systems {
 		for mi, model := range ddp.Models {
 			for ni, nodes := range Fig10NodeCounts {
-				m := metrics[[3]int{si, mi, ni}]
+				m := metrics([3]int{si, mi, ni})
 				res.Rows = append(res.Rows, Fig10Row{
 					System: SystemName(opts), Model: model, Nodes: nodes,
 					WriteLatNs: m.AvgWriteNs(), WriteThr: m.WriteThroughput(),
@@ -75,8 +79,8 @@ func Fig10(sc Scale) (*Fig10Result, *stats.Table) {
 	}
 	for mi := range ddp.Models {
 		for ni := range Fig10NodeCounts {
-			b := metrics[[3]int{0, mi, ni}]
-			o := metrics[[3]int{1, mi, ni}]
+			b := metrics([3]int{0, mi, ni})
+			o := metrics([3]int{1, mi, ni})
 			sw += b.AvgWriteNs() / o.AvgWriteNs()
 			sr += b.AvgReadNs() / o.AvgReadNs()
 			st += (o.WriteThroughput()/b.WriteThroughput() + o.ReadThroughput()/b.ReadThroughput()) / 2

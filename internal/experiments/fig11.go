@@ -59,16 +59,20 @@ func Fig11(sc Scale) (*Fig11Result, *stats.Table) {
 	type key struct {
 		si, mi int
 	}
-	lat := map[key]*simcluster.Metrics{}
+	var cells []Cell
+	idx := make(map[key]int)
 	for si, opts := range systems {
 		for mi, model := range ddp.Models {
 			cfg := simcluster.DefaultConfig()
 			cfg.Nodes = Fig11Nodes
 			cfg.Model = model
 			cfg.Opts = opts
-			lat[key{si, mi}] = run(cfg, defaultWorkload(0.5), sc)
+			idx[key{si, mi}] = len(cells)
+			cells = append(cells, cell(cfg, defaultWorkload(0.5), sc))
 		}
 	}
+	results := runCells(sc, cells)
+	lat := func(k key) *simcluster.Metrics { return results[idx[k]] }
 
 	storage := func(m *simcluster.Metrics, f microsvc.Function) float64 {
 		return float64(f.Sets())*m.AvgWriteNs() + float64(f.Gets())*m.AvgReadNs()
@@ -78,18 +82,18 @@ func Fig11(sc Scale) (*Fig11Result, *stats.Table) {
 	}
 
 	res := &Fig11Result{}
-	base := e2e(lat[key{0, 0}], funcs[0]) // B, Synch, Social
+	base := e2e(lat(key{0, 0}), funcs[0]) // B, Synch, Social
 	var redSum, redStoreSum, redCnt float64
 	for mi, model := range ddp.Models {
 		for _, f := range funcs {
-			b := e2e(lat[key{0, mi}], f)
-			o := e2e(lat[key{1, mi}], f)
+			b := e2e(lat(key{0, mi}), f)
+			o := e2e(lat(key{1, mi}), f)
 			res.Rows = append(res.Rows,
 				Fig11Row{Model: model, Function: f.App, System: "MINOS-B", E2ENs: b, Norm: b / base},
 				Fig11Row{Model: model, Function: f.App, System: "MINOS-O", E2ENs: o, Norm: o / base},
 			)
 			redSum += 1 - o/b
-			redStoreSum += 1 - storage(lat[key{1, mi}], f)/storage(lat[key{0, mi}], f)
+			redStoreSum += 1 - storage(lat(key{1, mi}), f)/storage(lat(key{0, mi}), f)
 			redCnt++
 		}
 	}

@@ -33,13 +33,18 @@ var Fig12Variants = []simcluster.Opts{
 // Combined+batching worse than Combined (unpacking overhead), and full
 // MINOS-O −50.7%.
 func Fig12(sc Scale) ([]Fig12Row, *stats.Table) {
-	rows := make([]Fig12Row, 0, len(Fig12Variants))
-	var base float64
+	cells := make([]Cell, 0, len(Fig12Variants))
 	for _, opts := range Fig12Variants {
 		cfg := simcluster.DefaultConfig()
 		cfg.Opts = opts
-		m := run(cfg, defaultWorkload(1.0), sc)
-		lat := m.AvgWriteNs()
+		cells = append(cells, cell(cfg, defaultWorkload(1.0), sc))
+	}
+	metrics := runCells(sc, cells)
+
+	rows := make([]Fig12Row, 0, len(Fig12Variants))
+	var base float64
+	for vi, opts := range Fig12Variants {
+		lat := metrics[vi].AvgWriteNs()
 		if opts == simcluster.MinosB {
 			base = lat
 		}

@@ -23,17 +23,25 @@ var Fig13Sizes = []int{1, 2, 3, 4, 5, 100}
 // vFIFO/dFIFO size under the default 50%-write workload and
 // <Lin, Synch>. The paper finds 3-5 entries match unlimited capacity.
 func Fig13(sc Scale) ([]Fig13Row, *stats.Table) {
-	runWith := func(size int) float64 {
+	cellWith := func(size int) Cell {
 		cfg := simcluster.DefaultConfig()
 		cfg.Opts = simcluster.MinosO
 		cfg.VFIFOSize = size
 		cfg.DFIFOSize = size
-		return run(cfg, defaultWorkload(0.5), sc).AvgWriteNs()
+		return cell(cfg, defaultWorkload(0.5), sc)
 	}
-	unlimited := runWith(0)
-	rows := make([]Fig13Row, 0, len(Fig13Sizes)+1)
+	// Cell 0 is the unlimited-capacity normalization baseline.
+	cells := make([]Cell, 0, len(Fig13Sizes)+1)
+	cells = append(cells, cellWith(0))
 	for _, size := range Fig13Sizes {
-		lat := runWith(size)
+		cells = append(cells, cellWith(size))
+	}
+	metrics := runCells(sc, cells)
+
+	unlimited := metrics[0].AvgWriteNs()
+	rows := make([]Fig13Row, 0, len(Fig13Sizes)+1)
+	for i, size := range Fig13Sizes {
+		lat := metrics[i+1].AvgWriteNs()
 		rows = append(rows, Fig13Row{Entries: size, LatNs: lat, Norm: lat / unlimited})
 	}
 	rows = append(rows, Fig13Row{Entries: 0, LatNs: unlimited, Norm: 1})

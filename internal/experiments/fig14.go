@@ -30,23 +30,22 @@ var Fig14DBSizes = []int{10, 1000, 100_000}
 // under <Lin, Synch> with 50% writes. The paper reports ~2.2x for the
 // persist sweep (growing with latency) and ~2x elsewhere.
 func Fig14(sc Scale) ([]Fig14Row, *stats.Table) {
-	var rows []Fig14Row
-	pair := func(group, setting string, mutate func(*simcluster.Config, *workload.Config)) {
+	// Each sweep point is a B/O cell pair at consecutive indices.
+	type setting struct{ group, name string }
+	var cells []Cell
+	var settings []setting
+	pair := func(group, name string, mutate func(*simcluster.Config, *workload.Config)) {
 		wl := defaultWorkload(0.5)
 		bcfg := simcluster.DefaultConfig()
 		mutate(&bcfg, &wl)
-		b := run(bcfg, wl, sc)
+		cells = append(cells, cell(bcfg, wl, sc))
 
 		ocfg := simcluster.DefaultConfig()
 		ocfg.Opts = simcluster.MinosO
 		mutate(&ocfg, &wl)
-		o := run(ocfg, wl, sc)
+		cells = append(cells, cell(ocfg, wl, sc))
 
-		rows = append(rows, Fig14Row{
-			Group: group, Setting: setting,
-			BLatNs: b.AvgWriteNs(), OLatNs: o.AvgWriteNs(),
-			Speedup: b.AvgWriteNs() / o.AvgWriteNs(),
-		})
+		settings = append(settings, setting{group, name})
 	}
 
 	for _, ns := range Fig14PersistNsPerKB {
@@ -69,6 +68,17 @@ func Fig14(sc Scale) ([]Fig14Row, *stats.Table) {
 		size := size
 		pair("dbsize", fmt.Sprintf("%d records", size), func(_ *simcluster.Config, w *workload.Config) {
 			w.Records = size
+		})
+	}
+
+	metrics := runCells(sc, cells)
+	rows := make([]Fig14Row, 0, len(settings))
+	for i, s := range settings {
+		b, o := metrics[2*i], metrics[2*i+1]
+		rows = append(rows, Fig14Row{
+			Group: s.group, Setting: s.name,
+			BLatNs: b.AvgWriteNs(), OLatNs: o.AvgWriteNs(),
+			Speedup: b.AvgWriteNs() / o.AvgWriteNs(),
 		})
 	}
 

@@ -22,11 +22,17 @@ type Fig4Row struct {
 // communication and computation time per <consistency, persistency>
 // model.
 func Fig4(sc Scale) ([]Fig4Row, *stats.Table) {
-	rows := make([]Fig4Row, 0, len(ddp.Models))
+	cells := make([]Cell, 0, len(ddp.Models))
 	for _, model := range ddp.Models {
 		cfg := simcluster.DefaultConfig()
 		cfg.Model = model
-		m := run(cfg, defaultWorkload(0.5), sc)
+		cells = append(cells, cell(cfg, defaultWorkload(0.5), sc))
+	}
+	metrics := runCells(sc, cells)
+
+	rows := make([]Fig4Row, 0, len(ddp.Models))
+	for mi, model := range ddp.Models {
+		m := metrics[mi]
 		total := m.AvgWriteNs()
 		r := Fig4Row{
 			Model:   model,

@@ -43,22 +43,25 @@ var fig9Mixes = []float64{0.2, 0.5, 0.8, 1.0}
 // across models and mixes. Bars are normalized to MINOS-B <Lin, Synch>
 // at 50%.
 func Fig9(sc Scale) (*Fig9Result, *stats.Table) {
-	type cell struct{ m *simcluster.Metrics }
 	// One run per (system, model, writeRatio) covers both charts:
 	// the read chart's r% reads is the write chart's (1-r)% writes.
 	ratios := []float64{0.0, 0.2, 0.5, 0.8, 1.0}
 	systems := []simcluster.Opts{simcluster.MinosB, simcluster.MinosO}
-	runs := make(map[[3]int]cell)
+	var cells []Cell
+	idx := make(map[[3]int]int)
 	for si, opts := range systems {
 		for mi, model := range ddp.Models {
 			for ri, wr := range ratios {
 				cfg := simcluster.DefaultConfig()
 				cfg.Model = model
 				cfg.Opts = opts
-				runs[[3]int{si, mi, ri}] = cell{run(cfg, defaultWorkload(wr), sc)}
+				idx[[3]int{si, mi, ri}] = len(cells)
+				cells = append(cells, cell(cfg, defaultWorkload(wr), sc))
 			}
 		}
 	}
+	metrics := runCells(sc, cells)
+	runs := func(key [3]int) *simcluster.Metrics { return metrics[idx[key]] }
 	ratioIdx := func(want float64) int {
 		for i, r := range ratios {
 			if want > r-1e-9 && want < r+1e-9 {
@@ -69,20 +72,20 @@ func Fig9(sc Scale) (*Fig9Result, *stats.Table) {
 	}
 
 	res := &Fig9Result{}
-	baseW := runs[[3]int{0, 0, ratioIdx(0.5)}].m // B, Synch, 50% writes
+	baseW := runs([3]int{0, 0, ratioIdx(0.5)}) // B, Synch, 50% writes
 	var sumWLat, sumRLat, sumThrW, sumThrR float64
 	var cnt float64
 	for si, opts := range systems {
 		for mi, model := range ddp.Models {
 			for _, mix := range fig9Mixes {
-				wm := runs[[3]int{si, mi, ratioIdx(mix)}].m
+				wm := runs([3]int{si, mi, ratioIdx(mix)})
 				res.Writes = append(res.Writes, Fig9Row{
 					System: SystemName(opts), Model: model, Ratio: mix,
 					LatNs: wm.AvgWriteNs(), Thr: wm.WriteThroughput(),
 					LatNorm: wm.AvgWriteNs() / baseW.AvgWriteNs(),
 					ThrNorm: wm.WriteThroughput() / baseW.WriteThroughput(),
 				})
-				rm := runs[[3]int{si, mi, ratioIdx(1 - mix)}].m
+				rm := runs([3]int{si, mi, ratioIdx(1 - mix)})
 				res.Reads = append(res.Reads, Fig9Row{
 					System: SystemName(opts), Model: model, Ratio: mix,
 					LatNs: rm.AvgReadNs(), Thr: rm.ReadThroughput(),
@@ -95,10 +98,10 @@ func Fig9(sc Scale) (*Fig9Result, *stats.Table) {
 	// Headline speedups: paired B vs O across models × mixes.
 	for mi := range ddp.Models {
 		for _, mix := range fig9Mixes {
-			b := runs[[3]int{0, mi, ratioIdx(mix)}].m
-			o := runs[[3]int{1, mi, ratioIdx(mix)}].m
-			br := runs[[3]int{0, mi, ratioIdx(1 - mix)}].m
-			or := runs[[3]int{1, mi, ratioIdx(1 - mix)}].m
+			b := runs([3]int{0, mi, ratioIdx(mix)})
+			o := runs([3]int{1, mi, ratioIdx(mix)})
+			br := runs([3]int{0, mi, ratioIdx(1 - mix)})
+			or := runs([3]int{1, mi, ratioIdx(1 - mix)})
 			if o.AvgWriteNs() > 0 && or.AvgReadNs() > 0 {
 				sumWLat += b.AvgWriteNs() / o.AvgWriteNs()
 				sumRLat += br.AvgReadNs() / or.AvgReadNs()

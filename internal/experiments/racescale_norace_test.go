@@ -1,0 +1,8 @@
+//go:build !race
+
+package experiments
+
+// equalityRequests is the per-node request count for the
+// parallel-vs-sequential equality test. Without the race detector the
+// full Tiny scale is cheap enough to run every figure twice.
+const equalityRequests = 120

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// equalityRequests shrinks the parallel-vs-sequential equality test
+// under the race detector, which slows the simulator by an order of
+// magnitude. The test's value under -race is exercising the pool's
+// happens-before edges, not statistical stability — a short run still
+// covers every figure's fan-out/reassemble path.
+const equalityRequests = 40

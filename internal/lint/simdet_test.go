@@ -7,5 +7,5 @@ import (
 )
 
 func TestSimDet(t *testing.T) {
-	linttest.Run(t, "testdata", SimDet, "simdet/sim", "simdet/simcluster")
+	linttest.Run(t, "testdata", SimDet, "simdet/sim", "simdet/simcluster", "simdet/experiments")
 }

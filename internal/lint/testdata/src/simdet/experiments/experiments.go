@@ -1,0 +1,44 @@
+// Fixture: a non-sim-side package (the sweep engine lives outside
+// sim/simcluster/netsim/check), where the worker-pool pattern is
+// blessed: raw goroutines may fan cells out across host cores because
+// every cell runs a private kernel — host scheduling cannot reach any
+// simulated timeline. Expect zero diagnostics.
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type cell struct{ seed int64 }
+
+type metrics struct{ ops uint64 }
+
+func runCell(c cell) *metrics {
+	return &metrics{ops: uint64(c.seed)}
+}
+
+// runPool is the shape the real sweep Runner uses: a bounded pool of
+// raw goroutines work-stealing cell indices, results slotted by cell
+// order. None of this may be flagged.
+func runPool(cells []cell, workers int) []*metrics {
+	results := make([]*metrics, len(cells))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(cells) {
+					return
+				}
+				results[i] = runCell(cells[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,106 @@
+package sim
+
+// Kernel hot-path micro-benchmarks. The full evaluation executes tens of
+// millions of events per figure, so ns/event and allocs/event here bound
+// the wall clock of everything in internal/experiments. EXPERIMENTS.md
+// records before/after numbers for the event-pool + run-queue work.
+
+import "testing"
+
+// BenchmarkSimKernelSleepChain measures the process resume path: one
+// process sleeping N times, each sleep a heap event plus a goroutine
+// park/unpark handoff.
+func BenchmarkSimKernelSleepChain(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelCallbackChain measures the kernel-callback path with
+// advancing time: each callback posts the next one 1ns later, so every
+// event goes through the heap.
+func BenchmarkSimKernelCallbackChain(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.After(1, step)
+		}
+	}
+	k.After(1, step)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelSameTimeCallbacks measures zero-delay callback
+// chains — the drain pattern protocol handlers use to hand work to the
+// next stage at the same instant. This is the run-queue fast path.
+func BenchmarkSimKernelSameTimeCallbacks(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			k.After(0, step)
+		}
+	}
+	k.After(0, step)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSimKernelStaleWakes measures the long-spin pattern: a
+// consumer waiting with a far-future timeout that a producer always
+// beats. Every iteration strands one stale timeout event in the heap, so
+// without lazy compaction the heap grows with b.N.
+func BenchmarkSimKernelStaleWakes(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	cond := NewCond(k)
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			cond.WaitTimeout(p, Second)
+		}
+	})
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+			cond.Broadcast()
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+	b.ReportMetric(float64(len(k.events)), "final-heap-len")
+}
+
+// BenchmarkSimKernelQueueHandoff measures a two-process producer/consumer
+// pipeline over a bounded Queue — the mailbox shape every simulated NIC
+// and host receive path uses.
+func BenchmarkSimKernelQueueHandoff(b *testing.B) {
+	b.ReportAllocs()
+	k := NewKernel(1)
+	q := NewQueue[int](k, 8)
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Get(p)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}

@@ -64,17 +64,26 @@ type event struct {
 	fn      func() // non-nil: run this callback (must not block)
 }
 
+// before orders events by (time, sequence): the kernel's global
+// execution order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].before(h[j]) }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+
+// Pop hands ownership of the minimum event to the kernel, which zeroes
+// its proc/fn references in release() once dispatched — without that,
+// recycled events would keep dead processes and closures reachable
+// across long runs. The vacated slot is nilled here for the same reason.
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -84,18 +93,50 @@ func (h *eventHeap) Pop() interface{} {
 	return ev
 }
 
+// Stats are the kernel's execution counters, for perf-regression
+// visibility (surfaced per run in simcluster.Metrics.Kernel).
+type Stats struct {
+	// Executed counts dispatched events (callbacks plus process resumes);
+	// stale wake-ups are not dispatched and not counted.
+	Executed uint64
+	// StaleDropped counts stale wake-up events discarded, either when
+	// popped or during lazy compaction.
+	StaleDropped uint64
+	// Compactions counts lazy rebuilds of the event heap that evicted
+	// accumulated stale wake-ups.
+	Compactions uint64
+	// MaxHeapDepth is the high-water mark of the pending-event heap.
+	MaxHeapDepth int
+	// MaxRunQueue is the high-water mark of the same-time run queue.
+	MaxRunQueue int
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; construct with NewKernel.
 type Kernel struct {
-	now      Time
-	events   eventHeap
+	now    Time
+	events eventHeap
+	// runq is the same-time fast path: events posted for the current
+	// instant are appended here in sequence order and drained FIFO,
+	// skipping the heap entirely. Invariant: every pending runq entry has
+	// at == now, because the dispatch loop never advances time while the
+	// run queue is non-empty (a pending runq entry is always <= any
+	// later-time heap entry).
+	runq     []*event
+	runqHead int
 	seq      uint64
 	park     chan struct{} // running process parks itself here
 	rng      *rand.Rand
 	procs    map[*Proc]struct{}
 	spawned  uint64 // processes ever spawned; orders Stop teardown
 	stopping bool
-	executed uint64 // events executed, for diagnostics
+
+	// pool recycles event structs; per-kernel, so no synchronization.
+	pool []*event
+	// stale counts wake-up events still pending whose process has already
+	// resumed or exited; compact evicts them when they dominate the heap.
+	stale int
+	stats Stats
 }
 
 // NewKernel returns a kernel at time zero whose random source is seeded
@@ -116,15 +157,45 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Rand() *rand.Rand { return k.rng }
 
 // Events reports how many events the kernel has executed.
-func (k *Kernel) Events() uint64 { return k.executed }
+func (k *Kernel) Events() uint64 { return k.stats.Executed }
+
+// Stats returns the kernel's execution counters so far.
+func (k *Kernel) Stats() Stats { return k.stats }
 
 // Live reports how many spawned processes have not yet finished.
 func (k *Kernel) Live() int { return len(k.procs) }
 
+// alloc takes an event from the free list, or heap-allocates one.
+func (k *Kernel) alloc() *event {
+	if n := len(k.pool); n > 0 {
+		ev := k.pool[n-1]
+		k.pool = k.pool[:n-1]
+		return ev
+	}
+	return new(event)
+}
+
+// release zeroes ev — dropping its proc/fn references so dead processes
+// and closures become collectable — and returns it to the free list.
+func (k *Kernel) release(ev *event) {
+	*ev = event{}
+	k.pool = append(k.pool, ev)
+}
+
 func (k *Kernel) post(ev *event) {
 	k.seq++
 	ev.seq = k.seq
+	if ev.at == k.now {
+		k.runq = append(k.runq, ev)
+		if d := len(k.runq) - k.runqHead; d > k.stats.MaxRunQueue {
+			k.stats.MaxRunQueue = d
+		}
+		return
+	}
 	heap.Push(&k.events, ev)
+	if len(k.events) > k.stats.MaxHeapDepth {
+		k.stats.MaxHeapDepth = len(k.events)
+	}
 }
 
 // After schedules fn to run in kernel context after delay d. fn must not
@@ -134,7 +205,10 @@ func (k *Kernel) After(d Duration, fn func()) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	k.post(&event{at: k.now + Time(d), fn: fn})
+	ev := k.alloc()
+	ev.at = k.now + Time(d)
+	ev.fn = fn
+	k.post(ev)
 }
 
 // At schedules fn to run in kernel context at absolute time t, which must
@@ -143,7 +217,10 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		panic("sim: scheduling in the past")
 	}
-	k.post(&event{at: t, fn: fn})
+	ev := k.alloc()
+	ev.at = t
+	ev.fn = fn
+	k.post(ev)
 }
 
 // wake schedules process p to resume after delay d. If p is resumed by
@@ -154,7 +231,12 @@ func (k *Kernel) wake(p *Proc, d Duration) {
 	if p.done {
 		return
 	}
-	k.post(&event{at: k.now + Time(d), proc: p, wakeSeq: p.wakeSeq})
+	ev := k.alloc()
+	ev.at = k.now + Time(d)
+	ev.proc = p
+	ev.wakeSeq = p.wakeSeq
+	p.liveWakes++
+	k.post(ev)
 }
 
 // Run executes events until none remain or every process has finished.
@@ -170,27 +252,91 @@ func (k *Kernel) Run() Time {
 // the event queue was exhausted (or only stale events remained), false if
 // it stopped because the next event lies beyond limit.
 func (k *Kernel) RunUntil(limit Time) bool {
-	for len(k.events) > 0 {
-		ev := k.events[0]
+	for {
+		// The next event is the (time, seq) minimum of the run-queue head
+		// and the heap top. Run-queue entries are all at the current time
+		// in sequence order, so only the heads need comparing.
+		var ev *event
+		fromRunq := false
+		if k.runqHead < len(k.runq) {
+			ev, fromRunq = k.runq[k.runqHead], true
+			if len(k.events) > 0 && k.events[0].before(ev) {
+				ev, fromRunq = k.events[0], false
+			}
+		} else if len(k.events) > 0 {
+			ev = k.events[0]
+		} else {
+			return true
+		}
 		if ev.at > limit {
 			return false
 		}
-		heap.Pop(&k.events)
-		if ev.proc != nil && (ev.proc.done || ev.proc.wakeSeq != ev.wakeSeq) {
-			continue // stale wake-up: the process already resumed or exited
+		if fromRunq {
+			k.runq[k.runqHead] = nil
+			k.runqHead++
+			if k.runqHead == len(k.runq) {
+				k.runq = k.runq[:0]
+				k.runqHead = 0
+			}
+		} else {
+			heap.Pop(&k.events)
+		}
+		if p := ev.proc; p != nil {
+			if p.done || p.wakeSeq != ev.wakeSeq {
+				// Stale wake-up: the process already resumed or exited.
+				k.stats.StaleDropped++
+				if k.stale > 0 {
+					k.stale--
+				}
+				k.release(ev)
+				continue
+			}
+			p.liveWakes--
 		}
 		if ev.at < k.now {
 			panic("sim: time went backwards")
 		}
 		k.now = ev.at
-		k.executed++
-		if ev.fn != nil {
-			ev.fn()
+		k.stats.Executed++
+		if fn := ev.fn; fn != nil {
+			k.release(ev)
+			fn()
 			continue
 		}
-		k.resume(ev.proc)
+		p := ev.proc
+		k.release(ev)
+		k.resume(p)
+		k.maybeCompact()
 	}
-	return true
+}
+
+// maybeCompact rebuilds the event heap without its stale wake-ups once
+// they dominate it. Long spin loops (a waiter with a far-future timeout
+// that a broadcast always beats) otherwise strand one dead event per
+// iteration, growing the heap — and the cost of every push/pop — without
+// bound. Eviction is by event content, so it cannot perturb the timeline.
+func (k *Kernel) maybeCompact() {
+	if k.stale < 64 || k.stale*2 < len(k.events) {
+		return
+	}
+	live := k.events[:0]
+	for _, ev := range k.events {
+		if ev.proc != nil && (ev.proc.done || ev.proc.wakeSeq != ev.wakeSeq) {
+			k.stats.StaleDropped++
+			k.release(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(k.events); i++ {
+		k.events[i] = nil
+	}
+	k.events = live
+	heap.Init(&k.events)
+	// The run queue is drained at the current instant and stays tiny;
+	// any stale entries there are dropped on pop within this timestep.
+	k.stale = 0
+	k.stats.Compactions++
 }
 
 // Deadlocked reports whether live processes remain but no events are
@@ -200,6 +346,11 @@ func (k *Kernel) Deadlocked() bool {
 		return false
 	}
 	for _, ev := range k.events {
+		if ev.fn != nil || (!ev.proc.done && ev.proc.wakeSeq == ev.wakeSeq) {
+			return false
+		}
+	}
+	for _, ev := range k.runq[k.runqHead:] {
 		if ev.fn != nil || (!ev.proc.done && ev.proc.wakeSeq == ev.wakeSeq) {
 			return false
 		}
@@ -233,6 +384,9 @@ func (k *Kernel) Stop() {
 // resume hands control to p and waits until it blocks again or exits.
 func (k *Kernel) resume(p *Proc) {
 	p.wakeSeq++
+	// Any wake-ups still pending for p now carry a dead wakeSeq.
+	k.stale += p.liveWakes
+	p.liveWakes = 0
 	p.resume <- struct{}{}
 	<-k.park
 }
@@ -248,7 +402,10 @@ type Proc struct {
 	resume   chan struct{}
 	wakeSeq  uint64
 	spawnSeq uint64 // position in spawn order, for deterministic Stop
-	done     bool
+	// liveWakes counts pending wake-up events posted with the current
+	// wakeSeq; on resume or exit they all become stale at once.
+	liveWakes int
+	done      bool
 }
 
 // Spawn starts a new process executing fn. The process is scheduled to

@@ -149,6 +149,7 @@ func (c *Cluster) Run(o RunOpts) *Metrics {
 	}
 	c.Metrics.Makespan = sim.Duration(lastDone)
 	c.K.Stop()
+	c.Metrics.Kernel = c.K.Stats()
 	return c.Metrics
 }
 

@@ -34,6 +34,11 @@ type Metrics struct {
 	// Makespan is the simulated time at which the last worker finished.
 	Makespan sim.Duration
 
+	// Kernel holds the simulation kernel's execution counters for this
+	// run (events executed, stale wakes dropped, heap/run-queue depth) —
+	// the perf-regression signal for the simulator itself.
+	Kernel sim.Stats
+
 	// StaleReads counts linearizability violations observed at runtime:
 	// a read that returned a version older than a write to the same key
 	// that had already completed before the read began. Must stay zero.
