@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check bench-smoke clean
+.PHONY: all build test race lint vet check bench-smoke bench-live clean
 
 all: build
 
@@ -32,6 +32,12 @@ check: lint test
 # clock in BENCH_sweep.json (CI uploads it as the perf trajectory).
 bench-smoke:
 	$(GO) run ./cmd/minos-bench -requests 400 -ablations -json BENCH_sweep.json > /dev/null
+
+# Live cluster over loopback TCP: all five models through the batched
+# wire path. Updates the "after.live" section of BENCH_live.json in
+# place (the committed before/after microbenchmark numbers are kept).
+bench-live:
+	$(GO) run ./cmd/minos-live -nodes 3 -workers 4 -requests 400 -tcp -json BENCH_live.json
 
 clean:
 	$(GO) clean ./...

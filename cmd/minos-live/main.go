@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	minos-live                          # all models, 5 nodes
+//	minos-live                          # all models, 5 nodes, in-process fabric
+//	minos-live -tcp                     # same cluster over loopback TCP (batched wire path)
+//	minos-live -tcp -json BENCH_live.json
 //	minos-live -nodes 3 -requests 5000 -persist 1295ns -writes 1.0
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +29,20 @@ func main() {
 	persist := flag.Duration("persist", 1295*time.Nanosecond, "emulated NVM persist delay")
 	valueSize := flag.Int("value", 128, "record value bytes")
 	seed := flag.Int64("seed", 42, "workload seed")
+	tcp := flag.Bool("tcp", false, "run over loopback TCP (real batched wire path) instead of the in-process fabric")
+	jsonPath := flag.String("json", "", "write results into this JSON file (existing 'before' and 'after.microbench' keys are preserved)")
 	flag.Parse()
 
 	wl := workload.Default()
 	wl.WriteRatio = *writes
 	wl.ValueSize = *valueSize
 
-	fmt.Printf("live MINOS-B: %d nodes × %d workers, %d req/node, %d%% writes, persist %v\n\n",
-		*nodes, *workers, *requests, int(*writes*100), *persist)
+	fabric := "in-process"
+	if *tcp {
+		fabric = "loopback TCP"
+	}
+	fmt.Printf("live MINOS-B: %d nodes × %d workers, %d req/node, %d%% writes, persist %v, %s\n\n",
+		*nodes, *workers, *requests, int(*writes*100), *persist, fabric)
 	results, err := livebench.RunAllModels(livebench.Config{
 		Nodes:           *nodes,
 		WorkersPerNode:  *workers,
@@ -41,6 +50,7 @@ func main() {
 		PersistDelay:    *persist,
 		Workload:        wl,
 		Seed:            *seed,
+		TCP:             *tcp,
 	})
 	for _, r := range results {
 		fmt.Println(r)
@@ -49,4 +59,77 @@ func main() {
 		fmt.Fprintln(os.Stderr, "minos-live:", err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, *nodes, *workers, *requests, *tcp, results); err != nil {
+			fmt.Fprintln(os.Stderr, "minos-live:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+}
+
+// liveResult is the JSON shape of one model's measurements.
+type liveResult struct {
+	Model          string  `json:"model"`
+	Ops            int     `json:"ops"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	WriteAvgNs     float64 `json:"write_avg_ns"`
+	WriteP99Ns     float64 `json:"write_p99_ns"`
+	ReadAvgNs      float64 `json:"read_avg_ns"`
+	ReadP99Ns      float64 `json:"read_p99_ns"`
+	FramesSent     int64   `json:"frames_sent"`
+	BatchesSent    int64   `json:"batches_sent"`
+	FramesPerBatch float64 `json:"frames_per_batch"`
+	BytesSent      int64   `json:"bytes_sent"`
+	Broadcasts     int64   `json:"broadcasts"`
+	Encodes        int64   `json:"encodes"`
+	Redials        int64   `json:"redials"`
+}
+
+// writeJSON records the run under the "after.live" key, preserving any
+// other keys an existing file carries (the committed BENCH_live.json
+// keeps the pre-batching baseline under "before").
+func writeJSON(path string, nodes, workers, requests int, tcp bool, results []*livebench.Result) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	after, _ := doc["after"].(map[string]any)
+	if after == nil {
+		after = map[string]any{}
+	}
+	out := make([]liveResult, 0, len(results))
+	for _, r := range results {
+		out = append(out, liveResult{
+			Model:          fmt.Sprint(r.Model),
+			Ops:            r.Ops,
+			ElapsedNs:      r.Elapsed.Nanoseconds(),
+			ThroughputOpsS: r.Throughput(),
+			WriteAvgNs:     r.WriteLat.Mean(),
+			WriteP99Ns:     r.WriteLat.Percentile(99),
+			ReadAvgNs:      r.ReadLat.Mean(),
+			ReadP99Ns:      r.ReadLat.Percentile(99),
+			FramesSent:     r.Transport.FramesSent,
+			BatchesSent:    r.Transport.BatchesSent,
+			FramesPerBatch: r.Transport.FramesPerBatch(),
+			BytesSent:      r.Transport.BytesSent,
+			Broadcasts:     r.Transport.Broadcasts,
+			Encodes:        r.Transport.Encodes,
+			Redials:        r.Transport.Redials,
+		})
+	}
+	after["live"] = out
+	after["live_config"] = map[string]any{
+		"nodes": nodes, "workers_per_node": workers, "requests_per_node": requests,
+		"tcp": tcp, "models": len(results),
+	}
+	doc["after"] = after
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

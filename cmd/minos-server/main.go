@@ -79,7 +79,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("minos-server: client listener: %v", err)
 	}
-	go serveClients(ln, n)
+	go serveClients(ln, n, tr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -116,8 +116,8 @@ func parseCluster(spec string) (map[ddp.NodeID]string, error) {
 //	SETS <key> <hex> <scope>  -> OK | ERR <msg>    (scoped write)
 //	SCOPE                     -> OK <scope-id>
 //	PERSIST <scope-id>        -> OK | ERR <msg>
-//	STATS                     -> OK writes=.. reads=.. persists=..
-func serveClients(ln net.Listener, n *node.Node) {
+//	STATS                     -> OK writes=.. reads=.. persists=.. [wire counters]
+func serveClients(ln net.Listener, n *node.Node, ts transport.StatsSource) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -128,14 +128,16 @@ func serveClients(ln net.Listener, n *node.Node) {
 			sc := bufio.NewScanner(conn)
 			sc.Buffer(make([]byte, 64<<10), 16<<20)
 			for sc.Scan() {
-				reply := handleCommand(n, sc.Text())
+				reply := handleCommand(n, ts, sc.Text())
 				fmt.Fprintln(conn, reply)
 			}
 		}()
 	}
 }
 
-func handleCommand(n *node.Node, line string) string {
+// handleCommand answers one protocol line. ts supplies the transport's
+// wire counters for STATS; nil is allowed (counters omitted).
+func handleCommand(n *node.Node, ts transport.StatsSource, line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command"
@@ -198,9 +200,16 @@ func handleCommand(n *node.Node, line string) string {
 		}
 		return "OK"
 	case "STATS":
-		return fmt.Sprintf("OK writes=%d reads=%d persists=%d invs=%d obsolete=%d failed_peers=%d",
+		s := fmt.Sprintf("OK writes=%d reads=%d persists=%d invs=%d obsolete=%d failed_peers=%d",
 			n.Stats.Writes.Load(), n.Stats.Reads.Load(), n.Stats.Persists.Load(),
 			n.Stats.InvsHandled.Load(), n.Stats.ObsoleteWrites.Load(), n.Stats.PeersFailed.Load())
+		if ts != nil {
+			w := ts.Stats()
+			s += fmt.Sprintf(" frames_sent=%d batches=%d frames_per_batch=%.2f bytes_sent=%d broadcasts=%d redials=%d send_errors=%d",
+				w.FramesSent, w.BatchesSent, w.FramesPerBatch(), w.BytesSent,
+				w.Broadcasts, w.Redials, w.SendErrors)
+		}
+		return s
 	default:
 		return "ERR unknown command " + fields[0]
 	}

@@ -9,7 +9,7 @@ import (
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
-func testNode(t *testing.T) *node.Node {
+func testNode(t *testing.T) (*node.Node, transport.StatsSource) {
 	t.Helper()
 	net := transport.NewMemNetwork(2)
 	nodes := make([]*node.Node, 2)
@@ -22,39 +22,39 @@ func testNode(t *testing.T) *node.Node {
 			n.Close()
 		}
 	})
-	return nodes[0]
+	return nodes[0], net.Endpoint(0)
 }
 
 func TestHandleCommandRoundTrip(t *testing.T) {
-	n := testNode(t)
-	if got := handleCommand(n, "SET 42 68656c6c6f"); got != "OK" {
+	n, ts := testNode(t)
+	if got := handleCommand(n, ts, "SET 42 68656c6c6f"); got != "OK" {
 		t.Fatalf("SET: %q", got)
 	}
-	if got := handleCommand(n, "GET 42"); got != "OK 68656c6c6f" {
+	if got := handleCommand(n, ts, "GET 42"); got != "OK 68656c6c6f" {
 		t.Fatalf("GET: %q", got)
 	}
-	if got := handleCommand(n, "GET 43"); got != "NIL" {
+	if got := handleCommand(n, ts, "GET 43"); got != "NIL" {
 		t.Fatalf("GET missing: %q", got)
 	}
 }
 
 func TestHandleCommandScopeFlow(t *testing.T) {
-	n := testNode(t)
-	reply := handleCommand(n, "SCOPE")
+	n, ts := testNode(t)
+	reply := handleCommand(n, ts, "SCOPE")
 	if !strings.HasPrefix(reply, "OK ") {
 		t.Fatalf("SCOPE: %q", reply)
 	}
 	sc := strings.TrimPrefix(reply, "OK ")
-	if got := handleCommand(n, "SETS 7 61 "+sc); got != "OK" {
+	if got := handleCommand(n, ts, "SETS 7 61 "+sc); got != "OK" {
 		t.Fatalf("SETS: %q", got)
 	}
-	if got := handleCommand(n, "PERSIST "+sc); got != "OK" {
+	if got := handleCommand(n, ts, "PERSIST "+sc); got != "OK" {
 		t.Fatalf("PERSIST: %q", got)
 	}
 }
 
 func TestHandleCommandErrors(t *testing.T) {
-	n := testNode(t)
+	n, ts := testNode(t)
 	cases := []string{
 		"",
 		"BOGUS",
@@ -65,18 +65,26 @@ func TestHandleCommandErrors(t *testing.T) {
 		"PERSIST xyz",
 	}
 	for _, c := range cases {
-		if got := handleCommand(n, c); !strings.HasPrefix(got, "ERR") {
+		if got := handleCommand(n, ts, c); !strings.HasPrefix(got, "ERR") {
 			t.Errorf("command %q: got %q, want ERR...", c, got)
 		}
 	}
 }
 
 func TestHandleCommandStats(t *testing.T) {
-	n := testNode(t)
-	handleCommand(n, "SET 1 00")
-	got := handleCommand(n, "STATS")
+	n, ts := testNode(t)
+	handleCommand(n, ts, "SET 1 00")
+	got := handleCommand(n, ts, "STATS")
 	if !strings.HasPrefix(got, "OK writes=1") {
 		t.Fatalf("STATS: %q", got)
+	}
+	// The wire counters must be surfaced when a stats source is wired.
+	if !strings.Contains(got, "frames_sent=") || !strings.Contains(got, "frames_per_batch=") {
+		t.Fatalf("STATS lacks transport counters: %q", got)
+	}
+	// And omitted cleanly when none is.
+	if bare := handleCommand(n, nil, "STATS"); strings.Contains(bare, "frames_sent=") {
+		t.Fatalf("STATS with nil source leaked counters: %q", bare)
 	}
 }
 

@@ -59,16 +59,16 @@ func runSendCheck(pass *analysis.Pass) (interface{}, error) {
 }
 
 // isTransportSend reports whether call invokes a transport-layer send:
-// a method named Send, SendFrame or Enqueue that returns an error and is
-// declared in a package with a "transport" path element (concrete
-// transports and the Transport interface alike).
+// a method named Send, SendFrame, Broadcast or Enqueue that returns an
+// error and is declared in a package with a "transport" path element
+// (concrete transports and the Transport interface alike).
 func isTransportSend(pass *analysis.Pass, call *ast.CallExpr) bool {
 	fn := typeutil.Callee(pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
 	switch fn.Name() {
-	case "Send", "SendFrame", "Enqueue":
+	case "Send", "SendFrame", "Broadcast", "Enqueue":
 	default:
 		return false
 	}

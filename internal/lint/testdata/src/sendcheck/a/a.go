@@ -7,6 +7,8 @@ func Drops(tr transport.Transport, m *transport.Mem) {
 	tr.Send(1, transport.Frame{})   // want `result of tr\.Send is discarded`
 	m.Enqueue(transport.Frame{})    // want `result of m\.Enqueue is discarded`
 	go m.Send(2, transport.Frame{}) // want `result of m\.Send is discarded`
+	tr.Broadcast(transport.Frame{}) // want `result of tr\.Broadcast is discarded`
+	m.Broadcast(transport.Frame{})  // want `result of m\.Broadcast is discarded`
 }
 
 func Checked(tr transport.Transport, m *transport.Mem) {
@@ -16,6 +18,7 @@ func Checked(tr transport.Transport, m *transport.Mem) {
 	}
 	err := m.Enqueue(transport.Frame{})
 	_ = err
+	_ = tr.Broadcast(transport.Frame{})
 }
 
 func Waived(tr transport.Transport) {

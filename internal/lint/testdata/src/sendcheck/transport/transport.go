@@ -6,11 +6,13 @@ type Frame struct{ B []byte }
 
 type Transport interface {
 	Send(to int, f Frame) error
+	Broadcast(f Frame) error
 	Recv() <-chan Frame
 }
 
 type Mem struct{}
 
 func (*Mem) Send(to int, f Frame) error { return nil }
+func (*Mem) Broadcast(f Frame) error    { return nil }
 func (*Mem) Recv() <-chan Frame         { return nil }
 func (*Mem) Enqueue(f Frame) error      { return nil }

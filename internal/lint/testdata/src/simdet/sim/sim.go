@@ -19,9 +19,9 @@ func New(seed int64) *Kernel {
 }
 
 func (k *Kernel) wallClock() {
-	t := time.Now()  // want `time\.Now in simulation package`
+	t := time.Now()   // want `time\.Now in simulation package`
 	_ = time.Since(t) // want `time\.Since in simulation package`
-	time.Sleep(1)    // want `time\.Sleep in simulation package`
+	time.Sleep(1)     // want `time\.Sleep in simulation package`
 }
 
 func (k *Kernel) globalRand() {

@@ -35,6 +35,10 @@ type Config struct {
 	Workload workload.Config
 	// Seed fixes the workload streams.
 	Seed int64
+	// TCP runs the cluster over loopback TCP transports instead of the
+	// in-process fabric, exercising the real batched wire path (framing,
+	// per-peer writer coalescing, broadcast fan-out).
+	TCP bool
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +67,9 @@ type Result struct {
 	ReadLat  stats.Sampler // ns
 	Elapsed  time.Duration
 	Ops      int
+	// Transport aggregates the wire counters of every node's endpoint:
+	// frames, batches, coalescing ratio, broadcasts, redials.
+	Transport transport.TransportStats
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -74,24 +81,32 @@ func (r *Result) Throughput() float64 {
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%v: wr avg %s p99 %s | rd avg %s p99 %s | %.0f op/s",
+	s := fmt.Sprintf("%v: wr avg %s p99 %s | rd avg %s p99 %s | %.0f op/s",
 		r.Model,
 		stats.Ns(r.WriteLat.Mean()), stats.Ns(r.WriteLat.Percentile(99)),
 		stats.Ns(r.ReadLat.Mean()), stats.Ns(r.ReadLat.Percentile(99)),
 		r.Throughput())
+	if r.Transport.FramesSent > 0 {
+		s += fmt.Sprintf(" | %d frames, %.1f frames/batch, %d bcast",
+			r.Transport.FramesSent, r.Transport.FramesPerBatch(), r.Transport.Broadcasts)
+	}
+	return s
 }
 
 // Run executes the configured workload on a live in-process cluster and
 // returns the measurements.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	net := transport.NewMemNetwork(cfg.Nodes)
+	eps, err := buildFabric(cfg)
+	if err != nil {
+		return nil, err
+	}
 	nodes := make([]*node.Node, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = node.New(node.Config{
 			Model:        cfg.Model,
 			PersistDelay: cfg.PersistDelay,
-		}, net.Endpoint(ddp.NodeID(i)))
+		}, eps[i])
 		nodes[i].Start()
 	}
 	defer func() {
@@ -188,7 +203,49 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	// Aggregate wire counters before the deferred Close tears the
+	// endpoints down (reading after Close is safe too, but this keeps
+	// the snapshot unambiguous).
+	for _, ep := range eps {
+		if src, ok := ep.(transport.StatsSource); ok {
+			res.Transport.Add(src.Stats())
+		}
+	}
 	return res, firstErr
+}
+
+// buildFabric creates one endpoint per node: the in-process fabric by
+// default, or a fully-meshed loopback TCP cluster when cfg.TCP is set.
+func buildFabric(cfg Config) ([]transport.Transport, error) {
+	eps := make([]transport.Transport, cfg.Nodes)
+	if !cfg.TCP {
+		net := transport.NewMemNetwork(cfg.Nodes)
+		for i := range eps {
+			eps[i] = net.Endpoint(ddp.NodeID(i))
+		}
+		return eps, nil
+	}
+	tcps := make([]*transport.TCPTransport, cfg.Nodes)
+	for i := range tcps {
+		tr, err := transport.NewTCPTransport(ddp.NodeID(i),
+			map[ddp.NodeID]string{ddp.NodeID(i): "127.0.0.1:0"})
+		if err != nil {
+			for _, prev := range tcps[:i] {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("livebench: tcp fabric: %w", err)
+		}
+		tcps[i] = tr
+		eps[i] = tr
+	}
+	for i := range tcps {
+		for j := range tcps {
+			if i != j {
+				tcps[i].SetPeerAddr(ddp.NodeID(j), tcps[j].Addr())
+			}
+		}
+	}
+	return eps, nil
 }
 
 // RunAllModels measures every model under the same configuration —

@@ -33,6 +33,36 @@ func TestRunCompletesAllOps(t *testing.T) {
 	}
 }
 
+// TestRunTCPFabric runs the live cluster over real loopback TCP: all
+// ops must complete and the aggregated wire counters must show batched
+// frames flowing (and broadcasts, since invalidations fan out to the
+// whole cluster).
+func TestRunTCPFabric(t *testing.T) {
+	res, err := Run(Config{
+		Nodes:           3,
+		Model:           ddp.LinSynch,
+		WorkersPerNode:  2,
+		RequestsPerNode: 100,
+		Seed:            1,
+		TCP:             true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 {
+		t.Fatalf("completed %d ops, want 300", res.Ops)
+	}
+	if res.Transport.FramesSent == 0 || res.Transport.BatchesSent == 0 {
+		t.Fatalf("no wire traffic recorded: %+v", res.Transport)
+	}
+	if res.Transport.Broadcasts == 0 {
+		t.Fatalf("no broadcasts recorded: %+v", res.Transport)
+	}
+	if res.Transport.FramesPerBatch() < 1 {
+		t.Fatalf("frames/batch %.2f < 1", res.Transport.FramesPerBatch())
+	}
+}
+
 // TestLiveModelOrdering reproduces §IV's key ordering on the real
 // runtime: with a pronounced NVM delay, the models that persist in the
 // write's critical path (Synch, Strict) must cost more than Event.

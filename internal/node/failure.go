@@ -23,10 +23,9 @@ func (n *Node) heartbeatLoop() {
 			return
 		case <-ticker.C:
 		}
-		for _, p := range n.tr.Peers() {
-			// Best effort; an unreachable peer shows up as silence.
-			_ = n.tr.Send(p, transport.Frame{Kind: transport.FrameHeartbeat})
-		}
+		// Best effort; an unreachable peer shows up as silence. One
+		// broadcast encodes the beacon once for the whole cluster.
+		_ = n.tr.Broadcast(transport.Frame{Kind: transport.FrameHeartbeat})
 		n.checkTimeouts()
 	}
 }

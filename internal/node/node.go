@@ -250,6 +250,25 @@ func (n *Node) send(to ddp.NodeID, m ddp.Message) {
 	}
 }
 
+// sendAll transmits m to every follower. When the follower set is the
+// whole cluster (the common case: nothing has failed), it uses the
+// transport's broadcast so the frame is encoded once and fanned out as
+// shared bytes — the paper's message-broadcast optimization (§VI).
+// With a reduced follower set it falls back to per-peer sends, since
+// broadcasting would also wake peers the detector has declared dead.
+func (n *Node) sendAll(followers []ddp.NodeID, m ddp.Message) {
+	if len(followers) == len(n.tr.Peers()) {
+		m.From = n.id
+		// Best effort, like send: unreachable peers are the failure
+		// detector's problem.
+		_ = n.tr.Broadcast(transport.Frame{Kind: transport.FrameMessage, Msg: m})
+		return
+	}
+	for _, f := range followers {
+		n.send(f, m)
+	}
+}
+
 // generateTS issues a unique timestamp for a write to key; the caller
 // holds the record lock, serializing same-key generation.
 func (n *Node) generateTS(key ddp.Key, r *kv.Record) ddp.Timestamp {

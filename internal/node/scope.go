@@ -61,9 +61,7 @@ func (n *Node) Persist(sc ddp.ScopeID) error {
 	}()
 
 	req := ddp.Message{Kind: ddp.KindPersist, Scope: sc, Size: ddp.ControlSize()}
-	for _, f := range followers {
-		n.send(f, req)
-	}
+	n.sendAll(followers, req)
 
 	// Persist this node's buffered writes for the scope.
 	entries := n.takeScope(sc)
@@ -103,9 +101,7 @@ func (n *Node) Persist(sc ddp.ScopeID) error {
 	n.dropScope(sc)
 
 	valP := ddp.Message{Kind: ddp.KindValP, Scope: sc, Size: ddp.ControlSize()}
-	for _, f := range followers {
-		n.send(f, valP)
-	}
+	n.sendAll(followers, valP)
 	return nil
 }
 

@@ -66,9 +66,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		Value: append([]byte(nil), value...),
 		Size:  ddp.DataSize(len(value)),
 	}
-	for _, f := range followers { // L11: send INVs
-		n.send(f, inv)
-	}
+	n.sendAll(followers, inv) // L11: send INVs (broadcast when all alive)
 
 	r.Value = append(r.Value[:0], value...) // L12: update local volatile state
 	r.Meta.ApplyVolatile(ts)
@@ -152,9 +150,7 @@ func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Tim
 
 func (n *Node) sendVal(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) {
 	val := ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()}
-	for _, f := range followers {
-		n.send(f, val)
-	}
+	n.sendAll(followers, val)
 }
 
 // waitConsistency blocks until every live follower acknowledged the

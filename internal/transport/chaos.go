@@ -8,64 +8,104 @@ import (
 	"github.com/minos-ddp/minos/internal/ddp"
 )
 
-// ChaosNetwork wraps a MemNetwork and injects random per-message
-// delivery delays while preserving per-channel (sender, receiver) FIFO
+// Chaos wraps any Transport and injects random per-frame delivery
+// delays and probabilistic drops while preserving per-destination FIFO
 // order — the ordering real TCP connections provide. It shakes out
-// protocol races that instant in-process delivery never exercises:
-// VALs arriving mid-persist, acknowledgments racing obsolete writes,
-// interleavings between channels drifting arbitrarily far apart.
-type ChaosNetwork struct {
-	inner *MemNetwork
-	rng   *rand.Rand
-	mu    sync.Mutex
-	// MaxDelay bounds each message's injected delay.
+// protocol races that instant delivery never exercises: VALs arriving
+// mid-persist, acknowledgments racing obsolete writes, interleavings
+// between channels drifting arbitrarily far apart.
+//
+// Chaos composes over any inner transport, including the batched TCP
+// transport: frames are delayed and dropped individually before they
+// reach the inner send path, so chaos applies per frame, never per
+// coalesced batch.
+type Chaos struct {
+	inner    Transport
 	maxDelay time.Duration
+	dropP    float64
 
-	chans map[[2]ddp.NodeID]chan queued
+	mu    sync.Mutex
+	rng   *rand.Rand
+	pumps map[ddp.NodeID]chan Frame
 	wg    sync.WaitGroup
 	stop  chan struct{}
 	once  sync.Once
 }
 
-type queued struct {
-	to ddp.NodeID
-	f  Frame
-}
+var _ Transport = (*Chaos)(nil)
 
-// NewChaosNetwork builds an n-node fabric whose deliveries are delayed
-// uniformly in [0, maxDelay], per channel, in FIFO order. seed makes the
-// delays reproducible.
-func NewChaosNetwork(n int, maxDelay time.Duration, seed int64) *ChaosNetwork {
-	return &ChaosNetwork{
-		inner:    NewMemNetwork(n),
-		rng:      rand.New(rand.NewSource(seed)),
+// NewChaos wraps inner with per-frame chaos: each frame to one
+// destination is delayed uniformly in [0, maxDelay] (FIFO per
+// destination) and dropped outright with probability dropP. seed makes
+// the injected randomness reproducible.
+func NewChaos(inner Transport, maxDelay time.Duration, dropP float64, seed int64) *Chaos {
+	return &Chaos{
+		inner:    inner,
 		maxDelay: maxDelay,
-		chans:    make(map[[2]ddp.NodeID]chan queued),
+		dropP:    dropP,
+		rng:      rand.New(rand.NewSource(seed)),
+		pumps:    make(map[ddp.NodeID]chan Frame),
 		stop:     make(chan struct{}),
 	}
 }
 
-// Endpoint returns node id's transport, with chaos on its sends.
-func (c *ChaosNetwork) Endpoint(id ddp.NodeID) Transport {
-	return &chaosTransport{net: c, inner: c.inner.Endpoint(id)}
+func (c *Chaos) Self() ddp.NodeID    { return c.inner.Self() }
+func (c *Chaos) Peers() []ddp.NodeID { return c.inner.Peers() }
+func (c *Chaos) Recv() <-chan Frame  { return c.inner.Recv() }
+
+// Stats delegates to the inner transport's counters when it has any.
+func (c *Chaos) Stats() TransportStats {
+	if s, ok := c.inner.(StatsSource); ok {
+		return s.Stats()
+	}
+	return TransportStats{}
 }
 
-// Close stops the delay pumps.
-func (c *ChaosNetwork) Close() {
+// Close stops the delay pumps, then closes the inner transport.
+func (c *Chaos) Close() error {
 	c.once.Do(func() { close(c.stop) })
 	c.wg.Wait()
+	return c.inner.Close()
 }
 
-// channel returns (lazily starting) the FIFO delay pump for (from, to).
-func (c *ChaosNetwork) channel(from, to ddp.NodeID) chan queued {
+// Send queues f for delayed (or dropped) delivery to one peer.
+func (c *Chaos) Send(to ddp.NodeID, f Frame) error {
+	f.From = c.inner.Self()
+	c.mu.Lock()
+	drop := c.dropP > 0 && c.rng.Float64() < c.dropP
+	c.mu.Unlock()
+	if drop {
+		return nil // lost on the wire; the protocol must absorb it
+	}
+	select {
+	case c.pump(to) <- f:
+		return nil
+	default:
+		return ErrDisconnected // pump overwhelmed; treat as loss
+	}
+}
+
+// Broadcast fans out via Send so that delay and drop decisions stay
+// independent per destination and per frame, even when the inner
+// transport would coalesce a broadcast into shared batches.
+func (c *Chaos) Broadcast(f Frame) error {
+	var firstErr error
+	for _, id := range c.inner.Peers() {
+		if err := c.Send(id, f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// pump returns (lazily starting) the FIFO delay pump for destination to.
+func (c *Chaos) pump(to ddp.NodeID) chan Frame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := [2]ddp.NodeID{from, to}
-	ch, ok := c.chans[key]
+	ch, ok := c.pumps[to]
 	if !ok {
-		ch = make(chan queued, 4096)
-		c.chans[key] = ch
-		src := c.inner.Endpoint(from)
+		ch = make(chan Frame, 4096)
+		c.pumps[to] = ch
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -73,9 +113,12 @@ func (c *ChaosNetwork) channel(from, to ddp.NodeID) chan queued {
 				select {
 				case <-c.stop:
 					return
-				case q := <-ch:
+				case f := <-ch:
 					c.mu.Lock()
-					d := time.Duration(c.rng.Int63n(int64(c.maxDelay) + 1))
+					d := time.Duration(0)
+					if c.maxDelay > 0 {
+						d = time.Duration(c.rng.Int63n(int64(c.maxDelay) + 1))
+					}
 					c.mu.Unlock()
 					timer := time.NewTimer(d)
 					select {
@@ -84,7 +127,7 @@ func (c *ChaosNetwork) channel(from, to ddp.NodeID) chan queued {
 						return
 					case <-timer.C:
 					}
-					_ = src.Send(q.to, q.f) // best effort, like the wire
+					_ = c.inner.Send(to, f) // best effort, like the wire
 				}
 			}
 		}()
@@ -92,24 +135,33 @@ func (c *ChaosNetwork) channel(from, to ddp.NodeID) chan queued {
 	return ch
 }
 
-// chaosTransport is one endpoint's view of the ChaosNetwork.
-type chaosTransport struct {
-	net   *ChaosNetwork
-	inner *MemTransport
+// ChaosNetwork is an in-process cluster fabric with chaos on every
+// endpoint: a MemNetwork whose endpoints are wrapped in Chaos. It keeps
+// the historical constructor shape used by the protocol chaos tests.
+type ChaosNetwork struct {
+	inner *MemNetwork
+	eps   []*Chaos
 }
 
-var _ Transport = (*chaosTransport)(nil)
+// NewChaosNetwork builds an n-node fabric whose deliveries are delayed
+// uniformly in [0, maxDelay], per (sender, destination) channel, in FIFO
+// order. seed makes the delays reproducible.
+func NewChaosNetwork(n int, maxDelay time.Duration, seed int64) *ChaosNetwork {
+	net := NewMemNetwork(n)
+	cn := &ChaosNetwork{inner: net}
+	for i := 0; i < n; i++ {
+		cn.eps = append(cn.eps, NewChaos(net.Endpoint(ddp.NodeID(i)), maxDelay, 0, seed+int64(i)*1000003))
+	}
+	return cn
+}
 
-func (t *chaosTransport) Self() ddp.NodeID    { return t.inner.Self() }
-func (t *chaosTransport) Peers() []ddp.NodeID { return t.inner.Peers() }
-func (t *chaosTransport) Recv() <-chan Frame  { return t.inner.Recv() }
-func (t *chaosTransport) Close() error        { return t.inner.Close() }
-func (t *chaosTransport) Send(to ddp.NodeID, f Frame) error {
-	f.From = t.inner.Self()
-	select {
-	case t.net.channel(t.inner.Self(), to) <- queued{to: to, f: f}:
-		return nil
-	default:
-		return ErrDisconnected // pump overwhelmed; treat as loss
+// Endpoint returns node id's transport, with chaos on its sends.
+func (c *ChaosNetwork) Endpoint(id ddp.NodeID) Transport { return c.eps[int(id)] }
+
+// Close stops every endpoint's delay pumps (and the endpoints
+// themselves; closing twice is safe).
+func (c *ChaosNetwork) Close() {
+	for _, e := range c.eps {
+		_ = e.Close()
 	}
 }

@@ -56,30 +56,32 @@ const maxFrameSize = 64 << 20 // hard cap against corrupt length prefixes
 //
 //	u32 payload length | u8 kind | i32 from | payload
 func EncodeFrame(f Frame) []byte {
-	payload := encodePayload(f)
-	buf := make([]byte, 0, 9+len(payload))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(5+len(payload)))
-	buf = append(buf, byte(f.Kind))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(f.From))
-	buf = append(buf, payload...)
-	return buf
+	return AppendFrame(nil, f)
 }
 
-func encodePayload(f Frame) []byte {
-	var b []byte
+// AppendFrame appends f's full wire encoding (length prefix included) to
+// dst and returns the extended slice. It is the allocation-free encode
+// path: batching senders append frame after frame into one pooled buffer
+// and hand the whole run to a single Write.
+func AppendFrame(dst []byte, f Frame) []byte {
+	lenAt := len(dst)
+	dst = binary.LittleEndian.AppendUint32(dst, 0) // length backpatched below
+	dst = append(dst, byte(f.Kind))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
 	switch f.Kind {
 	case FrameMessage:
-		b = appendMessage(b, f.Msg)
+		dst = appendMessage(dst, f.Msg)
 	case FrameHeartbeat:
 	case FrameRecoveryRequest:
-		b = binary.LittleEndian.AppendUint64(b, f.Since)
+		dst = binary.LittleEndian.AppendUint64(dst, f.Since)
 	case FrameRecoveryEntries:
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Entries)))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Entries)))
 		for _, e := range f.Entries {
-			b = appendLogEntry(b, e)
+			dst = appendLogEntry(dst, e)
 		}
 	}
-	return b
+	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
 }
 
 func appendMessage(b []byte, m ddp.Message) []byte {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"github.com/minos-ddp/minos/internal/ddp"
@@ -52,6 +53,117 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		if len(fr.Entries) != len(fr2.Entries) {
 			t.Fatalf("unstable entries: %d vs %d", len(fr.Entries), len(fr2.Entries))
+		}
+	})
+}
+
+// FuzzBatchRoundTrip exercises the batched wire path end to end: it
+// derives a run of frames from the fuzz input, appends them all into one
+// buffer with AppendFrame (exactly what a peer writer's coalesced batch
+// looks like), then walks the buffer frame-by-frame the way readLoop
+// does — length prefix, slice, DecodeFrame — and demands every frame
+// come back intact and in order with no leftover bytes.
+func FuzzBatchRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add(bytes.Repeat([]byte{0xA5}, 200))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Deterministically derive 1..16 frames from the input bytes.
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		count := int(next())%16 + 1
+		frames := make([]Frame, 0, count)
+		for i := 0; i < count; i++ {
+			fr := Frame{From: ddp.NodeID(int8(next()))}
+			switch next() % 4 {
+			case 0:
+				vlen := int(next()) % 64
+				val := make([]byte, vlen)
+				for j := range val {
+					val[j] = next()
+				}
+				fr.Kind = FrameMessage
+				fr.Msg = ddp.Message{
+					Kind:  ddp.MsgKind(next() % 6),
+					Key:   ddp.Key(next())<<8 | ddp.Key(next()),
+					TS:    ddp.Timestamp{Node: ddp.NodeID(int8(next())), Version: ddp.Version(next())},
+					Scope: ddp.ScopeID(next()),
+					Value: val,
+				}
+				fr.Msg.Size = ddp.DataSize(len(val))
+				if !fr.Msg.Kind.Valid() {
+					fr.Msg.Kind = ddp.KindInv
+				}
+			case 1:
+				fr.Kind = FrameHeartbeat
+			case 2:
+				fr.Kind = FrameRecoveryRequest
+				fr.Since = uint64(next())<<8 | uint64(next())
+			case 3:
+				fr.Kind = FrameRecoveryEntries
+				n := int(next()) % 4
+				for j := 0; j < n; j++ {
+					fr.Entries = append(fr.Entries, LogEntry{
+						Seq: uint64(next()), Key: ddp.Key(next()),
+						TS:    ddp.Timestamp{Node: ddp.NodeID(int8(next())), Version: ddp.Version(next())},
+						Value: []byte{next()},
+					})
+				}
+			}
+			frames = append(frames, fr)
+		}
+
+		var batch []byte
+		for _, fr := range frames {
+			batch = AppendFrame(batch, fr)
+		}
+
+		// Parse like readLoop: u32 length prefix, then the frame body.
+		off := 0
+		for i, want := range frames {
+			if off+4 > len(batch) {
+				t.Fatalf("batch truncated before frame %d", i)
+			}
+			n := int(binary.LittleEndian.Uint32(batch[off:]))
+			off += 4
+			if off+n > len(batch) {
+				t.Fatalf("frame %d length %d overruns batch", i, n)
+			}
+			got, err := DecodeFrame(batch[off : off+n])
+			off += n
+			if err != nil {
+				t.Fatalf("frame %d failed to decode: %v", i, err)
+			}
+			if got.Kind != want.Kind || got.From != want.From || got.Since != want.Since {
+				t.Fatalf("frame %d header mismatch: %+v vs %+v", i, got, want)
+			}
+			if want.Kind == FrameMessage {
+				a, b := got.Msg, want.Msg
+				if a.Kind != b.Kind || a.Key != b.Key || a.TS != b.TS ||
+					a.Scope != b.Scope || !bytes.Equal(a.Value, b.Value) {
+					t.Fatalf("frame %d message mismatch: %+v vs %+v", i, a, b)
+				}
+			}
+			if len(got.Entries) != len(want.Entries) {
+				t.Fatalf("frame %d entries: %d vs %d", i, len(got.Entries), len(want.Entries))
+			}
+			for j := range want.Entries {
+				ge, we := got.Entries[j], want.Entries[j]
+				if ge.Seq != we.Seq || ge.Key != we.Key || ge.TS != we.TS ||
+					!bytes.Equal(ge.Value, we.Value) {
+					t.Fatalf("frame %d entry %d mismatch", i, j)
+				}
+			}
+		}
+		if off != len(batch) {
+			t.Fatalf("%d trailing bytes after parsing all frames", len(batch)-off)
 		}
 	})
 }

@@ -1,0 +1,111 @@
+package transport
+
+import "sync/atomic"
+
+// TransportStats is a point-in-time snapshot of a transport's send and
+// receive counters. The batching-specific fields (BatchesSent, BatchHist)
+// stay zero on transports that deliver frames individually.
+type TransportStats struct {
+	FramesSent  int64 // frames handed to the wire (or in-process peer)
+	FramesRecv  int64 // frames delivered to Recv
+	BatchesSent int64 // Write syscalls issued by the batched send path
+	BytesSent   int64
+	BytesRecv   int64
+	Encodes     int64 // frame encodings performed (Broadcast encodes once)
+	Broadcasts  int64 // Broadcast calls
+	Redials     int64 // connection (re-)establishment attempts
+	SendErrors  int64 // frames rejected or dropped by send failures
+	// BatchHist buckets frames-per-batch: 1, 2, 3-4, 5-8, 9-16, 17-32,
+	// 33-64, 65+.
+	BatchHist [8]int64
+}
+
+// FramesPerBatch returns the mean coalescing factor of the batched path.
+func (s TransportStats) FramesPerBatch() float64 {
+	if s.BatchesSent == 0 {
+		return 0
+	}
+	return float64(s.FramesSent) / float64(s.BatchesSent)
+}
+
+// Add accumulates o into s (for aggregating a cluster's endpoints).
+func (s *TransportStats) Add(o TransportStats) {
+	s.FramesSent += o.FramesSent
+	s.FramesRecv += o.FramesRecv
+	s.BatchesSent += o.BatchesSent
+	s.BytesSent += o.BytesSent
+	s.BytesRecv += o.BytesRecv
+	s.Encodes += o.Encodes
+	s.Broadcasts += o.Broadcasts
+	s.Redials += o.Redials
+	s.SendErrors += o.SendErrors
+	for i := range s.BatchHist {
+		s.BatchHist[i] += o.BatchHist[i]
+	}
+}
+
+// StatsSource is implemented by transports that report counters.
+type StatsSource interface {
+	Stats() TransportStats
+}
+
+// counters is the atomic backing store behind Stats().
+type counters struct {
+	framesSent  atomic.Int64
+	framesRecv  atomic.Int64
+	batchesSent atomic.Int64
+	bytesSent   atomic.Int64
+	bytesRecv   atomic.Int64
+	encodes     atomic.Int64
+	broadcasts  atomic.Int64
+	redials     atomic.Int64
+	sendErrors  atomic.Int64
+	batchHist   [8]atomic.Int64
+}
+
+// batchBucket maps a frames-per-batch count to its histogram bucket.
+func batchBucket(frames int) int {
+	switch {
+	case frames <= 1:
+		return 0
+	case frames == 2:
+		return 1
+	case frames <= 4:
+		return 2
+	case frames <= 8:
+		return 3
+	case frames <= 16:
+		return 4
+	case frames <= 32:
+		return 5
+	case frames <= 64:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func (c *counters) noteBatch(frames, bytes int) {
+	c.batchesSent.Add(1)
+	c.framesSent.Add(int64(frames))
+	c.bytesSent.Add(int64(bytes))
+	c.batchHist[batchBucket(frames)].Add(1)
+}
+
+func (c *counters) snapshot() TransportStats {
+	s := TransportStats{
+		FramesSent:  c.framesSent.Load(),
+		FramesRecv:  c.framesRecv.Load(),
+		BatchesSent: c.batchesSent.Load(),
+		BytesSent:   c.bytesSent.Load(),
+		BytesRecv:   c.bytesRecv.Load(),
+		Encodes:     c.encodes.Load(),
+		Broadcasts:  c.broadcasts.Load(),
+		Redials:     c.redials.Load(),
+		SendErrors:  c.sendErrors.Load(),
+	}
+	for i := range s.BatchHist {
+		s.BatchHist[i] = c.batchHist[i].Load()
+	}
+	return s
+}

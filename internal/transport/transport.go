@@ -14,12 +14,18 @@ type Transport interface {
 	// Send transmits f to peer. Sending to an unknown or disconnected
 	// peer returns an error.
 	Send(to ddp.NodeID, f Frame) error
+	// Broadcast transmits f to every peer, encoding it at most once
+	// (the paper's message-broadcast optimization, §VI). Delivery is
+	// best-effort per peer: every peer is attempted and the first error
+	// is returned.
+	Broadcast(f Frame) error
 	// Recv returns the channel of inbound frames. The channel closes
 	// when the transport closes.
 	Recv() <-chan Frame
 	// Self returns this endpoint's node ID.
 	Self() ddp.NodeID
-	// Peers returns the other node IDs in the cluster.
+	// Peers returns the other node IDs in the cluster, in ascending
+	// NodeID order.
 	Peers() []ddp.NodeID
 	// Close shuts the transport down.
 	Close() error
@@ -31,6 +37,10 @@ var ErrClosed = errors.New("transport: closed")
 // ErrDisconnected is returned by Send when the peer is partitioned away
 // (in-process transport failure injection).
 var ErrDisconnected = errors.New("transport: peer disconnected")
+
+// ErrBackpressure is returned by Send when a peer's send queue is full:
+// the peer exists but is not draining what is queued for it.
+var ErrBackpressure = errors.New("transport: peer send queue full")
 
 // MemNetwork is an in-process cluster fabric: every endpoint sends
 // frames straight into its peers' receive channels. It supports failure
@@ -89,9 +99,12 @@ type MemTransport struct {
 	mu     sync.Mutex
 	rx     chan Frame
 	closed bool
+
+	stats counters
 }
 
 var _ Transport = (*MemTransport)(nil)
+var _ StatsSource = (*MemTransport)(nil)
 
 // Self returns this endpoint's node ID.
 func (t *MemTransport) Self() ddp.NodeID { return t.self }
@@ -112,6 +125,14 @@ func (t *MemTransport) Recv() <-chan Frame { return t.rx }
 
 // Send delivers f to peer unless either side is partitioned or closed.
 func (t *MemTransport) Send(to ddp.NodeID, f Frame) error {
+	if err := t.send(to, f); err != nil {
+		t.stats.sendErrors.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (t *MemTransport) send(to ddp.NodeID, f Frame) error {
 	if int(to) < 0 || int(to) >= t.net.Size() || to == t.self {
 		return errors.New("transport: bad destination")
 	}
@@ -127,6 +148,8 @@ func (t *MemTransport) Send(to ddp.NodeID, f Frame) error {
 	}
 	select {
 	case dst.rx <- f:
+		t.stats.framesSent.Add(1)
+		dst.stats.framesRecv.Add(1)
 		return nil
 	default:
 		// A full receive queue on a live in-process peer means the
@@ -135,6 +158,27 @@ func (t *MemTransport) Send(to ddp.NodeID, f Frame) error {
 		return ErrDisconnected
 	}
 }
+
+// Broadcast delivers f to every peer. There is no wire encoding in
+// process, so "encode once" is vacuous here; the call still counts as
+// one broadcast for cross-transport stats comparability.
+func (t *MemTransport) Broadcast(f Frame) error {
+	t.stats.broadcasts.Add(1)
+	var firstErr error
+	for i := 0; i < t.net.Size(); i++ {
+		id := ddp.NodeID(i)
+		if id == t.self {
+			continue
+		}
+		if err := t.Send(id, f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (t *MemTransport) Stats() TransportStats { return t.stats.snapshot() }
 
 // Close shuts the endpoint down and closes its receive channel.
 func (t *MemTransport) Close() error {
