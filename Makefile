@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check bench-smoke bench-live clean
+.PHONY: all build test race lint vet check bench-smoke bench-live bench-node clean
 
 all: build
 
@@ -38,6 +38,14 @@ bench-smoke:
 # place (the committed before/after microbenchmark numbers are kept).
 bench-live:
 	$(GO) run ./cmd/minos-live -nodes 3 -workers 4 -requests 400 -tcp -json BENCH_live.json
+
+# Node write-path benchmarks (pipelined durability engine): serial and
+# parallel write microbenchmarks per model plus a livebench Lin-Synch
+# throughput run, with the NVM delay off and at the paper's 1295 ns.
+# Updates the "after" section of BENCH_node.json in place (the committed
+# "before" baseline from the pre-pipeline tree is kept).
+bench-node:
+	$(GO) run ./cmd/minos-benchnode -label after -json BENCH_node.json
 
 clean:
 	$(GO) clean ./...

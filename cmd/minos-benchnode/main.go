@@ -1,0 +1,262 @@
+// Command minos-benchnode measures the live node's write path: a
+// serial and a parallel write microbenchmark per DDP model, with the
+// emulated NVM delay both off and at the paper's 1295 ns device write
+// (Table II), plus a livebench throughput run over the in-process
+// fabric. Results land under a -label key ("before" / "after") in a
+// JSON file, so the same source compiled at two commits produces one
+// comparable document.
+//
+// Usage:
+//
+//	minos-benchnode -label after -json BENCH_node.json
+//
+// The command deliberately restricts itself to configuration surface
+// that predates the pipelined durability engine (node.Config.Model and
+// PersistDelay, livebench's original fields), so it builds unchanged
+// in a baseline worktree.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/transport"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+var benchDelays = []time.Duration{0, 1295 * time.Nanosecond}
+
+func main() {
+	label := flag.String("label", "after", "JSON key to store this run under (before|after)")
+	jsonPath := flag.String("json", "", "merge results into this JSON file (other labels preserved)")
+	liveRequests := flag.Int("live-requests", 4000, "requests per node for the livebench runs")
+	flag.Parse()
+
+	doc := map[string]any{}
+	micro := runMicro()
+	live := runLive(*liveRequests)
+	doc["microbench"] = micro
+	doc["live"] = live
+
+	if *jsonPath != "" {
+		if err := mergeJSON(*jsonPath, *label, doc); err != nil {
+			fmt.Fprintln(os.Stderr, "minos-benchnode:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s under %q\n", *jsonPath, *label)
+	}
+}
+
+// microResult is one (model, delay, variant) measurement.
+type microResult struct {
+	Model    string  `json:"model"`
+	DelayNs  int64   `json:"delay_ns"`
+	Variant  string  `json:"variant"` // serial | parallel
+	NsPerOp  float64 `json:"ns_per_op"`
+	OpsPerS  float64 `json:"ops_per_s"`
+	N        int     `json:"n"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// cluster builds a 3-node in-process cluster and returns node 0 plus a
+// teardown closing every node.
+func cluster(model ddp.Model, delay time.Duration) (*node.Node, func()) {
+	net := transport.NewMemNetwork(3)
+	nodes := make([]*node.Node, 3)
+	for i := range nodes {
+		nodes[i] = node.New(node.Config{Model: model, PersistDelay: delay}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	return nodes[0], func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}
+}
+
+const scopeFlushEvery = 16
+
+func runMicro() []microResult {
+	val := bytes.Repeat([]byte("v"), 128)
+	var out []microResult
+	for _, model := range ddp.Models {
+		for _, d := range benchDelays {
+			model, d := model, d
+			serial := testing.Benchmark(func(b *testing.B) {
+				n, done := cluster(model, d)
+				defer done()
+				b.ResetTimer()
+				if model == ddp.LinScope {
+					sc := n.NewScope()
+					inScope := 0
+					for i := 0; i < b.N; i++ {
+						if err := n.WriteScoped(ddp.Key(i&255), val, sc); err != nil {
+							b.Fatal(err)
+						}
+						if inScope++; inScope == scopeFlushEvery {
+							if err := n.Persist(sc); err != nil {
+								b.Fatal(err)
+							}
+							sc = n.NewScope()
+							inScope = 0
+						}
+					}
+					b.StopTimer()
+					if inScope > 0 {
+						if err := n.Persist(sc); err != nil {
+							b.Fatal(err)
+						}
+					}
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					if err := n.Write(ddp.Key(i&255), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+			})
+			out = append(out, toResult(model, d, "serial", serial))
+			fmt.Printf("%-12v delay=%-8v serial   %10.0f ns/op\n", model, d, nsPerOp(serial))
+
+			parallel := testing.Benchmark(func(b *testing.B) {
+				n, done := cluster(model, d)
+				defer done()
+				var ctr atomic.Uint64
+				b.SetParallelism(8)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					if model == ddp.LinScope {
+						sc := n.NewScope()
+						inScope := 0
+						for pb.Next() {
+							i := ctr.Add(1)
+							if err := n.WriteScoped(ddp.Key(i&1023), val, sc); err != nil {
+								b.Fatal(err)
+							}
+							if inScope++; inScope == scopeFlushEvery {
+								if err := n.Persist(sc); err != nil {
+									b.Fatal(err)
+								}
+								sc = n.NewScope()
+								inScope = 0
+							}
+						}
+						if inScope > 0 {
+							if err := n.Persist(sc); err != nil {
+								b.Fatal(err)
+							}
+						}
+						return
+					}
+					for pb.Next() {
+						i := ctr.Add(1)
+						if err := n.Write(ddp.Key(i&1023), val); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+				b.StopTimer()
+			})
+			out = append(out, toResult(model, d, "parallel", parallel))
+			fmt.Printf("%-12v delay=%-8v parallel %10.0f ns/op\n", model, d, nsPerOp(parallel))
+		}
+	}
+	return out
+}
+
+func nsPerOp(r testing.BenchmarkResult) float64 {
+	if r.N <= 0 {
+		return 0
+	}
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+func toResult(model ddp.Model, d time.Duration, variant string, r testing.BenchmarkResult) microResult {
+	ns := nsPerOp(r)
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return microResult{
+		Model: fmt.Sprint(model), DelayNs: d.Nanoseconds(), Variant: variant,
+		NsPerOp: ns, OpsPerS: ops, N: r.N, AllocsOp: r.AllocsPerOp(),
+	}
+}
+
+// liveResult is one livebench throughput point.
+type liveResult struct {
+	Model          string  `json:"model"`
+	DelayNs        int64   `json:"delay_ns"`
+	Workers        int     `json:"workers_per_node"`
+	Ops            int     `json:"ops"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	WriteAvgNs     float64 `json:"write_avg_ns"`
+	WriteP99Ns     float64 `json:"write_p99_ns"`
+}
+
+// runLive measures Lin-Synch on the in-process fabric with the persist
+// delay off and at 1295 ns — the acceptance metric for the pipelined
+// durability engine. Two offered loads: one client per node, where the
+// per-write device delay is fully exposed on the critical path, and
+// eight, where concurrency can hide it.
+func runLive(requests int) []liveResult {
+	var out []liveResult
+	wl := workload.Default()
+	wl.WriteRatio = 1.0
+	wl.ValueSize = 128
+	for _, workers := range []int{1, 8} {
+		for _, d := range benchDelays {
+			res, err := livebench.Run(livebench.Config{
+				Nodes:           3,
+				Model:           ddp.LinSynch,
+				WorkersPerNode:  workers,
+				RequestsPerNode: requests,
+				PersistDelay:    d,
+				Workload:        wl,
+				Seed:            42,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "minos-benchnode: livebench:", err)
+				os.Exit(1)
+			}
+			out = append(out, liveResult{
+				Model: fmt.Sprint(res.Model), DelayNs: d.Nanoseconds(), Workers: workers,
+				Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
+				ThroughputOpsS: res.Throughput(),
+				WriteAvgNs:     res.WriteLat.Mean(),
+				WriteP99Ns:     res.WriteLat.Percentile(99),
+			})
+			fmt.Printf("live %-9v delay=%-8v workers=%d %9.0f op/s (wr avg %.0f ns)\n",
+				res.Model, d, workers, res.Throughput(), res.WriteLat.Mean())
+		}
+	}
+	return out
+}
+
+// mergeJSON stores doc under label in path, preserving every other
+// top-level key (so "before" and "after" runs share one file).
+func mergeJSON(path, label string, doc map[string]any) error {
+	full := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &full); err != nil {
+			return fmt.Errorf("existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	full[label] = doc
+	buf, err := json.MarshalIndent(full, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

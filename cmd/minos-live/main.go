@@ -30,6 +30,8 @@ func main() {
 	valueSize := flag.Int("value", 128, "record value bytes")
 	seed := flag.Int64("seed", 42, "workload seed")
 	tcp := flag.Bool("tcp", false, "run over loopback TCP (real batched wire path) instead of the in-process fabric")
+	dispatch := flag.Int("dispatch", 0, "key-affine dispatch workers per node (0 = node default)")
+	drains := flag.Int("drains", 0, "NVM drain engines per node (0 = node default)")
 	jsonPath := flag.String("json", "", "write results into this JSON file (existing 'before' and 'after.microbench' keys are preserved)")
 	flag.Parse()
 
@@ -48,6 +50,8 @@ func main() {
 		WorkersPerNode:  *workers,
 		RequestsPerNode: *requests,
 		PersistDelay:    *persist,
+		DispatchWorkers: *dispatch,
+		PersistDrains:   *drains,
 		Workload:        wl,
 		Seed:            *seed,
 		TCP:             *tcp,

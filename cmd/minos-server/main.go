@@ -39,6 +39,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 200*time.Millisecond, "failure-detector heartbeat interval")
 	failAfter := flag.Duration("fail-after", time.Second, "silence before a peer is declared failed")
 	recoverFrom := flag.Int("recover-from", -1, "on startup, pull the log tail from this node (-1 = none)")
+	dispatch := flag.Int("dispatch", 0, "key-affine dispatch workers (0 = default)")
+	drains := flag.Int("drains", 0, "NVM drain engines (0 = default)")
 	flag.Parse()
 
 	model, err := ddp.ParseModel(*modelName)
@@ -59,10 +61,12 @@ func main() {
 		log.Fatalf("minos-server: %v", err)
 	}
 	n := node.New(node.Config{
-		Model:          model,
-		PersistDelay:   *persistDelay,
-		HeartbeatEvery: *heartbeat,
-		FailAfter:      *failAfter,
+		Model:           model,
+		PersistDelay:    *persistDelay,
+		HeartbeatEvery:  *heartbeat,
+		FailAfter:       *failAfter,
+		DispatchWorkers: *dispatch,
+		PersistDrains:   *drains,
 	}, tr)
 	n.Start()
 	log.Printf("node %d up: model=%v protocol=%s client=%s", self, model, tr.Addr(), *clientAddr)

@@ -53,6 +53,13 @@ type ScopeID uint64
 // Key identifies a data record in MINOS-KV.
 type Key uint64
 
+// Hash spreads dense keys across power-of-two shard counts (Fibonacci
+// multiplicative hashing). Every layer that stripes by key — the KV
+// store, the NVM log and its drain queues, the node's transaction table
+// and dispatch workers — derives its shard index from the same hash so
+// the striping behaves identically across layers.
+func (k Key) Hash() uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+
 // Message is a DDP protocol message. One struct covers all kinds; unused
 // fields are zero. Size is the modeled wire size in bytes; the simulator
 // charges bandwidth for it and the live transport encodes Value.

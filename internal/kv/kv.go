@@ -77,7 +77,7 @@ func NewStore(shardCount int) *Store {
 
 func (s *Store) shardFor(key ddp.Key) *shard {
 	// Fibonacci hashing spreads dense keys across shards.
-	return s.shards[(uint64(key)*0x9E3779B97F4A7C15)>>32&s.mask]
+	return s.shards[key.Hash()>>32&s.mask]
 }
 
 // Get returns the record for key, or nil if it has never been written or

@@ -7,5 +7,5 @@ import (
 )
 
 func TestLockSafe(t *testing.T) {
-	linttest.Run(t, "testdata", LockSafe, "locksafe/a")
+	linttest.Run(t, "testdata", LockSafe, "locksafe/a", "locksafe/pipeline")
 }

@@ -38,10 +38,22 @@ var PersistOrder = &analysis.Analyzer{
 // durableEvidenceFuncs are calls that establish durability of the
 // update being acknowledged.
 var durableEvidenceFuncs = map[string]bool{
-	"persist":            true, // the NVM append (Node.persist)
+	"persist":            true, // blocking pipeline persist (Node.persist)
+	"persistThen":        true, // pipeline persist whose continuation acks
+	"persistMany":        true, // blocking pipelined scope flush
 	"waitPersistency":    true, // coordinator-side spin on [ACK_P]s
 	"waitLocallyDurable": true, // spin on the local log
 	"PersistencyDone":    true, // metadata spin predicate
+}
+
+// durableContinuationFuncs take a completion closure that the
+// durability pipeline runs strictly after the log append (the drain
+// engine's post-batch hook). A function literal passed to one of these
+// is therefore born with durability evidence: an acknowledgment built
+// inside it cannot outrun the persist.
+var durableContinuationFuncs = map[string]bool{
+	"Enqueue":     true, // nvm.Pipeline.Enqueue(key, ts, value, scope, then)
+	"persistThen": true, // Node.persistThen forwarding a continuation
 }
 
 // durableAckKinds are the message kinds that promise durability.
@@ -58,6 +70,7 @@ func runPersistOrder(pass *analysis.Pass) (interface{}, error) {
 	al := buildAllows(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	blessed := blessedContinuations(pass)
 
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 		switch n := n.(type) {
@@ -66,10 +79,39 @@ func runPersistOrder(pass *analysis.Pass) (interface{}, error) {
 				checkPersistOrder(pass, al, n.Body, cfgs.FuncDecl(n))
 			}
 		case *ast.FuncLit:
+			if blessed[n] {
+				return
+			}
 			checkPersistOrder(pass, al, n.Body, cfgs.FuncLit(n))
 		}
 	})
 	return nil, nil
+}
+
+// blessedContinuations collects function literals passed directly to a
+// durable-continuation call: the pipeline runs them after the append,
+// so their bodies start with durability already established.
+func blessedContinuations(pass *analysis.Pass) map[*ast.FuncLit]bool {
+	out := make(map[*ast.FuncLit]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !durableContinuationFuncs[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if fl, ok := arg.(*ast.FuncLit); ok {
+					out[fl] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
 }
 
 // ackSite is one construction of a durable acknowledgment.
@@ -155,6 +197,12 @@ func findDurableAcks(body *ast.BlockStmt) []ackSite {
 		for _, arg := range call.Args {
 			kind := ""
 			ast.Inspect(arg, func(m ast.Node) bool {
+				// A kind named inside a closure argument belongs to the
+				// closure, which is checked (or blessed as a pipeline
+				// continuation) independently.
+				if _, isLit := m.(*ast.FuncLit); isLit {
+					return false
+				}
 				if id, ok := m.(*ast.Ident); ok && durableAckKinds[id.Name] {
 					kind = id.Name
 				}

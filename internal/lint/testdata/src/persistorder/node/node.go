@@ -62,3 +62,44 @@ func (n *Node) waitThenAckOK(m Message) {
 func (n *Node) composedAckLiteral(m Message) {
 	n.send(m.From, Message{Kind: KindAck}) // want `persist-before-ack`
 }
+
+// --- pipelined durability shapes (group-commit drain engines) ---
+
+func (n *Node) persistThen(m Message, k MsgKind) {}
+func (n *Node) persistMany(ms []Message) bool    { return true }
+
+type pipeline struct{}
+
+func (pipeline) Enqueue(m Message, then func()) {}
+
+// persistThen is itself the durable write: the acknowledgment kind it
+// is handed travels with the update and is sent by the drain engine
+// after the append, so naming the kind at the call site is fine.
+func (n *Node) pipelinedAckOK(m Message) {
+	n.persistThen(m, KindAck)
+}
+
+// A continuation passed to the pipeline runs strictly after the log
+// append — an ack built inside it is born with durability evidence.
+func (n *Node) continuationAckOK(p pipeline, m Message) {
+	p.Enqueue(m, func() {
+		n.send(m.From, Message{Kind: KindAckP, From: 0})
+	})
+}
+
+// The same closure NOT handed to the pipeline keeps the obligation.
+func (n *Node) bareClosureAck(m Message) {
+	f := func() {
+		n.sendAck(m, KindAckP) // want `persist-before-ack`
+	}
+	f()
+}
+
+// A blocking scope flush counts as evidence; bailing out on its false
+// (node-closed) return keeps the ack on the durable path only.
+func (n *Node) scopeFlushAckOK(m Message) {
+	if !n.persistMany(n.buffered) {
+		return
+	}
+	n.sendAck(m, KindAckP)
+}

@@ -31,6 +31,12 @@ type Config struct {
 	RequestsPerNode int
 	// PersistDelay emulates the NVM persist latency.
 	PersistDelay time.Duration
+	// DispatchWorkers sizes each node's key-affine executor (0 = node
+	// default).
+	DispatchWorkers int
+	// PersistDrains sizes each node's NVM drain-engine pool (0 = node
+	// default).
+	PersistDrains int
 	// Workload is the request mix (default: the paper's default).
 	Workload workload.Config
 	// Seed fixes the workload streams.
@@ -104,8 +110,10 @@ func Run(cfg Config) (*Result, error) {
 	nodes := make([]*node.Node, cfg.Nodes)
 	for i := range nodes {
 		nodes[i] = node.New(node.Config{
-			Model:        cfg.Model,
-			PersistDelay: cfg.PersistDelay,
+			Model:           cfg.Model,
+			PersistDelay:    cfg.PersistDelay,
+			DispatchWorkers: cfg.DispatchWorkers,
+			PersistDrains:   cfg.PersistDrains,
 		}, eps[i])
 		nodes[i].Start()
 	}

@@ -1,0 +1,124 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// Write-path benchmarks across the five persistency models, with the
+// NVM latency both disabled and at the paper's 1295 ns device write.
+// The parallel variants are where group commit shows: concurrent
+// writes coalesce into shared drain batches, so the per-write share of
+// the persist delay shrinks with the offered load.
+
+var benchDelays = []time.Duration{0, 1295 * time.Nanosecond}
+
+func benchCluster(b *testing.B, model ddp.Model, delay time.Duration) *Node {
+	b.Helper()
+	net := transport.NewMemNetwork(3)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = New(Config{Model: model, PersistDelay: delay}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	b.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	})
+	return nodes[0]
+}
+
+// scopeFlushEvery batches <Lin, Scope> writes per flush, mirroring the
+// paper's multi-write persistency epochs.
+const scopeFlushEvery = 16
+
+func BenchmarkNodeWrite(b *testing.B) {
+	val := bytes.Repeat([]byte("v"), 128)
+	for _, model := range ddp.Models {
+		for _, d := range benchDelays {
+			b.Run(fmt.Sprintf("%v/delay=%v", model, d), func(b *testing.B) {
+				n := benchCluster(b, model, d)
+				b.ResetTimer()
+				if model == ddp.LinScope {
+					sc := n.NewScope()
+					inScope := 0
+					for i := 0; i < b.N; i++ {
+						if err := n.WriteScoped(ddp.Key(i&255), val, sc); err != nil {
+							b.Fatal(err)
+						}
+						if inScope++; inScope == scopeFlushEvery {
+							if err := n.Persist(sc); err != nil {
+								b.Fatal(err)
+							}
+							sc = n.NewScope()
+							inScope = 0
+						}
+					}
+					if inScope > 0 {
+						if err := n.Persist(sc); err != nil {
+							b.Fatal(err)
+						}
+					}
+					return
+				}
+				for i := 0; i < b.N; i++ {
+					if err := n.Write(ddp.Key(i&255), val); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkNodeWriteParallel(b *testing.B) {
+	val := bytes.Repeat([]byte("v"), 128)
+	for _, model := range ddp.Models {
+		for _, d := range benchDelays {
+			b.Run(fmt.Sprintf("%v/delay=%v", model, d), func(b *testing.B) {
+				n := benchCluster(b, model, d)
+				var ctr atomic.Uint64
+				b.SetParallelism(8)
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					if model == ddp.LinScope {
+						sc := n.NewScope()
+						inScope := 0
+						for pb.Next() {
+							i := ctr.Add(1)
+							if err := n.WriteScoped(ddp.Key(i&1023), val, sc); err != nil {
+								b.Fatal(err)
+							}
+							if inScope++; inScope == scopeFlushEvery {
+								if err := n.Persist(sc); err != nil {
+									b.Fatal(err)
+								}
+								sc = n.NewScope()
+								inScope = 0
+							}
+						}
+						if inScope > 0 {
+							if err := n.Persist(sc); err != nil {
+								b.Fatal(err)
+							}
+						}
+						return
+					}
+					for pb.Next() {
+						i := ctr.Add(1)
+						if err := n.Write(ddp.Key(i&1023), val); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package node
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// executor is the node's bounded, key-affine message dispatcher. The
+// previous design spawned one goroutine per inbound frame, which let
+// two INVs for the same record race each other (the later timestamp
+// could apply first, turning the earlier one into a spurious obsolete
+// entry) and paid goroutine churn plus wg.Add contention per message.
+// The executor instead routes every message for a key to the same
+// worker over a bounded FIFO channel: per-record arrival order is
+// preserved (the ordering Fig 2's metadata checks rely on), and a
+// saturated worker exerts backpressure on recvLoop instead of piling
+// up goroutines.
+//
+// Workers must never block on a condition only another message for the
+// same key can satisfy — that message would sit behind them in their
+// own queue. Handlers that spin (the follower obsolete paths, which
+// wait for the superseding write's VAL) are therefore punted to
+// throwaway goroutines; everything else runs inline on the worker.
+type executor struct {
+	n      *Node
+	queues []chan ddp.Message
+	mask   uint64
+}
+
+// execQueueDepth bounds each worker's mailbox. The transport's receive
+// queue holds 4096 frames; sizing each lane at 1024 keeps total
+// executor buffering comfortably above it so backpressure normally
+// reaches recvLoop only when a single key is hammered.
+const execQueueDepth = 1024
+
+func newExecutor(n *Node, workers int) *executor {
+	w := 1
+	for w < workers {
+		w <<= 1
+	}
+	e := &executor{n: n, mask: uint64(w - 1)}
+	e.queues = make([]chan ddp.Message, w)
+	for i := range e.queues {
+		e.queues[i] = make(chan ddp.Message, execQueueDepth)
+	}
+	return e
+}
+
+// start launches the workers, tracked by the node's WaitGroup.
+func (e *executor) start() {
+	for _, q := range e.queues {
+		e.n.wg.Add(1)
+		go e.worker(q)
+	}
+}
+
+func (e *executor) worker(q chan ddp.Message) {
+	defer e.n.wg.Done()
+	for m := range q {
+		e.n.handleMessage(m)
+	}
+}
+
+// dispatch routes m to its affine worker, blocking when that worker's
+// queue is full. Only recvLoop calls this, so the blocking send cannot
+// deadlock: workers never enqueue messages themselves.
+func (e *executor) dispatch(m ddp.Message) {
+	e.queues[affinity(m)&e.mask] <- m
+}
+
+// closeQueues ends the workers once recvLoop has stopped producing.
+func (e *executor) closeQueues() {
+	for _, q := range e.queues {
+		close(q)
+	}
+}
+
+// affinity picks the hash that routes m. Data-path messages carry a
+// key; scope control messages ([PERSIST]sc, [ACK_P]sc, [VAL_P]sc) have
+// a zero timestamp and route by scope so one scope's flush handshake
+// stays ordered too.
+func affinity(m ddp.Message) uint64 {
+	if m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
+		return ddp.Key(m.Scope).Hash() >> 32
+	}
+	return m.Key.Hash() >> 32
+}

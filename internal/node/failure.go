@@ -30,36 +30,57 @@ func (n *Node) heartbeatLoop() {
 	}
 }
 
-// noteAlive marks a peer as seen. A previously failed peer speaking
-// again is re-inserted into the live set; it is responsible for running
-// Recover itself to catch up its replica.
+// noteAlive marks a peer as seen: an atomic timestamp store on the hot
+// path (every inbound frame lands here), with a new liveness epoch
+// published only when a previously failed peer speaks again. The peer
+// is responsible for running Recover itself to catch up its replica.
 func (n *Node) noteAlive(id ddp.NodeID) {
-	n.mu.Lock()
-	wasDead := !n.alive[id]
-	n.alive[id] = true
-	n.lastSeen[id] = time.Now()
-	n.mu.Unlock()
-	if wasDead {
-		// Membership grew back: nothing blocks on this, but pending
-		// completion predicates never shrink their follower sets, so no
-		// wake-up is needed.
-		_ = wasDead
+	i, ok := n.peerIdx[id]
+	if !ok {
+		return
 	}
+	n.lastSeen[i].Store(time.Now().UnixNano())
+	if !n.live.Load().alive[id] {
+		n.setAlive(id, true)
+	}
+}
+
+// setAlive publishes a new liveness epoch with id's status changed.
+// Pending completion predicates never shrink their follower sets, so
+// revival needs no wake-up; failure wake-ups happen in onPeerFailed.
+func (n *Node) setAlive(id ddp.NodeID, up bool) {
+	n.liveMu.Lock()
+	defer n.liveMu.Unlock()
+	cur := n.live.Load()
+	if cur.alive[id] == up {
+		return
+	}
+	alive := make(map[ddp.NodeID]bool, len(cur.alive))
+	for k, v := range cur.alive {
+		alive[k] = v
+	}
+	alive[id] = up
+	live := make([]ddp.NodeID, 0, len(n.peers))
+	for _, p := range n.peers {
+		if alive[p] {
+			live = append(live, p)
+		}
+	}
+	n.live.Store(&liveView{epoch: cur.epoch + 1, alive: alive, live: live})
 }
 
 // checkTimeouts declares peers silent past FailAfter as failed.
 func (n *Node) checkTimeouts() {
-	now := time.Now()
+	now := time.Now().UnixNano()
+	lv := n.live.Load()
 	var failed []ddp.NodeID
-	n.mu.Lock()
-	for _, p := range n.tr.Peers() {
-		if n.alive[p] && now.Sub(n.lastSeen[p]) > n.cfg.FailAfter {
-			n.alive[p] = false
+	for i, p := range n.peers {
+		if lv.alive[p] && now-n.lastSeen[i].Load() > int64(n.cfg.FailAfter) {
 			failed = append(failed, p)
 		}
 	}
-	n.mu.Unlock()
 	for _, p := range failed {
+		n.setAlive(p, false)
 		n.onPeerFailed(p)
 	}
 }
@@ -70,16 +91,7 @@ func (n *Node) checkTimeouts() {
 // it coordinated are released — those writes can never validate.
 func (n *Node) onPeerFailed(id ddp.NodeID) {
 	n.Stats.PeersFailed.Add(1)
-	n.mu.Lock()
-	pending := make([]*writeTxn, 0, len(n.pending))
-	for _, wt := range n.pending {
-		pending = append(pending, wt)
-	}
-	scopes := make([]*scopePersist, 0, len(n.scopeWait))
-	for _, sp := range n.scopeWait {
-		scopes = append(scopes, sp)
-	}
-	n.mu.Unlock()
+	pending, scopes := n.collectWaiters()
 
 	for _, wt := range pending {
 		wt.mu.Lock()
@@ -136,7 +148,9 @@ func (n *Node) serveRecovery(to ddp.NodeID, since uint64) {
 
 // applyRecovery installs shipped log entries: each is persisted locally
 // and applied to the volatile replica unless obsolete — the same
-// obsoleteness filtering the log-apply path always performs.
+// obsoleteness filtering the log-apply path always performs. Recovery
+// appends bypass the pipeline: the entries are already durable
+// cluster-wide, so re-charging NVM latency would be double-counting.
 func (n *Node) applyRecovery(entries []transport.LogEntry) {
 	applied := 0
 	for _, e := range entries {
@@ -160,10 +174,9 @@ func (n *Node) applyRecovery(entries []transport.LogEntry) {
 
 // Alive reports the peers currently considered live (plus self).
 func (n *Node) Alive() map[ddp.NodeID]bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	lv := n.live.Load()
 	out := map[ddp.NodeID]bool{n.id: true}
-	for id, a := range n.alive {
+	for id, a := range lv.alive {
 		out[id] = a
 	}
 	return out

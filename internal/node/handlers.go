@@ -5,9 +5,11 @@ import (
 	"github.com/minos-ddp/minos/internal/kv"
 )
 
-// handleMessage dispatches one inbound protocol message. Each message
-// runs in its own goroutine because INV handling can block on locks and
-// spins.
+// handleMessage dispatches one inbound protocol message. It runs on a
+// key-affine executor worker, so messages for one record arrive here in
+// transport order; handlers must not block on conditions that only a
+// later same-key message can satisfy (the obsolete spins are punted to
+// their own goroutines for exactly that reason).
 func (n *Node) handleMessage(m ddp.Message) {
 	switch m.Kind {
 	case ddp.KindInv:
@@ -36,7 +38,8 @@ func (n *Node) handleInv(m ddp.Message) {
 
 	r.Lock()
 	if r.Meta.Obsolete(m.TS) { // L27
-		n.followerObsolete(r, m) // unlocks r
+		r.Unlock()
+		n.spawnObsolete(r, m)
 		return
 	}
 	r.Meta.SnatchRDLock(m.TS) // L31
@@ -53,7 +56,8 @@ func (n *Node) handleInv(m ddp.Message) {
 	if r.Meta.Obsolete(m.TS) { // L33/L37
 		r.Meta.WRLock = false
 		r.Wake()
-		n.followerObsolete(r, m) // unlocks r
+		r.Unlock()
+		n.spawnObsolete(r, m)
 		return
 	}
 
@@ -65,30 +69,39 @@ func (n *Node) handleInv(m ddp.Message) {
 
 	switch n.policy.FollowerPersist {
 	case ddp.PersistBeforeAck: // Synch: persist (L39), combined ACK (L40)
-		n.persist(m.Key, m.TS, m.Value, m.Scope)
-		n.sendAck(m, ddp.KindAck)
+		n.persistThen(m, ddp.KindAck)
 	case ddp.PersistAfterAckC: // Strict, REnf
 		n.sendAck(m, ddp.KindAckC)
-		n.persist(m.Key, m.TS, m.Value, m.Scope)
-		n.sendAck(m, ddp.KindAckP)
+		n.persistThen(m, ddp.KindAckP)
 	case ddp.PersistBackground: // Event
 		n.sendAck(m, ddp.KindAckC)
-		val := append([]byte(nil), m.Value...)
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.persist(m.Key, m.TS, val, m.Scope)
-		}()
+		n.persistAsync(m.Key, m.TS, m.Value, m.Scope)
 	case ddp.PersistOnScopeFlush: // Scope
-		n.sendAck(m, ddp.KindAckC)
 		n.bufferScope(m.Scope, m.Key, m.TS, m.Value)
+		n.sendAck(m, ddp.KindAckC)
 	}
 }
 
+// spawnObsolete runs the obsolete-INV path on its own goroutine: its
+// spins wait for the superseding write's VAL, which is a same-key
+// message that would otherwise sit behind this handler in the same
+// executor lane. Obsolete INVs only occur under write contention, so
+// the goroutine is the rare case, not the common one.
+func (n *Node) spawnObsolete(r *kv.Record, m ddp.Message) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.followerObsolete(r, m)
+	}()
+}
+
 // followerObsolete handles an obsolete INV (Fig 2 L27-30): spin until
-// the superseding write completes, then acknowledge as if done. The
-// caller holds the record lock; followerObsolete releases it.
+// the superseding write completes, then acknowledge as if done.
+// Re-reading VolatileTS after taking the lock is safe: it can only
+// have advanced past the superseder, and waiting on a yet-newer write
+// still implies the original superseder completed.
 func (n *Node) followerObsolete(r *kv.Record, m ddp.Message) {
+	r.Lock()
 	obs := r.Meta.VolatileTS
 	for !r.Meta.ConsistencyDone(obs) {
 		if n.closed.Load() {

@@ -30,7 +30,8 @@ type Config struct {
 	Model ddp.Model
 	// PersistDelay emulates the NVM write latency charged before a
 	// persist is considered durable (the paper emulates 1295ns/KB).
-	// Zero persists instantly.
+	// The delay is charged once per drained group commit, not once per
+	// entry — the dFIFO batching of §V-B.4. Zero persists instantly.
 	PersistDelay time.Duration
 	// HeartbeatEvery and FailAfter drive the failure detector: a peer
 	// silent for FailAfter is declared failed and writes stop waiting
@@ -39,6 +40,13 @@ type Config struct {
 	FailAfter      time.Duration
 	// Shards sizes the KV store's lock striping.
 	Shards int
+	// DispatchWorkers sizes the key-affine executor that replaces
+	// goroutine-per-message dispatch. Rounded up to a power of two;
+	// default 8.
+	DispatchWorkers int
+	// PersistDrains is the number of NVM drain engines (persist queues)
+	// feeding the log. Rounded up to a power of two; default 4.
+	PersistDrains int
 }
 
 // txnKey identifies a write transaction; TS_WR is unique per record only.
@@ -57,8 +65,10 @@ type writeTxn struct {
 
 func newWriteTxn(p ddp.Policy, self ddp.NodeID, key ddp.Key, ts ddp.Timestamp, followers []ddp.NodeID) *writeTxn {
 	wt := &writeTxn{
-		txn:       ddp.NewWriteTxn(p, self, key, ts, len(followers)),
-		followers: append([]ddp.NodeID(nil), followers...),
+		txn: ddp.NewWriteTxn(p, self, key, ts, len(followers)),
+		// followers comes from an immutable liveness snapshot; aliasing
+		// it is safe and keeps the write fast path allocation-free.
+		followers: followers,
 	}
 	wt.cond = sync.NewCond(&wt.mu)
 	return wt
@@ -79,6 +89,27 @@ type scopePersist struct {
 	got       map[ddp.NodeID]bool
 }
 
+// txnStripeCount stripes the coordinator's transaction table (pending
+// writes and issued versions); power of two for mask indexing.
+const txnStripeCount = 64
+
+// txnStripe is one stripe of the coordinator's transaction table.
+type txnStripe struct {
+	mu      sync.Mutex
+	pending map[txnKey]*writeTxn
+	issued  map[ddp.Key]ddp.Version
+}
+
+// liveView is an immutable snapshot of the failure detector's world.
+// It is published atomically so the protocol hot paths — the isAlive
+// checks inside the acknowledgment spins and the follower snapshot at
+// write start — read liveness without taking any lock.
+type liveView struct {
+	epoch uint64
+	alive map[ddp.NodeID]bool // immutable after publish
+	live  []ddp.NodeID        // alive peers, ascending; immutable
+}
+
 // Node is one live MINOS-B replica.
 type Node struct {
 	cfg    Config
@@ -86,16 +117,25 @@ type Node struct {
 	id     ddp.NodeID
 	tr     transport.Transport
 
+	// peers is the transport's sorted peer list, snapshotted once at
+	// construction so the hot paths never re-derive it.
+	peers   []ddp.NodeID
+	peerIdx map[ddp.NodeID]int
+
 	store *kv.Store
 	log   *nvm.Log
+	pipe  *nvm.Pipeline
+	exec  *executor
 
-	mu        sync.Mutex // guards pending, scopes, issued, liveness
-	pending   map[txnKey]*writeTxn
+	txns [txnStripeCount]*txnStripe
+
+	scopeMu   sync.Mutex // guards scopeBuf, scopeWait
 	scopeBuf  map[ddp.ScopeID][]scopeEntry
 	scopeWait map[ddp.ScopeID]*scopePersist
-	issued    map[ddp.Key]ddp.Version
-	alive     map[ddp.NodeID]bool
-	lastSeen  map[ddp.NodeID]time.Time
+
+	live     atomic.Pointer[liveView]
+	liveMu   sync.Mutex // serializes liveView publication only
+	lastSeen []atomic.Int64
 
 	scopeSeq atomic.Uint64
 	closed   atomic.Bool
@@ -122,25 +162,49 @@ func New(cfg Config, tr transport.Transport) *Node {
 	if cfg.Shards <= 0 {
 		cfg.Shards = 64
 	}
+	if cfg.DispatchWorkers <= 0 {
+		cfg.DispatchWorkers = 8
+	}
+	if cfg.PersistDrains <= 0 {
+		cfg.PersistDrains = 4
+	}
 	n := &Node{
 		cfg:       cfg,
 		policy:    ddp.PolicyFor(cfg.Model),
 		id:        tr.Self(),
 		tr:        tr,
+		peers:     tr.Peers(),
 		store:     kv.NewStore(cfg.Shards),
 		log:       nvm.NewLog(),
-		pending:   make(map[txnKey]*writeTxn),
 		scopeBuf:  make(map[ddp.ScopeID][]scopeEntry),
 		scopeWait: make(map[ddp.ScopeID]*scopePersist),
-		issued:    make(map[ddp.Key]ddp.Version),
-		alive:     make(map[ddp.NodeID]bool),
-		lastSeen:  make(map[ddp.NodeID]time.Time),
 		stop:      make(chan struct{}),
 	}
-	for _, p := range tr.Peers() {
-		n.alive[p] = true
-		n.lastSeen[p] = time.Now()
+	for i := range n.txns {
+		n.txns[i] = &txnStripe{
+			pending: make(map[txnKey]*writeTxn),
+			issued:  make(map[ddp.Key]ddp.Version),
+		}
 	}
+	n.peerIdx = make(map[ddp.NodeID]int, len(n.peers))
+	n.lastSeen = make([]atomic.Int64, len(n.peers))
+	now := time.Now().UnixNano()
+	alive := make(map[ddp.NodeID]bool, len(n.peers))
+	for i, p := range n.peers {
+		n.peerIdx[p] = i
+		n.lastSeen[i].Store(now)
+		alive[p] = true
+	}
+	n.live.Store(&liveView{alive: alive, live: n.peers})
+	n.pipe = nvm.NewPipeline(n.log, nvm.PipelineConfig{
+		// PersistDelay is a flat per-device-write cost, matching the
+		// pre-pipeline semantics where every persist charged the full
+		// delay; group commit amortizes it across a drained batch.
+		Lat:     nvm.LatencyModel{FixedNs: cfg.PersistDelay.Nanoseconds()},
+		Drains:  cfg.PersistDrains,
+		OnBatch: n.onPersistBatch,
+	})
+	n.exec = newExecutor(n, cfg.DispatchWorkers)
 	return n
 }
 
@@ -156,9 +220,13 @@ func (n *Node) Store() *kv.Store { return n.store }
 // Log exposes the persistent log.
 func (n *Node) Log() *nvm.Log { return n.log }
 
+// Pipeline exposes the durability pipeline (tests and tools).
+func (n *Node) Pipeline() *nvm.Pipeline { return n.pipe }
+
 // Start begins serving protocol messages and, if configured, the
 // failure detector.
 func (n *Node) Start() {
+	n.exec.start()
 	n.wg.Add(1)
 	go n.recvLoop()
 	if n.cfg.HeartbeatEvery > 0 && n.cfg.FailAfter > 0 {
@@ -175,20 +243,16 @@ func (n *Node) Close() error {
 	close(n.stop)
 	n.tr.Close()
 
+	// Stop the durability pipeline first: executor workers blocked in a
+	// scope flush and clients blocked in an inline persist unblock with
+	// a false (not-durable) result.
+	n.pipe.Close()
+
 	// Wake blocked coordinators and readers so they observe closure.
 	// Each broadcast happens under the waiter's own mutex: a waiter
 	// holds it from its closed-check until Wait, so either it sees the
 	// flag or the broadcast reaches its Wait — no lost wake-up window.
-	n.mu.Lock()
-	pending := make([]*writeTxn, 0, len(n.pending))
-	for _, wt := range n.pending {
-		pending = append(pending, wt)
-	}
-	scopes := make([]*scopePersist, 0, len(n.scopeWait))
-	for _, sp := range n.scopeWait {
-		scopes = append(scopes, sp)
-	}
-	n.mu.Unlock()
+	pending, scopes := n.collectWaiters()
 	for _, wt := range pending {
 		wt.mu.Lock()
 		wt.cond.Broadcast()
@@ -209,19 +273,36 @@ func (n *Node) Close() error {
 	return nil
 }
 
-// recvLoop dispatches inbound frames.
+// collectWaiters snapshots every in-flight write transaction and scope
+// flush across the stripes.
+func (n *Node) collectWaiters() ([]*writeTxn, []*scopePersist) {
+	var pending []*writeTxn
+	for _, s := range n.txns {
+		s.mu.Lock()
+		for _, wt := range s.pending {
+			pending = append(pending, wt)
+		}
+		s.mu.Unlock()
+	}
+	n.scopeMu.Lock()
+	scopes := make([]*scopePersist, 0, len(n.scopeWait))
+	for _, sp := range n.scopeWait {
+		scopes = append(scopes, sp)
+	}
+	n.scopeMu.Unlock()
+	return pending, scopes
+}
+
+// recvLoop routes inbound frames: protocol messages to the key-affine
+// executor, recovery to its own (rare) goroutine, heartbeats inline.
 func (n *Node) recvLoop() {
 	defer n.wg.Done()
+	defer n.exec.closeQueues()
 	for f := range n.tr.Recv() {
 		n.noteAlive(f.From)
 		switch f.Kind {
 		case transport.FrameMessage:
-			m := f.Msg
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.handleMessage(m)
-			}()
+			n.exec.dispatch(f.Msg)
 		case transport.FrameHeartbeat:
 			// noteAlive above is the whole job.
 		case transport.FrameRecoveryRequest:
@@ -257,7 +338,7 @@ func (n *Node) send(to ddp.NodeID, m ddp.Message) {
 // With a reduced follower set it falls back to per-peer sends, since
 // broadcasting would also wake peers the detector has declared dead.
 func (n *Node) sendAll(followers []ddp.NodeID, m ddp.Message) {
-	if len(followers) == len(n.tr.Peers()) {
+	if len(followers) == len(n.peers) {
 		m.From = n.id
 		// Best effort, like send: unreachable peers are the failure
 		// detector's problem.
@@ -269,69 +350,112 @@ func (n *Node) sendAll(followers []ddp.NodeID, m ddp.Message) {
 	}
 }
 
+// stripeFor returns the transaction-table stripe for key.
+func (n *Node) stripeFor(key ddp.Key) *txnStripe {
+	return n.txns[key.Hash()>>32&(txnStripeCount-1)]
+}
+
 // generateTS issues a unique timestamp for a write to key; the caller
 // holds the record lock, serializing same-key generation.
 func (n *Node) generateTS(key ddp.Key, r *kv.Record) ddp.Timestamp {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	s := n.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := r.Meta.VolatileTS.Version
-	if iv := n.issued[key]; iv > v {
+	if iv := s.issued[key]; iv > v {
 		v = iv
 	}
 	v++
-	n.issued[key] = v
+	s.issued[key] = v
 	return ddp.Timestamp{Node: n.id, Version: v}
 }
 
-// liveFollowers snapshots the followers currently considered alive.
+// liveFollowers returns the followers currently considered alive. The
+// slice is an immutable snapshot shared with the liveness view; callers
+// must not mutate it.
 func (n *Node) liveFollowers() []ddp.NodeID {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	var out []ddp.NodeID
-	for _, p := range n.tr.Peers() {
-		if n.alive[p] {
-			out = append(out, p)
-		}
-	}
-	return out
+	return n.live.Load().live
 }
 
+// isAlive is a lock-free read of the published liveness snapshot; it
+// sits inside the waitConsistency/waitPersistency spin predicates.
 func (n *Node) isAlive(id ddp.NodeID) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.alive[id]
+	return n.live.Load().alive[id]
 }
 
 func (n *Node) addPending(key ddp.Key, ts ddp.Timestamp, wt *writeTxn) {
-	n.mu.Lock()
-	n.pending[txnKey{key, ts}] = wt
-	n.mu.Unlock()
+	s := n.stripeFor(key)
+	s.mu.Lock()
+	s.pending[txnKey{key, ts}] = wt
+	s.mu.Unlock()
 }
 
 func (n *Node) removePending(key ddp.Key, ts ddp.Timestamp) {
-	n.mu.Lock()
-	delete(n.pending, txnKey{key, ts})
-	n.mu.Unlock()
+	s := n.stripeFor(key)
+	s.mu.Lock()
+	delete(s.pending, txnKey{key, ts})
+	s.mu.Unlock()
 }
 
 func (n *Node) lookupPending(key ddp.Key, ts ddp.Timestamp) *writeTxn {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.pending[txnKey{key, ts}]
+	s := n.stripeFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[txnKey{key, ts}]
 }
 
-// persist makes (key, ts, value) durable: wait the emulated NVM latency,
-// append to the log (the durability point), and wake spinners.
-func (n *Node) persist(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.ScopeID) {
-	if d := n.cfg.PersistDelay; d > 0 {
-		time.Sleep(d)
+// persist makes (key, ts, value) durable through the pipeline: it
+// blocks until the group commit holding the entry drains (the
+// durability point) and returns false if the node closed first.
+func (n *Node) persist(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.ScopeID) bool {
+	return n.pipe.Persist(key, ts, value, sc)
+}
+
+// persistThen pipelines the update and sends kind to the coordinator
+// once the group commit containing it has drained — the follower's
+// persist-before-ack step (Fig 2 L39-40) without parking an executor
+// worker for the NVM latency. The continuation runs on the drain
+// engine strictly after the log append, so the acknowledgment can
+// never outrun durability.
+func (n *Node) persistThen(m ddp.Message, kind ddp.MsgKind) {
+	to, key, ts, sc := m.From, m.Key, m.TS, m.Scope
+	n.pipe.Enqueue(key, ts, m.Value, sc, func() {
+		n.send(to, ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()})
+	})
+}
+
+// persistAsync pipelines the update with no completion action (Event's
+// lazy follower persist, REnf's background coordinator persist).
+func (n *Node) persistAsync(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.ScopeID) {
+	n.pipe.Enqueue(key, ts, value, sc, nil)
+}
+
+// persistMany flushes a scope's buffered entries as one pipelined
+// group, blocking until all of them are durable; false means the node
+// closed first.
+func (n *Node) persistMany(entries []scopeEntry, sc ddp.ScopeID) bool {
+	if len(entries) == 0 {
+		return true
 	}
-	n.log.Append(key, ts, value, sc)
-	n.Stats.Persists.Add(1)
-	if r := n.store.Get(key); r != nil {
-		r.Lock()
-		r.Wake()
-		r.Unlock()
+	ups := make([]nvm.Update, len(entries))
+	for i, e := range entries {
+		ups[i] = nvm.Update{Key: e.key, TS: e.ts, Value: e.value, Scope: sc}
+	}
+	return n.pipe.PersistMany(ups)
+}
+
+// onPersistBatch runs on a drain engine after each group commit: it
+// counts the drained entries and wakes each touched record once per
+// batch (instead of once per entry) so PersistencySpin waiters observe
+// the new durable timestamps.
+func (n *Node) onPersistBatch(keys []ddp.Key, entries int) {
+	n.Stats.Persists.Add(int64(entries))
+	for _, k := range keys {
+		if r := n.store.Get(k); r != nil {
+			r.Lock()
+			r.Wake()
+			r.Unlock()
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// TestKeyAffineOrdering drives a follower directly over a raw transport
+// endpoint: a burst of INVs for one key, timestamps strictly ascending
+// in send order. The key-affine executor must apply them in arrival
+// order, so none may take the obsolete path (every INV persists and
+// every acknowledgment carries the INV's own timestamp, in order).
+// Under the old goroutine-per-message dispatch a later INV could apply
+// first, turning earlier ones into spurious obsolete entries.
+func TestKeyAffineOrdering(t *testing.T) {
+	net := transport.NewMemNetwork(2)
+	client := net.Endpoint(0) // raw: we play the coordinator by hand
+	n := New(Config{Model: ddp.LinSynch}, net.Endpoint(1))
+	n.Start()
+	defer n.Close()
+
+	const key = ddp.Key(7)
+	const writes = 200
+	for v := 1; v <= writes; v++ {
+		m := ddp.Message{
+			Kind: ddp.KindInv, Key: key,
+			TS:    ddp.Timestamp{Node: 0, Version: ddp.Version(v)},
+			Value: []byte{byte(v)},
+			Size:  ddp.DataSize(1),
+		}
+		if err := client.Send(1, transport.Frame{Kind: transport.FrameMessage, Msg: m}); err != nil {
+			t.Fatalf("send INV v%d: %v", v, err)
+		}
+	}
+
+	// Collect the combined Synch ACKs; they must come back in timestamp
+	// order because the worker processed the INVs in FIFO order.
+	got := 0
+	deadline := time.After(10 * time.Second)
+	for got < writes {
+		select {
+		case f, ok := <-client.Recv():
+			if !ok {
+				t.Fatal("client endpoint closed early")
+			}
+			if f.Kind != transport.FrameMessage || f.Msg.Kind != ddp.KindAck {
+				continue
+			}
+			got++
+			if want := ddp.Version(got); f.Msg.TS.Version != want {
+				t.Fatalf("ack %d carries version %d, want %d: INVs were reordered",
+					got, f.Msg.TS.Version, want)
+			}
+		case <-deadline:
+			t.Fatalf("timed out with %d/%d acks", got, writes)
+		}
+	}
+
+	// In-order application means no INV was obsolete: all of them
+	// persisted, and the record sits at the final timestamp.
+	if l := n.Log().Len(); l != writes {
+		t.Fatalf("log has %d entries, want %d (obsolete INVs skipped persisting)", l, writes)
+	}
+	r := n.Store().Get(key)
+	if r == nil {
+		t.Fatal("record missing")
+	}
+	r.Lock()
+	ts := r.Meta.VolatileTS
+	r.Unlock()
+	if ts.Version != writes {
+		t.Fatalf("volatile TS version %d, want %d", ts.Version, writes)
+	}
+	if invs := n.Stats.InvsHandled.Load(); invs != writes {
+		t.Fatalf("handled %d INVs, want %d", invs, writes)
+	}
+}
+
+// TestNodeGroupCommit exercises the node-level half of the group-commit
+// contract: with a real persist delay, concurrent Synch writes must
+// coalesce (fewer drained batches than entries) while every write still
+// returns only after it is locally durable on all nodes.
+func TestNodeGroupCommit(t *testing.T) {
+	net := transport.NewMemNetwork(3)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = New(Config{
+			Model:        ddp.LinSynch,
+			PersistDelay: 2 * time.Millisecond,
+			// One drain per node so concurrent persists must share a queue.
+			PersistDrains: 1,
+		}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+
+	const writers, perWriter = 8, 5
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		go func() {
+			for i := 0; i < perWriter; i++ {
+				key := ddp.Key(w*perWriter + i)
+				if err := nodes[0].Write(key, []byte{byte(w), byte(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if !nodes[0].Log().LocallyDurable(key, ddp.Timestamp{Node: 0, Version: 1}) {
+					errs <- errNotDurable
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(writers * perWriter)
+	for i, nd := range nodes {
+		p := nd.Pipeline()
+		if p.Entries() != total {
+			t.Fatalf("node %d drained %d entries, want %d", i, p.Entries(), total)
+		}
+		if p.Batches() >= total {
+			t.Fatalf("node %d used %d batches for %d entries: no group commit happened",
+				i, p.Batches(), total)
+		}
+	}
+}
+
+var errNotDurable = errNotDurableT{}
+
+type errNotDurableT struct{}
+
+func (errNotDurableT) Error() string { return "write returned before locally durable" }

@@ -14,23 +14,23 @@ func (n *Node) NewScope() ddp.ScopeID {
 
 // bufferScope defers a persist until the scope's [PERSIST]sc.
 func (n *Node) bufferScope(sc ddp.ScopeID, key ddp.Key, ts ddp.Timestamp, value []byte) {
-	n.mu.Lock()
+	n.scopeMu.Lock()
 	n.scopeBuf[sc] = append(n.scopeBuf[sc], scopeEntry{
 		key: key, ts: ts, value: append([]byte(nil), value...),
 	})
-	n.mu.Unlock()
+	n.scopeMu.Unlock()
 }
 
 func (n *Node) takeScope(sc ddp.ScopeID) []scopeEntry {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.scopeMu.Lock()
+	defer n.scopeMu.Unlock()
 	return n.scopeBuf[sc]
 }
 
 func (n *Node) dropScope(sc ddp.ScopeID) {
-	n.mu.Lock()
+	n.scopeMu.Lock()
 	delete(n.scopeBuf, sc)
-	n.mu.Unlock()
+	n.scopeMu.Unlock()
 }
 
 // Persist runs the [PERSIST]sc transaction (Fig 3 vii): ask every
@@ -51,22 +51,23 @@ func (n *Node) Persist(sc ddp.ScopeID) error {
 		got:       make(map[ddp.NodeID]bool),
 	}
 	sp.cond = sync.NewCond(&sp.mu)
-	n.mu.Lock()
+	n.scopeMu.Lock()
 	n.scopeWait[sc] = sp
-	n.mu.Unlock()
+	n.scopeMu.Unlock()
 	defer func() {
-		n.mu.Lock()
+		n.scopeMu.Lock()
 		delete(n.scopeWait, sc)
-		n.mu.Unlock()
+		n.scopeMu.Unlock()
 	}()
 
 	req := ddp.Message{Kind: ddp.KindPersist, Scope: sc, Size: ddp.ControlSize()}
 	n.sendAll(followers, req)
 
-	// Persist this node's buffered writes for the scope.
+	// Persist this node's buffered writes for the scope as one
+	// pipelined group commit.
 	entries := n.takeScope(sc)
-	for _, e := range entries {
-		n.persist(e.key, e.ts, e.value, sc)
+	if !n.persistMany(entries, sc) {
+		return ErrClosed
 	}
 
 	// Spin for all [ACK_P]sc from live followers.
@@ -106,20 +107,21 @@ func (n *Node) Persist(sc ddp.ScopeID) error {
 }
 
 // handlePersist services [PERSIST]sc at a follower: persist every
-// buffered write of the scope, then acknowledge. Entries stay buffered
-// until [VAL_P]sc publishes their glb_durableTS.
+// buffered write of the scope (one group commit), then acknowledge.
+// Entries stay buffered until [VAL_P]sc publishes their glb_durableTS.
+// A node that closes mid-flush sends no acknowledgment.
 func (n *Node) handlePersist(m ddp.Message) {
-	for _, e := range n.takeScope(m.Scope) {
-		n.persist(e.key, e.ts, e.value, m.Scope)
+	if !n.persistMany(n.takeScope(m.Scope), m.Scope) {
+		return
 	}
 	n.send(m.From, ddp.Message{Kind: ddp.KindAckP, Scope: m.Scope, Size: ddp.ControlSize()})
 }
 
 // handleScopeAck records one [ACK_P]sc at the coordinator.
 func (n *Node) handleScopeAck(m ddp.Message) {
-	n.mu.Lock()
+	n.scopeMu.Lock()
 	sp := n.scopeWait[m.Scope]
-	n.mu.Unlock()
+	n.scopeMu.Unlock()
 	if sp == nil {
 		return // late ack for a completed flush
 	}

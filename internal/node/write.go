@@ -77,14 +77,15 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	// Step d (L18 / Fig 3): persist the local update.
 	switch n.policy.CoordPersist {
 	case ddp.CoordPersistInline:
-		n.persist(key, ts, value, sc)
+		if !n.persist(key, ts, value, sc) {
+			n.removePending(key, ts)
+			return ErrClosed
+		}
 	case ddp.CoordPersistBackground:
-		val := append([]byte(nil), value...)
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.persist(key, ts, val, sc)
-		}()
+		// The pipeline copies the value and drains in the background;
+		// no goroutine per write. waitLocallyDurable picks the result
+		// up later via the batch wake.
+		n.persistAsync(key, ts, value, sc)
 	case ddp.CoordPersistOnScopeFlush:
 		n.bufferScope(sc, key, ts, value)
 	}

@@ -1,5 +1,6 @@
 // Package nvm models the non-volatile memory subsystem of a MINOS node:
-// a persist-latency model and an append-only persistent log.
+// a persist-latency model, an append-only persistent log, and a
+// pipelined drain engine (Pipeline) mirroring the paper's dFIFOs.
 //
 // The paper emulates NVM by charging 1295 ns to persist 1 KB (Table II);
 // Fig 14 sweeps this latency from 100 ns (DIMM-attached persistent
@@ -15,6 +16,7 @@ package nvm
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/minos-ddp/minos/internal/ddp"
 )
@@ -41,6 +43,9 @@ func (m LatencyModel) PersistNs(size int) int64 {
 	return ns
 }
 
+// Zero reports whether the model charges no latency at all.
+func (m LatencyModel) Zero() bool { return m.NsPerKB == 0 && m.FixedNs == 0 }
+
 // Entry is one record update in the persistent log.
 type Entry struct {
 	Seq   uint64 // log sequence number, assigned at append
@@ -50,14 +55,29 @@ type Entry struct {
 	Scope ddp.ScopeID
 }
 
+// logShardCount stripes the log; power of two so the shard index is a
+// mask of the key hash.
+const logShardCount = 32
+
 // Log is the append-only persistent log of one node. Appends are atomic
 // and may arrive out of timestamp order; Apply filters obsolete entries.
 // The log also serves recovery: EntriesSince streams the tail to a
 // re-inserted node (§III-E).
+//
+// Storage is striped by key: each shard holds its own entry slice and
+// durable map under its own mutex, so concurrent appenders for
+// different keys never contend. Sequence numbers come from one atomic
+// counter but are assigned while the destination shard's lock is held,
+// so each shard's entries stay sorted by Seq; the cold full-log views
+// (EntriesSince, Replay) merge the shards back into global Seq order.
 type Log struct {
+	nextSeq atomic.Uint64
+	shards  [logShardCount]logShard
+}
+
+type logShard struct {
 	mu      sync.Mutex
 	entries []Entry
-	nextSeq uint64
 
 	// durable tracks, per key, the newest timestamp present in the log —
 	// i.e. locally durable. The model checker and the protocol's
@@ -67,40 +87,94 @@ type Log struct {
 
 // NewLog returns an empty log.
 func NewLog() *Log {
-	return &Log{durable: make(map[ddp.Key]ddp.Timestamp)}
+	l := &Log{}
+	for i := range l.shards {
+		l.shards[i].durable = make(map[ddp.Key]ddp.Timestamp)
+	}
+	return l
+}
+
+func (l *Log) shardIndex(key ddp.Key) uint64 {
+	return key.Hash() >> 32 & (logShardCount - 1)
 }
 
 // Append atomically adds an entry for (key, ts, value) and returns its
 // sequence number. Appends need not arrive in timestamp order.
 func (l *Log) Append(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	seq := l.nextSeq
-	l.nextSeq++
-	l.entries = append(l.entries, Entry{
-		Seq: seq, Key: key, TS: ts,
-		Value: append([]byte(nil), value...),
-		Scope: scope,
-	})
-	if cur, ok := l.durable[key]; !ok || cur.Less(ts) {
-		l.durable[key] = ts
+	return l.appendOwned(key, ts, append([]byte(nil), value...), scope)
+}
+
+// appendOwned is Append for a value the caller hands over (no copy).
+func (l *Log) appendOwned(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) uint64 {
+	sh := &l.shards[l.shardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	seq := l.nextSeq.Add(1) - 1
+	sh.entries = append(sh.entries, Entry{Seq: seq, Key: key, TS: ts, Value: value, Scope: scope})
+	if cur, ok := sh.durable[key]; !ok || cur.Less(ts) {
+		sh.durable[key] = ts
 	}
 	return seq
 }
 
+// appendBatch appends one drained group commit, taking each destination
+// shard's lock once per batch rather than once per entry. Entries for
+// the same key keep their slice order (the drain queue's FIFO order).
+func (l *Log) appendBatch(entries []batchEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	if len(entries) == 1 {
+		e := &entries[0]
+		l.appendOwned(e.key, e.ts, e.value, e.scope)
+		return
+	}
+	shardOf := make([]uint64, len(entries))
+	for i := range entries {
+		shardOf[i] = l.shardIndex(entries[i].key)
+	}
+	done := make([]bool, len(entries))
+	for i := range entries {
+		if done[i] {
+			continue
+		}
+		sh := &l.shards[shardOf[i]]
+		sh.mu.Lock()
+		for j := i; j < len(entries); j++ {
+			if done[j] || shardOf[j] != shardOf[i] {
+				continue
+			}
+			e := &entries[j]
+			seq := l.nextSeq.Add(1) - 1
+			sh.entries = append(sh.entries, Entry{Seq: seq, Key: e.key, TS: e.ts, Value: e.value, Scope: e.scope})
+			if cur, ok := sh.durable[e.key]; !ok || cur.Less(e.ts) {
+				sh.durable[e.key] = e.ts
+			}
+			done[j] = true
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Len returns the number of log entries.
 func (l *Log) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.entries)
+	n := 0
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // DurableTS returns the newest locally durable timestamp for key and
 // whether any persist for key has happened.
 func (l *Log) DurableTS(key ddp.Key) (ddp.Timestamp, bool) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	ts, ok := l.durable[key]
+	sh := &l.shards[l.shardIndex(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ts, ok := sh.durable[key]
 	return ts, ok
 }
 
@@ -111,35 +185,38 @@ func (l *Log) LocallyDurable(key ddp.Key, ts ddp.Timestamp) bool {
 	return ok && ts.LessEq(cur)
 }
 
-// EntriesSince returns a copy of all entries with Seq >= seq, for
-// shipping to a recovering node.
+// EntriesSince returns a copy of all entries with Seq >= seq in global
+// sequence order, for shipping to a recovering node.
 func (l *Log) EntriesSince(seq uint64) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	i := sort.Search(len(l.entries), func(i int) bool { return l.entries[i].Seq >= seq })
-	out := make([]Entry, len(l.entries)-i)
-	copy(out, l.entries[i:])
+	var out []Entry
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		j := sort.Search(len(sh.entries), func(k int) bool { return sh.entries[k].Seq >= seq })
+		out = append(out, sh.entries[j:]...)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out
 }
 
 // NextSeq returns the sequence number the next append will receive.
-func (l *Log) NextSeq() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.nextSeq
-}
+func (l *Log) NextSeq() uint64 { return l.nextSeq.Load() }
 
 // Materialize folds the log into the newest durable value per key,
 // filtering obsolete entries — the "apply to the non-volatile database"
 // step. It is used by recovery and by crash-replay tests.
 func (l *Log) Materialize() map[ddp.Key]Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	db := make(map[ddp.Key]Entry)
-	for _, e := range l.entries {
-		if cur, ok := db[e.Key]; !ok || cur.TS.Less(e.TS) {
-			db[e.Key] = e
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if cur, ok := db[e.Key]; !ok || cur.TS.Less(e.TS) {
+				db[e.Key] = e
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return db
 }
@@ -148,11 +225,9 @@ func (l *Log) Materialize() map[ddp.Key]Entry {
 // entries (superseded by a newer timestamp for the same key) are skipped.
 // It returns how many entries were applied.
 func (l *Log) Replay(apply func(Entry)) int {
+	entries := l.EntriesSince(0)
 	applied := 0
 	newest := make(map[ddp.Key]ddp.Timestamp)
-	l.mu.Lock()
-	entries := append([]Entry(nil), l.entries...)
-	l.mu.Unlock()
 	for _, e := range entries {
 		if cur, ok := newest[e.Key]; ok && e.TS.Less(cur) {
 			continue // obsolete: a newer version is already durable

@@ -1,0 +1,357 @@
+package nvm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// Pipeline is the software analogue of the paper's dFIFO drain engines
+// (§V-B.4, modeled for the offloaded runtime in simcluster): updates
+// headed for NVM are enqueued on per-key-shard persist queues and
+// drained by one worker per queue. Each drain is a group commit — one
+// LatencyModel charge covers every entry that coalesced into the batch
+// while the previous batch was draining — and completes with a single
+// wake for all blocked persisters.
+//
+// Ordering: a key always maps to the same queue, and a queue's batches
+// drain strictly in FIFO order, so persists for one record reach the
+// log in enqueue order (the per-record ordering Fig 2 relies on).
+// Across records, batches from different queues interleave freely;
+// that is exactly the out-of-order log insertion §V-B.4 permits,
+// because obsolete entries are filtered when the log is applied.
+type Pipeline struct {
+	log     *Log
+	lat     LatencyModel
+	onBatch func(keys []ddp.Key, entries int)
+
+	queues []*drainQueue
+	mask   uint64
+
+	// inline short-circuits the queues entirely when the latency model
+	// charges nothing: the append happens synchronously in the caller,
+	// so a zero-delay configuration pays no handoff cost.
+	inline bool
+
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	batches atomic.Int64
+	entries atomic.Int64
+}
+
+// PipelineConfig tunes a Pipeline.
+type PipelineConfig struct {
+	// Lat is the modeled NVM latency charged once per drained batch.
+	Lat LatencyModel
+	// Drains is the number of persist queues / drain workers (the dFIFO
+	// count). Rounded up to a power of two; default 4.
+	Drains int
+	// OnBatch, when set, runs on the drain worker after a batch is
+	// appended, with the batch's distinct keys and total entry count.
+	// The node layer uses it to wake each record once per batch and to
+	// keep its persist counters exact.
+	OnBatch func(keys []ddp.Key, entries int)
+}
+
+// Update is one record update submitted to the pipeline.
+type Update struct {
+	Key   ddp.Key
+	TS    ddp.Timestamp
+	Value []byte
+	Scope ddp.ScopeID
+}
+
+// batchEntry is one queued update; value is owned by the pipeline.
+type batchEntry struct {
+	key   ddp.Key
+	ts    ddp.Timestamp
+	value []byte
+	scope ddp.ScopeID
+	then  func()
+}
+
+// drainBatch is the group commit currently accumulating on a queue.
+// done closes when the batch has been appended to the log — the single
+// wake shared by every blocked persister of the batch.
+type drainBatch struct {
+	entries []batchEntry
+	bytes   int
+	done    chan struct{}
+}
+
+type drainQueue struct {
+	mu   sync.Mutex
+	cur  *drainBatch
+	wake chan struct{} // cap 1: at most one pending wake signal
+}
+
+func newDrainBatch() *drainBatch { return &drainBatch{done: make(chan struct{})} }
+
+// NewPipeline builds a pipeline draining into log and starts its
+// workers. Close stops them.
+func NewPipeline(log *Log, cfg PipelineConfig) *Pipeline {
+	drains := cfg.Drains
+	if drains <= 0 {
+		drains = 4
+	}
+	n := 1
+	for n < drains {
+		n <<= 1
+	}
+	p := &Pipeline{
+		log:     log,
+		lat:     cfg.Lat,
+		onBatch: cfg.OnBatch,
+		mask:    uint64(n - 1),
+		inline:  cfg.Lat.Zero(),
+		stop:    make(chan struct{}),
+	}
+	p.queues = make([]*drainQueue, n)
+	for i := range p.queues {
+		p.queues[i] = &drainQueue{cur: newDrainBatch(), wake: make(chan struct{}, 1)}
+	}
+	if !p.inline {
+		for _, q := range p.queues {
+			p.wg.Add(1)
+			go p.drainWorker(q)
+		}
+	}
+	return p
+}
+
+// Log returns the log the pipeline drains into.
+func (p *Pipeline) Log() *Log { return p.log }
+
+// Batches returns how many group commits have drained.
+func (p *Pipeline) Batches() int64 { return p.batches.Load() }
+
+// Entries returns how many updates have drained.
+func (p *Pipeline) Entries() int64 { return p.entries.Load() }
+
+// Close stops the drain workers. Blocked Persist/PersistMany callers
+// return false; updates still queued are dropped (a closing node makes
+// no further durability promises).
+func (p *Pipeline) Close() {
+	if !p.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Pipeline) queueFor(key ddp.Key) *drainQueue {
+	return p.queues[key.Hash()>>32&p.mask]
+}
+
+// enqueue adds one update to its queue's current batch and returns the
+// batch, signalling the drain worker.
+func (p *Pipeline) enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) *drainBatch {
+	q := p.queueFor(key)
+	owned := append([]byte(nil), value...)
+	q.mu.Lock()
+	b := q.cur
+	b.entries = append(b.entries, batchEntry{key: key, ts: ts, value: owned, scope: scope, then: then})
+	b.bytes += len(owned)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default: // a wake is already pending; the worker will see the entry
+	}
+	return b
+}
+
+// appendInline is the zero-latency fast path: a synchronous append with
+// per-entry bookkeeping, no queue handoff.
+func (p *Pipeline) appendInline(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) {
+	p.log.Append(key, ts, value, scope)
+	p.entries.Add(1)
+	p.batches.Add(1)
+	if then != nil {
+		then()
+	}
+	if p.onBatch != nil {
+		p.onBatch([]ddp.Key{key}, 1)
+	}
+}
+
+// Enqueue submits an update without waiting for durability. If then is
+// non-nil it runs on the drain worker strictly after the batch holding
+// the update has been appended to the log — the hook used to send
+// durable acknowledgments without blocking the submitter. Returns false
+// (and drops the update) if the pipeline is closed.
+func (p *Pipeline) Enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) bool {
+	if p.closed.Load() {
+		return false
+	}
+	if p.inline {
+		p.appendInline(key, ts, value, scope, then)
+		return true
+	}
+	p.enqueue(key, ts, value, scope, then)
+	return true
+}
+
+// Persist submits an update and blocks until the group commit holding
+// it has drained (true) or the pipeline closed first (false).
+func (p *Pipeline) Persist(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) bool {
+	if p.closed.Load() {
+		return false
+	}
+	if p.inline {
+		p.appendInline(key, ts, value, scope, nil)
+		return true
+	}
+	b := p.enqueue(key, ts, value, scope, nil)
+	select {
+	case <-b.done:
+		return true
+	case <-p.stop:
+		return false
+	}
+}
+
+// PersistMany submits a set of updates (a scope flush) and blocks until
+// every batch they landed in has drained. One durability wait covers
+// the whole set.
+func (p *Pipeline) PersistMany(updates []Update) bool {
+	if p.closed.Load() {
+		return false
+	}
+	if p.inline {
+		for _, u := range updates {
+			p.appendInline(u.Key, u.TS, u.Value, u.Scope, nil)
+		}
+		return true
+	}
+	var waits []*drainBatch
+	for _, u := range updates {
+		b := p.enqueue(u.Key, u.TS, u.Value, u.Scope, nil)
+		dup := false
+		for _, w := range waits {
+			if w == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			waits = append(waits, b)
+		}
+	}
+	for _, b := range waits {
+		select {
+		case <-b.done:
+		case <-p.stop:
+			return false
+		}
+	}
+	return true
+}
+
+// spinLatencyNs is the largest modeled device latency a drain engine
+// yield-spins through instead of parking on a runtime timer. Table II's
+// device writes are ~1.3 µs, but parking a goroutine on a timer costs
+// tens of microseconds of wake latency on a quiet machine — which would
+// charge the sleeping runtime, not the modeled device. A dedicated
+// hardware drain engine is busy for exactly the device-write time; the
+// yield-spin models that (and still lets other goroutines run).
+const spinLatencyNs = 100_000
+
+// chargeLatency models the device write for one batch: short latencies
+// yield-spin, long ones park on a stop-aware timer. Returns false when
+// the pipeline stopped mid-charge.
+func (p *Pipeline) chargeLatency(ns int64) bool {
+	if ns <= 0 {
+		return true
+	}
+	if ns <= spinLatencyNs {
+		deadline := time.Now().Add(time.Duration(ns))
+		for time.Now().Before(deadline) {
+			if p.closed.Load() {
+				return false
+			}
+			runtime.Gosched()
+		}
+		return true
+	}
+	t := time.NewTimer(time.Duration(ns))
+	select {
+	case <-p.stop:
+		t.Stop()
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// drainWorker is one dFIFO engine: it swaps out the queue's accumulated
+// batch, charges the modeled NVM latency once for the whole batch, and
+// appends it. The sleep selects on stop so a closing node never waits
+// out a persist delay.
+func (p *Pipeline) drainWorker(q *drainQueue) {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-q.wake:
+		}
+		if !p.drain(q) {
+			return
+		}
+	}
+}
+
+// drain processes every batch accumulated on q, returning false when
+// the pipeline stopped mid-drain.
+func (p *Pipeline) drain(q *drainQueue) bool {
+	for {
+		q.mu.Lock()
+		b := q.cur
+		if len(b.entries) == 0 {
+			q.mu.Unlock()
+			return true
+		}
+		q.cur = newDrainBatch()
+		q.mu.Unlock()
+
+		// Group commit: one modeled device write covers the batch.
+		if !p.chargeLatency(p.lat.PersistNs(b.bytes)) {
+			return false
+		}
+		p.log.appendBatch(b.entries)
+
+		// Bookkeeping and the batch hook run before anyone unblocks so
+		// a returned Persist (or a sent continuation ack) implies the
+		// counters already include its entry.
+		var keys []ddp.Key
+		for i := range b.entries {
+			e := &b.entries[i]
+			seen := false
+			for _, k := range keys {
+				if k == e.key {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				keys = append(keys, e.key)
+			}
+		}
+		p.entries.Add(int64(len(b.entries)))
+		p.batches.Add(1)
+		if p.onBatch != nil {
+			p.onBatch(keys, len(b.entries))
+		}
+		for i := range b.entries {
+			if then := b.entries[i].then; then != nil {
+				then()
+			}
+		}
+		close(b.done) // one wake for every persister blocked on the batch
+	}
+}

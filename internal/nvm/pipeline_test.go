@@ -1,0 +1,240 @@
+package nvm
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+)
+
+// TestGroupCommitDurability pins the two halves of the group-commit
+// contract: a blocked Persist never returns before its batch has
+// drained into the log, and a batch of concurrent persists pays the
+// modeled latency once (not once per entry). It also checks the
+// sharded log reports exactly what a per-entry reference log would.
+func TestGroupCommitDurability(t *testing.T) {
+	const delay = 100 * time.Millisecond
+	log := NewLog()
+	p := NewPipeline(log, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: delay.Nanoseconds()},
+		Drains: 1, // one queue: every persist coalesces into one batch
+	})
+	defer p.Close()
+
+	// Not durable before the drain: start a persist, then observe the
+	// log while the batch is still sleeping out its device latency.
+	started := make(chan struct{})
+	first := make(chan bool, 1)
+	go func() {
+		close(started)
+		first <- p.Persist(1, ts(0, 1), []byte("v1"), 0)
+	}()
+	<-started
+	time.Sleep(delay / 10)
+	if log.LocallyDurable(1, ts(0, 1)) {
+		t.Fatal("entry reported durable before its batch drained")
+	}
+
+	// Pile concurrent persists onto the same queue while the first
+	// batch drains; they must coalesce and complete in ~2 delays
+	// (the in-flight batch plus one group commit), not 1+K delays.
+	const k = 8
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !p.Persist(ddp.Key(10+i), ts(0, 1), []byte("vv"), 0) {
+				t.Error("persist failed on open pipeline")
+			}
+		}()
+	}
+	wg.Wait()
+	if !<-first {
+		t.Fatal("first persist failed")
+	}
+	elapsed := time.Since(begin)
+	if elapsed > time.Duration(3)*delay {
+		t.Fatalf("%d concurrent persists took %v; group commit should cost ~1 batch delay, serial would be %v",
+			k, elapsed, time.Duration(k)*delay)
+	}
+
+	// Every returned persist is visible as locally durable.
+	if !log.LocallyDurable(1, ts(0, 1)) {
+		t.Fatal("first persist returned but is not locally durable")
+	}
+	for i := 0; i < k; i++ {
+		if !log.LocallyDurable(ddp.Key(10+i), ts(0, 1)) {
+			t.Fatalf("persist %d returned but is not locally durable", i)
+		}
+	}
+	if got := p.Entries(); got != k+1 {
+		t.Fatalf("pipeline drained %d entries, want %d", got, k+1)
+	}
+	if b := p.Batches(); b >= k+1 {
+		t.Fatalf("got %d batches for %d entries: nothing coalesced", b, k+1)
+	}
+}
+
+// TestPipelineMatchesPerEntryLog drives the same update sequence
+// through a pipeline and through the old-style per-entry Append and
+// checks the durable views agree (LocallyDurable, DurableTS,
+// Materialize).
+func TestPipelineMatchesPerEntryLog(t *testing.T) {
+	piped := NewLog()
+	p := NewPipeline(piped, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: int64(time.Microsecond)},
+		Drains: 4,
+	})
+	ref := NewLog()
+
+	const keys, versions = 16, 8
+	var wg sync.WaitGroup
+	for k := 0; k < keys; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := 1; v <= versions; v++ {
+				val := []byte{byte(k), byte(v)}
+				if !p.Persist(ddp.Key(k), ts(0, v), val, 0) {
+					t.Errorf("persist key %d v %d failed", k, v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	for k := 0; k < keys; k++ {
+		for v := 1; v <= versions; v++ {
+			ref.Append(ddp.Key(k), ts(0, v), []byte{byte(k), byte(v)}, 0)
+		}
+	}
+
+	if got, want := piped.Len(), ref.Len(); got != want {
+		t.Fatalf("piped log has %d entries, reference %d", got, want)
+	}
+	refDB := ref.Materialize()
+	for k, want := range refDB {
+		gotTS, ok := piped.DurableTS(k)
+		if !ok || gotTS != want.TS {
+			t.Fatalf("key %d: durable TS %v (ok=%v), reference %v", k, gotTS, ok, want.TS)
+		}
+		if !piped.LocallyDurable(k, want.TS) {
+			t.Fatalf("key %d not locally durable at %v", k, want.TS)
+		}
+	}
+	pipedDB := piped.Materialize()
+	if len(pipedDB) != len(refDB) {
+		t.Fatalf("materialized %d keys, reference %d", len(pipedDB), len(refDB))
+	}
+	for k, want := range refDB {
+		got := pipedDB[k]
+		if got.TS != want.TS || string(got.Value) != string(want.Value) {
+			t.Fatalf("key %d materialized (%v, %q), reference (%v, %q)",
+				k, got.TS, got.Value, want.TS, want.Value)
+		}
+	}
+}
+
+// TestPipelinePerKeyFIFO checks that same-key persists drain in
+// enqueue order: the log's entries for one key must carry ascending
+// versions (the per-record ordering Fig 2 relies on; cross-key order
+// is deliberately unconstrained per §V-B.4).
+func TestPipelinePerKeyFIFO(t *testing.T) {
+	log := NewLog()
+	p := NewPipeline(log, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: int64(50 * time.Microsecond)},
+		Drains: 2,
+	})
+	const versions = 200
+	for v := 1; v <= versions; v++ {
+		if !p.Enqueue(7, ts(0, v), []byte{byte(v)}, 0, nil) {
+			t.Fatalf("enqueue v%d failed", v)
+		}
+	}
+	// A final blocking persist flushes everything queued behind it.
+	if !p.Persist(7, ts(0, versions+1), nil, 0) {
+		t.Fatal("flush persist failed")
+	}
+	p.Close()
+
+	entries := log.EntriesSince(0)
+	if len(entries) != versions+1 {
+		t.Fatalf("log has %d entries, want %d", len(entries), versions+1)
+	}
+	last := ddp.Version(0)
+	for _, e := range entries {
+		if e.TS.Version <= last {
+			t.Fatalf("same-key entries out of order: version %d after %d (seq %d)",
+				e.TS.Version, last, e.Seq)
+		}
+		last = e.TS.Version
+	}
+}
+
+// TestPipelineCloseUnblocks pins the shutdown contract: a persist
+// blocked in a long device sleep returns false promptly when the
+// pipeline closes, instead of sleeping out the delay.
+func TestPipelineCloseUnblocks(t *testing.T) {
+	log := NewLog()
+	p := NewPipeline(log, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: (10 * time.Second).Nanoseconds()},
+		Drains: 1,
+	})
+	res := make(chan bool, 1)
+	go func() {
+		res <- p.Persist(1, ts(0, 1), []byte("v"), 0)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the drain enter its sleep
+	begin := time.Now()
+	p.Close()
+	select {
+	case ok := <-res:
+		if ok {
+			t.Fatal("persist reported durable after close aborted the drain")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("persist still blocked after Close")
+	}
+	if e := time.Since(begin); e > 2*time.Second {
+		t.Fatalf("close took %v; must not wait out the device delay", e)
+	}
+	if p.Persist(2, ts(0, 1), []byte("v"), 0) {
+		t.Fatal("persist on closed pipeline reported success")
+	}
+	if p.Enqueue(2, ts(0, 1), []byte("v"), 0, nil) {
+		t.Fatal("enqueue on closed pipeline reported success")
+	}
+}
+
+// TestPipelineInlineFastPath: a zero latency model appends
+// synchronously — durable immediately after Enqueue, no worker handoff.
+func TestPipelineInlineFastPath(t *testing.T) {
+	log := NewLog()
+	p := NewPipeline(log, PipelineConfig{Drains: 4})
+	defer p.Close()
+	ran := false
+	if !p.Enqueue(3, ts(0, 1), []byte("v"), 0, func() { ran = true }) {
+		t.Fatal("enqueue failed")
+	}
+	if !ran {
+		t.Fatal("inline continuation did not run synchronously")
+	}
+	if !log.LocallyDurable(3, ts(0, 1)) {
+		t.Fatal("inline enqueue not immediately durable")
+	}
+	if !p.Persist(3, ts(0, 2), []byte("w"), 0) {
+		t.Fatal("inline persist failed")
+	}
+	if !p.PersistMany([]Update{{Key: 4, TS: ts(0, 1)}, {Key: 5, TS: ts(0, 1)}}) {
+		t.Fatal("inline PersistMany failed")
+	}
+	if got := p.Entries(); got != 4 {
+		t.Fatalf("entries %d, want 4", got)
+	}
+}
