@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check bench-smoke bench-live bench-node clean
+.PHONY: all build test race lint vet check bench-smoke bench-live bench-node bench-obs clean
 
 all: build
 
@@ -46,6 +46,13 @@ bench-live:
 # "before" baseline from the pre-pipeline tree is kept).
 bench-node:
 	$(GO) run ./cmd/minos-benchnode -label after -json BENCH_node.json
+
+# Observability overhead: the serial write microbenchmark with tracing
+# off, sampled (1-in-8, the production default), and full, per model.
+# Fails if sampled tracing costs >= 5% on the no-delay write path.
+# Updates the "after" section of BENCH_obs.json in place.
+bench-obs:
+	$(GO) run ./cmd/minos-benchobs -label after -json BENCH_obs.json
 
 clean:
 	$(GO) clean ./...

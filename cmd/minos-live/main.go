@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
@@ -33,6 +34,8 @@ func main() {
 	dispatch := flag.Int("dispatch", 0, "key-affine dispatch workers per node (0 = node default)")
 	drains := flag.Int("drains", 0, "NVM drain engines per node (0 = node default)")
 	jsonPath := flag.String("json", "", "write results into this JSON file (existing 'before' and 'after.microbench' keys are preserved)")
+	tracePath := flag.String("trace", "", "record per-transaction phase spans and write them to this JSON file (minos-trace's input)")
+	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery, "trace one transaction in N (1 = every transaction)")
 	flag.Parse()
 
 	wl := workload.Default()
@@ -55,6 +58,8 @@ func main() {
 		Workload:        wl,
 		Seed:            *seed,
 		TCP:             *tcp,
+		Trace:           *tracePath != "",
+		TraceSample:     *traceSample,
 	})
 	for _, r := range results {
 		fmt.Println(r)
@@ -70,6 +75,33 @@ func main() {
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)
 	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, results); err != nil {
+			fmt.Fprintln(os.Stderr, "minos-live:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
+}
+
+// traceRun is one model's recorded spans in the trace file minos-trace
+// replays.
+type traceRun struct {
+	Model string     `json:"model"`
+	Spans []obs.Span `json:"spans"`
+}
+
+// writeTrace dumps each model's spans as {"runs": [{model, spans}]}.
+func writeTrace(path string, results []*livebench.Result) error {
+	runs := make([]traceRun, 0, len(results))
+	for _, r := range results {
+		runs = append(runs, traceRun{Model: fmt.Sprint(r.Model), Spans: r.Spans})
+	}
+	buf, err := json.Marshal(map[string]any{"runs": runs})
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // liveResult is the JSON shape of one model's measurements.
@@ -89,6 +121,10 @@ type liveResult struct {
 	Broadcasts     int64   `json:"broadcasts"`
 	Encodes        int64   `json:"encodes"`
 	Redials        int64   `json:"redials"`
+	// Snapshot is the full unified observability tree (node, pipeline,
+	// transport); the flat wire fields above are kept for historical
+	// diffing against committed BENCH_live.json baselines.
+	Snapshot *obs.Snapshot `json:"snapshot,omitempty"`
 }
 
 // writeJSON records the run under the "after.live" key, preserving any
@@ -116,13 +152,14 @@ func writeJSON(path string, nodes, workers, requests int, tcp bool, results []*l
 			WriteP99Ns:     r.WriteLat.Percentile(99),
 			ReadAvgNs:      r.ReadLat.Mean(),
 			ReadP99Ns:      r.ReadLat.Percentile(99),
-			FramesSent:     r.Transport.FramesSent,
-			BatchesSent:    r.Transport.BatchesSent,
-			FramesPerBatch: r.Transport.FramesPerBatch(),
-			BytesSent:      r.Transport.BytesSent,
-			Broadcasts:     r.Transport.Broadcasts,
-			Encodes:        r.Transport.Encodes,
-			Redials:        r.Transport.Redials,
+			FramesSent:     r.Obs.Counter("transport.frames_sent"),
+			BatchesSent:    r.Obs.Counter("transport.batches_sent"),
+			FramesPerBatch: r.Obs.Ratio("transport.frames_sent", "transport.batches_sent"),
+			BytesSent:      r.Obs.Counter("transport.bytes_sent"),
+			Broadcasts:     r.Obs.Counter("transport.broadcasts"),
+			Encodes:        r.Obs.Counter("transport.encodes"),
+			Redials:        r.Obs.Counter("transport.redials"),
+			Snapshot:       r.Obs,
 		})
 	}
 	after["live"] = out

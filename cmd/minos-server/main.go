@@ -14,6 +14,7 @@ package main
 import (
 	"bufio"
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +28,7 @@ import (
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -120,7 +122,7 @@ func parseCluster(spec string) (map[ddp.NodeID]string, error) {
 //	SETS <key> <hex> <scope>  -> OK | ERR <msg>    (scoped write)
 //	SCOPE                     -> OK <scope-id>
 //	PERSIST <scope-id>        -> OK | ERR <msg>
-//	STATS                     -> OK writes=.. reads=.. persists=.. [wire counters]
+//	STATS                     -> OK <json snapshot> (one obs.Snapshot: node, pipeline, wire)
 func serveClients(ln net.Listener, n *node.Node, ts transport.StatsSource) {
 	for {
 		conn, err := ln.Accept()
@@ -140,7 +142,8 @@ func serveClients(ln net.Listener, n *node.Node, ts transport.StatsSource) {
 }
 
 // handleCommand answers one protocol line. ts supplies the transport's
-// wire counters for STATS; nil is allowed (counters omitted).
+// wire instruments for STATS; nil is allowed (the snapshot then holds
+// only the node's own layers).
 func handleCommand(n *node.Node, ts transport.StatsSource, line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -204,16 +207,15 @@ func handleCommand(n *node.Node, ts transport.StatsSource, line string) string {
 		}
 		return "OK"
 	case "STATS":
-		s := fmt.Sprintf("OK writes=%d reads=%d persists=%d invs=%d obsolete=%d failed_peers=%d",
-			n.Stats.Writes.Load(), n.Stats.Reads.Load(), n.Stats.Persists.Load(),
-			n.Stats.InvsHandled.Load(), n.Stats.ObsoleteWrites.Load(), n.Stats.PeersFailed.Load())
-		if ts != nil {
-			w := ts.Stats()
-			s += fmt.Sprintf(" frames_sent=%d batches=%d frames_per_batch=%.2f bytes_sent=%d broadcasts=%d redials=%d send_errors=%d",
-				w.FramesSent, w.BatchesSent, w.FramesPerBatch(), w.BytesSent,
-				w.Broadcasts, w.Redials, w.SendErrors)
+		// One unified snapshot: the node's registry (protocol counters,
+		// NVM pipeline, tracer accounting) merged with the transport's
+		// wire instruments, serialized as a single stable JSON document.
+		snap := obs.Collect(n, ts)
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return "ERR " + err.Error()
 		}
-		return s
+		return "OK " + string(data)
 	default:
 		return "ERR unknown command " + fields[0]
 	}

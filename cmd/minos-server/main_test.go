@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -75,16 +77,35 @@ func TestHandleCommandStats(t *testing.T) {
 	n, ts := testNode(t)
 	handleCommand(n, ts, "SET 1 00")
 	got := handleCommand(n, ts, "STATS")
-	if !strings.HasPrefix(got, "OK writes=1") {
-		t.Fatalf("STATS: %q", got)
+	if !strings.HasPrefix(got, "OK {") {
+		t.Fatalf("STATS is not a JSON snapshot: %q", got)
 	}
-	// The wire counters must be surfaced when a stats source is wired.
-	if !strings.Contains(got, "frames_sent=") || !strings.Contains(got, "frames_per_batch=") {
-		t.Fatalf("STATS lacks transport counters: %q", got)
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(got, "OK ")), &snap); err != nil {
+		t.Fatalf("STATS payload does not parse: %v\n%q", err, got)
+	}
+	if snap.Counter("node.writes") != 1 {
+		t.Fatalf("node.writes = %d, want 1\n%s", snap.Counter("node.writes"), &snap)
+	}
+	// The wire instruments must be present when a stats source is wired.
+	if snap.Counter("transport.frames_sent") == 0 {
+		t.Fatalf("STATS lacks transport instruments: %q", got)
 	}
 	// And omitted cleanly when none is.
-	if bare := handleCommand(n, nil, "STATS"); strings.Contains(bare, "frames_sent=") {
-		t.Fatalf("STATS with nil source leaked counters: %q", bare)
+	bare := handleCommand(n, nil, "STATS")
+	var bareSnap obs.Snapshot
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(bare, "OK ")), &bareSnap); err != nil {
+		t.Fatalf("STATS without source does not parse: %v", err)
+	}
+	for _, c := range bareSnap.Counters {
+		if strings.HasPrefix(c.Name, "transport.") {
+			t.Fatalf("STATS with nil source leaked wire counters: %q", bare)
+		}
+	}
+	// Two idle collects must serialize byte-identically (the snapshot
+	// determinism contract minos-live and CI diffing rely on).
+	if again := handleCommand(n, ts, "STATS"); again != got {
+		t.Fatalf("idle STATS not deterministic:\n%q\n%q", got, again)
 	}
 }
 

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/obs"
+)
+
+// span builds a coordinator span n nanoseconds long.
+func span(txn uint64, node int32, p obs.Phase, start, dur int64) obs.Span {
+	return obs.Span{Txn: txn, Node: node, Role: obs.RoleCoordinator,
+		Phase: p, Start: start, End: start + dur}
+}
+
+func TestBreakdownAggregates(t *testing.T) {
+	spans := []obs.Span{
+		span(1, 0, obs.PhaseIssue, 0, 10),
+		span(1, 0, obs.PhaseAckWait, 10, 90),
+		span(2, 0, obs.PhaseIssue, 200, 30),
+		span(1, 1, obs.PhaseIssue, 0, 20), // same txn id, other node: distinct
+		{Txn: 0, Key: 7, Node: 2, Role: obs.RoleFollower,
+			Phase: obs.PhaseGroupCommit, Start: 5, End: 25},
+	}
+	b := breakdown(spans, obs.RoleCoordinator)
+	if b.txns != 3 {
+		t.Fatalf("txns = %d, want 3 distinct (node, txn) pairs", b.txns)
+	}
+	if got := b.phases[obs.PhaseIssue]; got.count != 3 || got.sum != 60 {
+		t.Fatalf("issue agg = %+v, want count 3 sum 60", got)
+	}
+	if b.total != 150 {
+		t.Fatalf("total = %d, want 150 (follower span excluded)", b.total)
+	}
+	if b.commNs() != 90 {
+		t.Fatalf("comm = %d, want 90 (the ack_wait span)", b.commNs())
+	}
+
+	f := breakdown(spans, obs.RoleFollower)
+	if f.total != 20 || f.phases[obs.PhaseGroupCommit].count != 1 {
+		t.Fatalf("follower breakdown = total %d, want the one 20ns group_commit", f.total)
+	}
+}
+
+func TestTableAndSummaryRender(t *testing.T) {
+	b := breakdown([]obs.Span{
+		span(1, 0, obs.PhaseIssue, 0, 100),
+		span(1, 0, obs.PhaseInvFanout, 100, 300),
+	}, obs.RoleCoordinator)
+	tab := b.table("Lin-Synch", "coordinator").String()
+	for _, want := range []string{"Lin-Synch", "issue", "inv_fanout", "1 transactions"} {
+		if !strings.Contains(tab, want) {
+			t.Fatalf("table lacks %q:\n%s", want, tab)
+		}
+	}
+	line := b.commCompLine()
+	if !strings.Contains(line, "comm 75.0%") {
+		t.Fatalf("comm share wrong: %s", line)
+	}
+}
+
+// TestReadTraceRoundTrip pins the file contract with minos-live's
+// writeTrace: {"runs":[{model, spans}]}.
+func TestReadTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	in := map[string]any{"runs": []traceRun{{
+		Model: "Lin-Event",
+		Spans: []obs.Span{span(9, 4, obs.PhaseVal, 50, 25)},
+	}}}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := readTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Model != "Lin-Event" {
+		t.Fatalf("parsed %+v", doc)
+	}
+	s := doc.Runs[0].Spans[0]
+	if s.Txn != 9 || s.Phase != obs.PhaseVal || s.Dur() != 25 {
+		t.Fatalf("span did not round-trip: %+v", s)
+	}
+
+	if _, err := readTrace(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	os.WriteFile(empty, []byte(`{"runs":[]}`), 0o644)
+	if _, err := readTrace(empty); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

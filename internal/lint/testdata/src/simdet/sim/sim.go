@@ -6,6 +6,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -84,4 +85,44 @@ func (k *Kernel) waivedOrder() []int {
 		out = append(out, id)
 	}
 	return out
+}
+
+// statsCollect mirrors the observability registry's collect shape:
+// atomic loads emitted under fixed instrument names in source order.
+// No clock, no map iteration, no randomness — the analyzer must stay
+// silent on it even inside the kernel package.
+type snapshot struct {
+	names  []string
+	values []int64
+}
+
+func (s *snapshot) add(name string, v int64) {
+	s.names = append(s.names, name)
+	s.values = append(s.values, v)
+}
+
+type counters struct {
+	executed atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+func (k *Kernel) statsCollect(c *counters, s *snapshot) {
+	s.add("sim.kernel.executed", int64(c.executed.Load()))
+	s.add("sim.kernel.dropped", int64(c.dropped.Load()))
+}
+
+// sortedInstrumentMerge is the snapshot Compact shape: sort by name,
+// then merge adjacent duplicates — deterministic despite the map the
+// values came from, because emission happens after the sort.
+func (k *Kernel) sortedInstrumentMerge(points map[string]int64) *snapshot {
+	names := make([]string, 0, len(points))
+	for name := range points {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	s := &snapshot{}
+	for _, name := range names {
+		s.add(name, points[name])
+	}
+	return s
 }

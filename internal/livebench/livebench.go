@@ -13,6 +13,7 @@ import (
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/stats"
 	"github.com/minos-ddp/minos/internal/transport"
 	"github.com/minos-ddp/minos/internal/workload"
@@ -45,6 +46,15 @@ type Config struct {
 	// in-process fabric, exercising the real batched wire path (framing,
 	// per-peer writer coalescing, broadcast fan-out).
 	TCP bool
+	// Trace records per-transaction phase spans on every node; the
+	// collected spans land in Result.Spans (minos-trace's input).
+	Trace bool
+	// TraceCapacity sizes each node's span ring (0 = obs default).
+	TraceCapacity int
+	// TraceSample traces one transaction in TraceSample (0 or 1 =
+	// every transaction; obs.DefaultSampleEvery is the production
+	// rate).
+	TraceSample int
 }
 
 func (c Config) withDefaults() Config {
@@ -73,9 +83,13 @@ type Result struct {
 	ReadLat  stats.Sampler // ns
 	Elapsed  time.Duration
 	Ops      int
-	// Transport aggregates the wire counters of every node's endpoint:
-	// frames, batches, coalescing ratio, broadcasts, redials.
-	Transport transport.TransportStats
+	// Obs is the unified observability snapshot aggregated across the
+	// cluster: every node's protocol counters and NVM pipeline plus
+	// every endpoint's wire counters, merged (summed) into one tree.
+	Obs *obs.Snapshot
+	// Spans holds the trace spans recorded when Config.Trace was set,
+	// concatenated across nodes — the input minos-trace replays.
+	Spans []obs.Span
 }
 
 // Throughput returns completed operations per wall-clock second.
@@ -92,9 +106,11 @@ func (r *Result) String() string {
 		stats.Ns(r.WriteLat.Mean()), stats.Ns(r.WriteLat.Percentile(99)),
 		stats.Ns(r.ReadLat.Mean()), stats.Ns(r.ReadLat.Percentile(99)),
 		r.Throughput())
-	if r.Transport.FramesSent > 0 {
+	if r.Obs != nil && r.Obs.Counter("transport.frames_sent") > 0 {
 		s += fmt.Sprintf(" | %d frames, %.1f frames/batch, %d bcast",
-			r.Transport.FramesSent, r.Transport.FramesPerBatch(), r.Transport.Broadcasts)
+			r.Obs.Counter("transport.frames_sent"),
+			r.Obs.Ratio("transport.frames_sent", "transport.batches_sent"),
+			r.Obs.Counter("transport.broadcasts"))
 	}
 	return s
 }
@@ -108,13 +124,19 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	nodes := make([]*node.Node, cfg.Nodes)
+	tracers := make([]*obs.Tracer, cfg.Nodes)
 	for i := range nodes {
-		nodes[i] = node.New(node.Config{
-			Model:           cfg.Model,
-			PersistDelay:    cfg.PersistDelay,
-			DispatchWorkers: cfg.DispatchWorkers,
-			PersistDrains:   cfg.PersistDrains,
-		}, eps[i])
+		if cfg.Trace {
+			tracers[i] = obs.NewTracer(cfg.TraceCapacity)
+			tracers[i].SetSampleEvery(cfg.TraceSample)
+		}
+		nodes[i] = node.NewWithOptions(eps[i],
+			node.WithModel(cfg.Model),
+			node.WithPersistDelay(cfg.PersistDelay),
+			node.WithDispatchWorkers(cfg.DispatchWorkers),
+			node.WithPersistDrains(cfg.PersistDrains),
+			node.WithTracer(tracers[i]),
+		)
 		nodes[i].Start()
 	}
 	defer func() {
@@ -211,13 +233,23 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
-	// Aggregate wire counters before the deferred Close tears the
-	// endpoints down (reading after Close is safe too, but this keeps
-	// the snapshot unambiguous).
+	// Collect the unified snapshot before the deferred Close tears the
+	// cluster down (reading after Close is safe too, but this keeps the
+	// snapshot unambiguous). Same-named instruments from different nodes
+	// merge by summing in Compact — the cluster-wide totals.
+	snap := &obs.Snapshot{}
+	for _, nd := range nodes {
+		nd.Collect(snap)
+	}
 	for _, ep := range eps {
 		if src, ok := ep.(transport.StatsSource); ok {
-			res.Transport.Add(src.Stats())
+			src.Collect(snap)
 		}
+	}
+	snap.Compact()
+	res.Obs = snap
+	for _, tr := range tracers {
+		res.Spans = append(res.Spans, tr.Spans()...)
 	}
 	return res, firstErr
 }

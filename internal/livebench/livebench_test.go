@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
@@ -52,14 +53,55 @@ func TestRunTCPFabric(t *testing.T) {
 	if res.Ops != 300 {
 		t.Fatalf("completed %d ops, want 300", res.Ops)
 	}
-	if res.Transport.FramesSent == 0 || res.Transport.BatchesSent == 0 {
-		t.Fatalf("no wire traffic recorded: %+v", res.Transport)
+	if res.Obs == nil {
+		t.Fatal("no observability snapshot collected")
 	}
-	if res.Transport.Broadcasts == 0 {
-		t.Fatalf("no broadcasts recorded: %+v", res.Transport)
+	if res.Obs.Counter("transport.frames_sent") == 0 || res.Obs.Counter("transport.batches_sent") == 0 {
+		t.Fatalf("no wire traffic recorded: %s", res.Obs)
 	}
-	if res.Transport.FramesPerBatch() < 1 {
-		t.Fatalf("frames/batch %.2f < 1", res.Transport.FramesPerBatch())
+	if res.Obs.Counter("transport.broadcasts") == 0 {
+		t.Fatalf("no broadcasts recorded: %s", res.Obs)
+	}
+	if res.Obs.Ratio("transport.frames_sent", "transport.batches_sent") < 1 {
+		t.Fatalf("frames/batch %.2f < 1", res.Obs.Ratio("transport.frames_sent", "transport.batches_sent"))
+	}
+	// The unified snapshot also carries the protocol and pipeline layers.
+	if res.Obs.Counter("node.writes") == 0 || res.Obs.Counter("nvm.pipeline.entries") == 0 {
+		t.Fatalf("snapshot missing node/pipeline layers: %s", res.Obs)
+	}
+}
+
+// TestRunTraced: a traced run produces coordinator spans whose counts
+// line up with the writes performed.
+func TestRunTraced(t *testing.T) {
+	res, err := Run(Config{
+		Nodes:           3,
+		Model:           ddp.LinSynch,
+		WorkersPerNode:  2,
+		RequestsPerNode: 50,
+		Seed:            2,
+		Trace:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	coord := 0
+	for _, s := range res.Spans {
+		if s.Role == obs.RoleCoordinator {
+			coord++
+		}
+		if s.End < s.Start {
+			t.Fatalf("span ends before it starts: %+v", s)
+		}
+	}
+	if coord == 0 {
+		t.Fatal("no coordinator spans recorded")
+	}
+	if got := res.Obs.Counter("trace.spans_recorded"); got != int64(len(res.Spans)) {
+		t.Fatalf("snapshot says %d spans, collected %d", got, len(res.Spans))
 	}
 }
 

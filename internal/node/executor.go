@@ -64,7 +64,11 @@ func (e *executor) worker(q chan ddp.Message) {
 // queue is full. Only recvLoop calls this, so the blocking send cannot
 // deadlock: workers never enqueue messages themselves.
 func (e *executor) dispatch(m ddp.Message) {
-	e.queues[affinity(m)&e.mask] <- m
+	q := e.queues[affinity(m)&e.mask]
+	// High-water lane depth: len on a channel is one atomic read, and
+	// the Max CAS almost always short-circuits on the first compare.
+	e.n.laneDepth.Max(int64(len(q)))
+	q <- m
 }
 
 // closeQueues ends the workers once recvLoop has stopped producing.

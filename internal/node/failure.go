@@ -26,6 +26,7 @@ func (n *Node) heartbeatLoop() {
 		// Best effort; an unreachable peer shows up as silence. One
 		// broadcast encodes the beacon once for the whole cluster.
 		_ = n.tr.Broadcast(transport.Frame{Kind: transport.FrameHeartbeat})
+		n.heartbeats.Add(1)
 		n.checkTimeouts()
 	}
 }

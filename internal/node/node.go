@@ -18,6 +18,7 @@ import (
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/kv"
 	"github.com/minos-ddp/minos/internal/nvm"
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -47,6 +48,10 @@ type Config struct {
 	// PersistDrains is the number of NVM drain engines (persist queues)
 	// feeding the log. Rounded up to a power of two; default 4.
 	PersistDrains int
+	// Tracer, when non-nil, records per-transaction phase spans on the
+	// write path (obs.Phase taxonomy). Nil disables tracing; the hot
+	// path then pays a single predictable branch per phase boundary.
+	Tracer *obs.Tracer
 }
 
 // txnKey identifies a write transaction; TS_WR is unique per record only.
@@ -138,23 +143,34 @@ type Node struct {
 	lastSeen []atomic.Int64
 
 	scopeSeq atomic.Uint64
+	txnSeq   atomic.Uint64
 	closed   atomic.Bool
 	stop     chan struct{}
 	wg       sync.WaitGroup
+
+	// obs is the node's metrics registry ("node." prefix); the NVM
+	// pipeline and the tracer register into it, so one Collect walks
+	// the whole node.
+	obs        *obs.Registry
+	tracer     *obs.Tracer
+	heartbeats *obs.Counter
+	laneDepth  *obs.Gauge
 
 	// Stats counts protocol events for observability and tests.
 	Stats Stats
 }
 
-// Stats counts protocol events. All fields are atomic.
+// Stats exposes the node's protocol counters. The fields are
+// registry-backed instruments (they appear in snapshots under the
+// "node." prefix); Add/Load keep the historical atomic surface.
 type Stats struct {
-	Writes         atomic.Int64
-	Reads          atomic.Int64
-	ObsoleteWrites atomic.Int64
-	Persists       atomic.Int64
-	InvsHandled    atomic.Int64
-	PeersFailed    atomic.Int64
-	Recoveries     atomic.Int64
+	Writes         *obs.Counter
+	Reads          *obs.Counter
+	ObsoleteWrites *obs.Counter
+	Persists       *obs.Counter
+	InvsHandled    *obs.Counter
+	PeersFailed    *obs.Counter
+	Recoveries     *obs.Counter
 }
 
 // New creates a node over tr. Call Start to begin serving.
@@ -196,6 +212,19 @@ func New(cfg Config, tr transport.Transport) *Node {
 		alive[p] = true
 	}
 	n.live.Store(&liveView{alive: alive, live: n.peers})
+	n.obs = obs.NewRegistry("node")
+	n.Stats = Stats{
+		Writes:         n.obs.Counter("writes"),
+		Reads:          n.obs.Counter("reads"),
+		ObsoleteWrites: n.obs.Counter("obsolete_writes"),
+		Persists:       n.obs.Counter("persists"),
+		InvsHandled:    n.obs.Counter("invs_handled"),
+		PeersFailed:    n.obs.Counter("peers_failed"),
+		Recoveries:     n.obs.Counter("recoveries"),
+	}
+	n.heartbeats = n.obs.Counter("heartbeats_sent")
+	n.laneDepth = n.obs.Gauge("exec_lane_depth_max")
+	n.tracer = cfg.Tracer
 	n.pipe = nvm.NewPipeline(n.log, nvm.PipelineConfig{
 		// PersistDelay is a flat per-device-write cost, matching the
 		// pre-pipeline semantics where every persist charged the full
@@ -205,6 +234,10 @@ func New(cfg Config, tr transport.Transport) *Node {
 		OnBatch: n.onPersistBatch,
 	})
 	n.exec = newExecutor(n, cfg.DispatchWorkers)
+	n.obs.Register(n.pipe)
+	if n.tracer != nil {
+		n.obs.Register(n.tracer)
+	}
 	return n
 }
 
@@ -222,6 +255,17 @@ func (n *Node) Log() *nvm.Log { return n.log }
 
 // Pipeline exposes the durability pipeline (tests and tools).
 func (n *Node) Pipeline() *nvm.Pipeline { return n.pipe }
+
+// Tracer returns the node's trace recorder (nil when tracing is off).
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// Describe implements obs.Source.
+func (n *Node) Describe() string { return "node" }
+
+// Collect implements obs.Source: one call walks the node's protocol
+// counters, its NVM pipeline, and (when tracing) the tracer's
+// accounting.
+func (n *Node) Collect(s *obs.Snapshot) { n.obs.Collect(s) }
 
 // Start begins serving protocol messages and, if configured, the
 // failure detector.
@@ -419,8 +463,37 @@ func (n *Node) persist(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.Scope
 // never outrun durability.
 func (n *Node) persistThen(m ddp.Message, kind ddp.MsgKind) {
 	to, key, ts, sc := m.From, m.Key, m.TS, m.Scope
+	// Followers have no coordinator transaction sequence; the sampling
+	// decision hashes the issued version instead, so a sampled run pays
+	// the follower-side clock reads at the same 1-in-N rate.
+	traced := n.tracer.Enabled() && n.tracer.SampleTxn(uint64(ts.Version))
+	var start int64
+	if traced {
+		start = n.tracer.Now()
+	}
 	n.pipe.Enqueue(key, ts, m.Value, sc, func() {
+		// The follower's durability wait and the acknowledgment that
+		// follows it, as two chained spans: the persist (group_commit)
+		// span always closes before the ack (val) span opens, which the
+		// trace ordering tests pin as the persist-before-ack invariant.
+		// Followers have no transaction id; spans correlate by (Key, Ver).
+		var ackStart int64
+		if traced {
+			ackStart = n.tracer.Now()
+			n.tracer.Record(obs.Span{
+				Key: uint64(key), Ver: int64(ts.Version), Node: int32(n.id),
+				Role: obs.RoleFollower, Phase: obs.PhaseGroupCommit,
+				Start: start, End: ackStart,
+			})
+		}
 		n.send(to, ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()})
+		if traced {
+			n.tracer.Record(obs.Span{
+				Key: uint64(key), Ver: int64(ts.Version), Node: int32(n.id),
+				Role: obs.RoleFollower, Phase: obs.PhaseVal,
+				Start: ackStart, End: n.tracer.Now(),
+			})
+		}
 	})
 }
 

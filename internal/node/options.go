@@ -1,0 +1,66 @@
+package node
+
+import (
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// Option tunes a node built with NewWithOptions. Options compose over
+// the zero Config, so every knob keeps its documented default when not
+// set.
+type Option func(*Config)
+
+// WithModel selects the <consistency, persistency> model to run.
+func WithModel(m ddp.Model) Option {
+	return func(c *Config) { c.Model = m }
+}
+
+// WithPersistDelay sets the modeled NVM write latency charged per
+// drained group commit.
+func WithPersistDelay(d time.Duration) Option {
+	return func(c *Config) { c.PersistDelay = d }
+}
+
+// WithHeartbeat enables the failure detector: beacon every `every`,
+// declare a peer failed after `failAfter` of silence.
+func WithHeartbeat(every, failAfter time.Duration) Option {
+	return func(c *Config) {
+		c.HeartbeatEvery = every
+		c.FailAfter = failAfter
+	}
+}
+
+// WithShards sizes the KV store's lock striping.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithDispatchWorkers sizes the key-affine executor.
+func WithDispatchWorkers(n int) Option {
+	return func(c *Config) { c.DispatchWorkers = n }
+}
+
+// WithPersistDrains sets the number of NVM drain engines.
+func WithPersistDrains(n int) Option {
+	return func(c *Config) { c.PersistDrains = n }
+}
+
+// WithTracer attaches a trace recorder to the write path.
+func WithTracer(t *obs.Tracer) Option {
+	return func(c *Config) { c.Tracer = t }
+}
+
+// NewWithOptions creates a node over tr with the given options applied
+// to a zero Config. It is the options-style face of New; both build
+// identical nodes, and New remains for callers that already hold a
+// Config.
+func NewWithOptions(tr transport.Transport, opts ...Option) *Node {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return New(cfg, tr)
+}

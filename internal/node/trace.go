@@ -1,0 +1,68 @@
+package node
+
+import (
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
+)
+
+// traceCtx threads one write transaction's trace through the
+// coordinator path. Timestamps chain: each recorded span starts where
+// the previous one ended, so a transaction's spans are non-overlapping
+// and ordered by construction — the invariant the trace tests pin and
+// the property that lets minos-trace sum phases into a latency
+// decomposition without overlap correction.
+//
+// A nil *traceCtx is the disabled trace: mark is a nil-check no-op, so
+// an untraced write pays one branch per phase boundary.
+type traceCtx struct {
+	t    *obs.Tracer
+	txn  uint64
+	key  ddp.Key
+	ver  ddp.Version
+	node ddp.NodeID
+	last int64
+}
+
+// startTrace opens a trace for one client write, or returns nil when
+// tracing is off or the transaction falls outside the sampling rate.
+// Allocation and clock reads only happen on the traced path; an
+// unsampled write pays one atomic increment and a modulo.
+func (n *Node) startTrace(key ddp.Key) *traceCtx {
+	if !n.tracer.Enabled() {
+		return nil
+	}
+	txn := n.txnSeq.Add(1)
+	if !n.tracer.SampleTxn(txn) {
+		return nil
+	}
+	return &traceCtx{
+		t:    n.tracer,
+		txn:  txn,
+		key:  key,
+		node: n.id,
+		last: n.tracer.Now(),
+	}
+}
+
+// setVer stamps the transaction's issued version once it exists (spans
+// recorded before timestamp generation carry Ver 0).
+func (c *traceCtx) setVer(v ddp.Version) {
+	if c != nil {
+		c.ver = v
+	}
+}
+
+// mark closes the current phase: it records a span from the previous
+// boundary to now and advances the boundary.
+func (c *traceCtx) mark(p obs.Phase) {
+	if c == nil {
+		return
+	}
+	now := c.t.Now()
+	c.t.Record(obs.Span{
+		Txn: c.txn, Key: uint64(c.key), Ver: int64(c.ver),
+		Node: int32(c.node), Role: obs.RoleCoordinator, Phase: p,
+		Start: c.last, End: now,
+	})
+	c.last = now
+}

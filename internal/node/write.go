@@ -3,6 +3,7 @@ package node
 import (
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/kv"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // Write performs a client-write: replicate value under key to every
@@ -27,10 +28,12 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		return ErrClosed
 	}
 	n.Stats.Writes.Add(1)
+	tc := n.startTrace(key)
 	r := n.store.GetOrCreate(key)
 
 	r.Lock()
 	ts := n.generateTS(key, r) // L4
+	tc.setVer(ts.Version)
 	if r.Meta.Obsolete(ts) {   // L5
 		n.Stats.ObsoleteWrites.Add(1)
 		err := n.handleObsoleteLocked(r, ts)
@@ -60,6 +63,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	followers := n.liveFollowers()
 	wt := newWriteTxn(n.policy, n.id, key, ts, followers)
 	n.addPending(key, ts, wt)
+	tc.mark(obs.PhaseIssue) // timestamp issued, locks held, txn pending
 
 	inv := ddp.Message{
 		Kind: ddp.KindInv, Key: key, TS: ts, Scope: sc,
@@ -67,6 +71,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		Size:  ddp.DataSize(len(value)),
 	}
 	n.sendAll(followers, inv) // L11: send INVs (broadcast when all alive)
+	tc.mark(obs.PhaseInvFanout)
 
 	r.Value = append(r.Value[:0], value...) // L12: update local volatile state
 	r.Meta.ApplyVolatile(ts)
@@ -74,20 +79,27 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	r.Wake()
 	r.Unlock()
 
-	// Step d (L18 / Fig 3): persist the local update.
+	// Step d (L18 / Fig 3): persist the local update. The persist-enqueue
+	// span covers the local apply plus the pipeline submit; only the
+	// inline model also records a coordinator group-commit span, because
+	// only there does the client path block for the drain.
 	switch n.policy.CoordPersist {
 	case ddp.CoordPersistInline:
+		tc.mark(obs.PhasePersistEnqueue)
 		if !n.persist(key, ts, value, sc) {
 			n.removePending(key, ts)
 			return ErrClosed
 		}
+		tc.mark(obs.PhaseGroupCommit)
 	case ddp.CoordPersistBackground:
 		// The pipeline copies the value and drains in the background;
 		// no goroutine per write. waitLocallyDurable picks the result
 		// up later via the batch wake.
 		n.persistAsync(key, ts, value, sc)
+		tc.mark(obs.PhasePersistEnqueue)
 	case ddp.CoordPersistOnScopeFlush:
 		n.bufferScope(sc, key, ts, value)
+		tc.mark(obs.PhasePersistEnqueue)
 	}
 
 	// Step e: spin for consistency acknowledgments.
@@ -95,6 +107,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		n.removePending(key, ts)
 		return err
 	}
+	tc.mark(obs.PhaseAckWait)
 	r.Lock()
 	r.Meta.AdvanceGlbVolatile(ts)
 	r.Wake()
@@ -105,37 +118,46 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	r.Unlock()
 	if n.policy.SendsValAtConsistency() {
 		n.sendVal(ddp.KindValC, key, ts, sc, followers)
+		tc.mark(obs.PhaseVal)
 	}
 
 	if n.policy.Return == ddp.ReturnWhenConsistent {
 		if n.policy.TracksPersistency {
 			// REnf: finish durability off the client's critical path.
+			// The background half runs untraced (nil traceCtx): its spans
+			// would overlap the next client write's, breaking the
+			// non-interleaving invariant the trace format guarantees.
 			n.wg.Add(1)
 			go func() {
 				defer n.wg.Done()
-				n.finishDurable(r, wt, key, ts, sc, followers)
+				n.finishDurable(r, wt, key, ts, sc, followers, nil)
 			}()
 		} else {
 			n.removePending(key, ts)
 		}
+		tc.mark(obs.PhaseCompletion)
 		return nil
 	}
 
 	// Synch / Strict: the response waits for durability everywhere.
-	return n.finishDurable(r, wt, key, ts, sc, followers)
+	err := n.finishDurable(r, wt, key, ts, sc, followers, tc)
+	tc.mark(obs.PhaseCompletion)
+	return err
 }
 
 // finishDurable completes the durability half: wait for all persistency
 // acknowledgments and the local persist, publish glb_durableTS, release
 // the RDLock where the model demands, send the durable VAL, retire.
-func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) error {
+func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID, tc *traceCtx) error {
 	defer n.removePending(key, ts)
 	if err := n.waitPersistency(wt); err != nil {
 		return err
 	}
+	tc.mark(obs.PhaseAckWait) // second ack wait: the persistency spin
 	if err := n.waitLocallyDurable(r, key, ts); err != nil {
 		return err
 	}
+	tc.mark(obs.PhaseGroupCommit) // local durability point
 	r.Lock()
 	r.Meta.AdvanceGlbDurable(ts)
 	if n.policy.Release == ddp.ReleaseWhenDurable || !n.policy.SendsValAtConsistency() {
@@ -145,6 +167,7 @@ func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Tim
 	r.Unlock()
 	if kind, ok := n.policy.DurableValKind(); ok {
 		n.sendVal(kind, key, ts, sc, followers)
+		tc.mark(obs.PhaseVal)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // Pipeline is the software analogue of the paper's dFIFO drain engines
@@ -40,8 +41,20 @@ type Pipeline struct {
 	closed atomic.Bool
 	wg     sync.WaitGroup
 
-	batches atomic.Int64
-	entries atomic.Int64
+	// Instruments live in one registry under "nvm.pipeline". The spin
+	// and park counters expose the drain engines' CPU model (DESIGN.md
+	// D8): spin_charges batches burned on the yield-spin path,
+	// spin_yields the Gosched iterations that cost, timer_parks batches
+	// that slept on a runtime timer instead.
+	reg          *obs.Registry
+	batches      *obs.Counter
+	entries      *obs.Counter
+	spinCharges  *obs.Counter
+	spinYields   *obs.Counter
+	timerParks   *obs.Counter
+	pending      *obs.Gauge
+	batchEntries *obs.Histogram
+	drainNs      *obs.Histogram
 }
 
 // PipelineConfig tunes a Pipeline.
@@ -111,6 +124,15 @@ func NewPipeline(log *Log, cfg PipelineConfig) *Pipeline {
 		inline:  cfg.Lat.Zero(),
 		stop:    make(chan struct{}),
 	}
+	p.reg = obs.NewRegistry("nvm.pipeline")
+	p.batches = p.reg.Counter("batches")
+	p.entries = p.reg.Counter("entries")
+	p.spinCharges = p.reg.Counter("spin_charges")
+	p.spinYields = p.reg.Counter("spin_yields")
+	p.timerParks = p.reg.Counter("timer_parks")
+	p.pending = p.reg.Gauge("pending")
+	p.batchEntries = p.reg.Histogram("batch_entries")
+	p.drainNs = p.reg.Histogram("drain_ns")
 	p.queues = make([]*drainQueue, n)
 	for i := range p.queues {
 		p.queues[i] = &drainQueue{cur: newDrainBatch(), wake: make(chan struct{}, 1)}
@@ -132,6 +154,14 @@ func (p *Pipeline) Batches() int64 { return p.batches.Load() }
 
 // Entries returns how many updates have drained.
 func (p *Pipeline) Entries() int64 { return p.entries.Load() }
+
+// Describe implements obs.Source.
+func (p *Pipeline) Describe() string { return "nvm.pipeline" }
+
+// Collect implements obs.Source, appending the pipeline's instruments
+// (batch/entry counts, spin vs. park accounting, queue depth, batch
+// size and drain latency distributions) to s.
+func (p *Pipeline) Collect(s *obs.Snapshot) { p.reg.Collect(s) }
 
 // Close stops the drain workers. Blocked Persist/PersistMany callers
 // return false; updates still queued are dropped (a closing node makes
@@ -158,6 +188,7 @@ func (p *Pipeline) enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope dd
 	b.entries = append(b.entries, batchEntry{key: key, ts: ts, value: owned, scope: scope, then: then})
 	b.bytes += len(owned)
 	q.mu.Unlock()
+	p.pending.Add(1)
 	select {
 	case q.wake <- struct{}{}:
 	default: // a wake is already pending; the worker will see the entry
@@ -171,6 +202,7 @@ func (p *Pipeline) appendInline(key ddp.Key, ts ddp.Timestamp, value []byte, sco
 	p.log.Append(key, ts, value, scope)
 	p.entries.Add(1)
 	p.batches.Add(1)
+	p.batchEntries.Observe(1)
 	if then != nil {
 		then()
 	}
@@ -269,15 +301,18 @@ func (p *Pipeline) chargeLatency(ns int64) bool {
 		return true
 	}
 	if ns <= spinLatencyNs {
+		p.spinCharges.Add(1)
 		deadline := time.Now().Add(time.Duration(ns))
 		for time.Now().Before(deadline) {
 			if p.closed.Load() {
 				return false
 			}
+			p.spinYields.Add(1)
 			runtime.Gosched()
 		}
 		return true
 	}
+	p.timerParks.Add(1)
 	t := time.NewTimer(time.Duration(ns))
 	select {
 	case <-p.stop:
@@ -320,10 +355,12 @@ func (p *Pipeline) drain(q *drainQueue) bool {
 		q.mu.Unlock()
 
 		// Group commit: one modeled device write covers the batch.
+		start := time.Now()
 		if !p.chargeLatency(p.lat.PersistNs(b.bytes)) {
 			return false
 		}
 		p.log.appendBatch(b.entries)
+		p.drainNs.Observe(int64(time.Since(start)))
 
 		// Bookkeeping and the batch hook run before anyone unblocks so
 		// a returned Persist (or a sent continuation ack) implies the
@@ -344,6 +381,8 @@ func (p *Pipeline) drain(q *drainQueue) bool {
 		}
 		p.entries.Add(int64(len(b.entries)))
 		p.batches.Add(1)
+		p.batchEntries.Observe(int64(len(b.entries)))
+		p.pending.Add(-int64(len(b.entries)))
 		if p.onBatch != nil {
 			p.onBatch(keys, len(b.entries))
 		}

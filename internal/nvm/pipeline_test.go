@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // TestGroupCommitDurability pins the two halves of the group-commit
@@ -236,5 +237,65 @@ func TestPipelineInlineFastPath(t *testing.T) {
 	}
 	if got := p.Entries(); got != 4 {
 		t.Fatalf("entries %d, want 4", got)
+	}
+}
+
+// TestPipelineInstruments pins the registry export: drained batches
+// show up as counters and distributions, the pending gauge returns to
+// zero after a quiesce, and the spin-vs-park accounting matches the
+// configured latency (a 1.3 µs modeled device write must spin, never
+// park on a runtime timer).
+func TestPipelineInstruments(t *testing.T) {
+	p := NewPipeline(NewLog(), PipelineConfig{
+		Lat:    LatencyModel{FixedNs: 1295}, // Table II device write: spin path
+		Drains: 2,
+	})
+	defer p.Close()
+
+	for i := 0; i < 32; i++ {
+		if !p.Persist(ddp.Key(i), ts(0, 1), []byte("v"), 0) {
+			t.Fatal("persist failed on an open pipeline")
+		}
+	}
+
+	s := obs.Collect(p)
+	if got := s.Counter("nvm.pipeline.entries"); got != 32 {
+		t.Fatalf("entries = %d, want 32", got)
+	}
+	if got := s.Counter("nvm.pipeline.batches"); got != p.Batches() {
+		t.Fatalf("batches counter %d disagrees with Batches() %d", got, p.Batches())
+	}
+	if s.Counter("nvm.pipeline.spin_charges") == 0 {
+		t.Fatal("1.3 µs latency never took the spin path")
+	}
+	if got := s.Counter("nvm.pipeline.timer_parks"); got != 0 {
+		t.Fatalf("timer_parks = %d, want 0 below the spin threshold", got)
+	}
+	if got := s.GaugeValue("nvm.pipeline.pending"); got != 0 {
+		t.Fatalf("pending gauge = %d after quiesce, want 0", got)
+	}
+	h := s.Histogram("nvm.pipeline.batch_entries")
+	if h.Count != s.Counter("nvm.pipeline.batches") || h.Sum != 32 {
+		t.Fatalf("batch_entries histogram = %+v", h)
+	}
+	if s.Histogram("nvm.pipeline.drain_ns").Count == 0 {
+		t.Fatal("no drain latency observations recorded")
+	}
+}
+
+// TestPipelineInlineInstruments: the zero-latency fast path must keep
+// the same counters exact without any drain workers.
+func TestPipelineInlineInstruments(t *testing.T) {
+	p := NewPipeline(NewLog(), PipelineConfig{})
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		p.Persist(ddp.Key(i), ts(0, 1), []byte("v"), 0)
+	}
+	s := obs.Collect(p)
+	if s.Counter("nvm.pipeline.entries") != 5 || s.Counter("nvm.pipeline.batches") != 5 {
+		t.Fatalf("inline path counters wrong: %s", s)
+	}
+	if s.Counter("nvm.pipeline.spin_charges")+s.Counter("nvm.pipeline.timer_parks") != 0 {
+		t.Fatal("inline path charged modeled latency")
 	}
 }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load() = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("Max high-water = %d, want 5", got)
+	}
+	g.Set(2)
+	g.Add(4)
+	if got := g.Load(); got != 6 {
+		t.Fatalf("Set+Add = %d, want 6", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 4, 1000, -7} {
+		h.Observe(v)
+	}
+	p := h.Point("h")
+	if p.Count != 7 {
+		t.Fatalf("Count = %d, want 7", p.Count)
+	}
+	if p.Sum != 1010 {
+		t.Fatalf("Sum = %d, want 1010", p.Sum)
+	}
+	// 0, 1, -7 land in le=1; 2 in le=2; 3,4 in le=4; 1000 in le=1024.
+	want := map[int64]int64{1: 3, 2: 1, 4: 2, 1024: 1}
+	if len(p.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want bounds %v", p.Buckets, want)
+	}
+	for _, b := range p.Buckets {
+		if want[b.LE] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.LE, b.Count, want[b.LE])
+		}
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry("x")
+	c1 := r.Counter("writes")
+	c2 := r.Counter("writes")
+	if c1 != c2 {
+		t.Fatal("Counter() did not return the same instrument for one name")
+	}
+	c1.Add(3)
+	r.Gauge("depth").Set(7)
+	r.Histogram("lat").Observe(100)
+
+	s := r.Snapshot()
+	if got := s.Counter("x.writes"); got != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", got)
+	}
+	if got := s.GaugeValue("x.depth"); got != 7 {
+		t.Fatalf("snapshot gauge = %d, want 7", got)
+	}
+	if got := s.Histogram("x.lat").Count; got != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", got)
+	}
+}
+
+// fixedSource is a test Source emitting a constant instrument set.
+type fixedSource struct{ n int64 }
+
+func (f fixedSource) Describe() string { return "fixed" }
+func (f fixedSource) Collect(s *Snapshot) {
+	s.AddCounter("fixed.v", f.n)
+}
+
+func TestRegistrySubSources(t *testing.T) {
+	r := NewRegistry("top")
+	r.Counter("c").Add(1)
+	r.Register(fixedSource{n: 41})
+	s := r.Snapshot()
+	if got := s.Counter("fixed.v"); got != 41 {
+		t.Fatalf("sub-source value = %d, want 41", got)
+	}
+}
+
+// TestSnapshotDeterminism pins the stability contract: two collects of
+// a quiet system are byte-identical JSON.
+func TestSnapshotDeterminism(t *testing.T) {
+	r := NewRegistry("n")
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Add(2)
+		r.Gauge("g_" + name).Set(1)
+		r.Histogram("h_" + name).Observe(300)
+	}
+	r.Register(fixedSource{n: 9})
+
+	a, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ with no traffic:\n%s\n%s", a, b)
+	}
+}
+
+func TestSnapshotCompactMerges(t *testing.T) {
+	s := &Snapshot{}
+	s.AddCounter("node.writes", 3)
+	s.AddCounter("node.writes", 4)
+	s.AddGauge("depth", 1)
+	s.AddGauge("depth", 2)
+	s.AddHistogram(HistogramPoint{Name: "h", Count: 1, Sum: 2, Buckets: []BucketPoint{{LE: 2, Count: 1}}})
+	s.AddHistogram(HistogramPoint{Name: "h", Count: 2, Sum: 9, Buckets: []BucketPoint{{LE: 2, Count: 1}, {LE: 8, Count: 1}}})
+	s.Compact()
+
+	if got := s.Counter("node.writes"); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := s.GaugeValue("depth"); got != 3 {
+		t.Fatalf("merged gauge = %d, want 3", got)
+	}
+	h := s.Histogram("h")
+	if h.Count != 3 || h.Sum != 11 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+	if len(h.Buckets) != 2 || h.Buckets[0] != (BucketPoint{LE: 2, Count: 2}) || h.Buckets[1] != (BucketPoint{LE: 8, Count: 1}) {
+		t.Fatalf("merged buckets = %+v", h.Buckets)
+	}
+	if len(s.Counters) != 1 || len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Fatalf("duplicates survived Compact: %v", s)
+	}
+}
+
+func TestCollectHelper(t *testing.T) {
+	s := Collect(fixedSource{n: 1}, nil, fixedSource{n: 2})
+	if got := s.Counter("fixed.v"); got != 3 {
+		t.Fatalf("Collect merged = %d, want 3", got)
+	}
+}

@@ -1,0 +1,296 @@
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// counterStripes is the number of independent cells a Counter spreads
+// its updates over. Power of two for mask indexing; 8 cells × 64 bytes
+// keeps a counter within one page while giving concurrent writers on a
+// handful of cores distinct cache lines most of the time.
+const counterStripes = 8
+
+// cell is one cache-line-padded atomic counter stripe.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes: no false sharing between stripes
+}
+
+// Counter is a lock-free, striped monotonic counter. The zero value is
+// ready to use. Add spreads contending writers across padded cells and
+// Load sums them, so hot-path increments never bounce a shared cache
+// line between cores the way a single atomic would.
+type Counter struct {
+	cells [counterStripes]cell
+}
+
+// stripe picks a cell for the calling goroutine. Goroutine stacks live
+// in distinct allocations, so the address of a stack local is a cheap,
+// stable-per-goroutine source of entropy — the same trick sync.Pool
+// plays with processor IDs, without needing runtime internals. The
+// pointer is only converted to an integer (never back), so this is
+// within the unsafe.Pointer rules.
+func stripe() uint64 {
+	var l byte
+	return (uint64(uintptr(unsafe.Pointer(&l))) >> 10) & (counterStripes - 1)
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.cells[stripe()].v.Add(n) }
+
+// Load returns the counter's current value.
+func (c *Counter) Load() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a lock-free instantaneous value. The zero value is ready to
+// use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (queue depths: +1 on enqueue, -1 on
+// drain).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Max raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the gauge's current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of every Histogram: bucket i
+// holds observations v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1),
+// spanning 1 ns to ~17 minutes when observing latencies in nanoseconds.
+const histBuckets = 40
+
+// Histogram is a lock-free fixed-bucket histogram with power-of-two
+// bucket bounds. The zero value is ready to use. One layout serves both
+// latency distributions (nanoseconds) and size distributions (frames
+// per batch, entries per group commit); the snapshot carries explicit
+// bucket upper bounds, so consumers never need the layout constant.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketFor maps an observation to its bucket index.
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // smallest b with v <= 2^b
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketFor(v)].Add(1)
+}
+
+// Count returns how many observations the histogram holds.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Point snapshots the histogram under name, emitting only non-empty
+// buckets in ascending bound order.
+func (h *Histogram) Point(name string) HistogramPoint {
+	p := HistogramPoint{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			p.Buckets = append(p.Buckets, BucketPoint{LE: int64(1) << i, Count: n})
+		}
+	}
+	return p
+}
+
+// instruments is the immutable published state of a Registry; lookups
+// read it lock-free through an atomic pointer and registration replaces
+// it copy-on-write.
+type instruments struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	sources  []Source
+}
+
+// Registry is the one metrics registry: a named set of counters,
+// gauges, and histograms plus registered sub-Sources, itself a Source.
+// Instrument lookup is lock-free (instruments publish copy-on-write
+// through an atomic pointer); callers on hot paths should nonetheless
+// capture instrument pointers once at construction time.
+type Registry struct {
+	prefix string
+	mu     sync.Mutex // serializes registration only
+	inst   atomic.Pointer[instruments]
+}
+
+// NewRegistry returns a registry whose instruments are named
+// prefix+"."+name in snapshots.
+func NewRegistry(prefix string) *Registry {
+	r := &Registry{prefix: prefix}
+	r.inst.Store(&instruments{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	})
+	return r
+}
+
+// clone copies the published instrument maps for copy-on-write updates.
+func (in *instruments) clone() *instruments {
+	next := &instruments{
+		counters: make(map[string]*Counter, len(in.counters)+1),
+		gauges:   make(map[string]*Gauge, len(in.gauges)+1),
+		hists:    make(map[string]*Histogram, len(in.hists)+1),
+		sources:  append([]Source(nil), in.sources...),
+	}
+	for k, v := range in.counters {
+		next.counters[k] = v
+	}
+	for k, v := range in.gauges {
+		next.gauges[k] = v
+	}
+	for k, v := range in.hists {
+		next.hists[k] = v
+	}
+	return next
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c := r.inst.Load().counters[name]; c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in := r.inst.Load()
+	if c := in.counters[name]; c != nil {
+		return c
+	}
+	next := in.clone()
+	c := &Counter{}
+	next.counters[name] = c
+	r.inst.Store(next)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g := r.inst.Load().gauges[name]; g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in := r.inst.Load()
+	if g := in.gauges[name]; g != nil {
+		return g
+	}
+	next := in.clone()
+	g := &Gauge{}
+	next.gauges[name] = g
+	r.inst.Store(next)
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if h := r.inst.Load().hists[name]; h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in := r.inst.Load()
+	if h := in.hists[name]; h != nil {
+		return h
+	}
+	next := in.clone()
+	h := &Histogram{}
+	next.hists[name] = h
+	r.inst.Store(next)
+	return h
+}
+
+// Register attaches a sub-source whose instruments join this registry's
+// snapshots (for example a node registering its NVM pipeline).
+func (r *Registry) Register(s Source) {
+	if s == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next := r.inst.Load().clone()
+	next.sources = append(next.sources, s)
+	r.inst.Store(next)
+}
+
+// Describe returns the registry's name prefix.
+func (r *Registry) Describe() string { return r.prefix }
+
+// Collect appends every instrument (prefixed) and every registered
+// sub-source's instruments to s, in sorted-name order.
+func (r *Registry) Collect(s *Snapshot) {
+	in := r.inst.Load()
+	names := make([]string, 0, len(in.counters))
+	for name := range in.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.AddCounter(r.prefix+"."+name, in.counters[name].Load())
+	}
+	names = names[:0]
+	for name := range in.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.AddGauge(r.prefix+"."+name, in.gauges[name].Load())
+	}
+	names = names[:0]
+	for name := range in.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.AddHistogram(in.hists[name].Point(r.prefix + "." + name))
+	}
+	for _, src := range in.sources {
+		src.Collect(s)
+	}
+}
+
+// Snapshot collects the registry (and its registered sources) into one
+// compacted snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	r.Collect(s)
+	s.Compact()
+	return s
+}

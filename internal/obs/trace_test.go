@@ -1,0 +1,67 @@
+package obs
+
+import "testing"
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	tr.Record(Span{Phase: PhaseIssue}) // must not panic
+	if tr.Now() != 0 || tr.Spans() != nil || tr.Recorded() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer leaked state")
+	}
+	s := &Snapshot{}
+	tr.Collect(s)
+	if len(s.Counters) != 0 {
+		t.Fatal("nil tracer collected counters")
+	}
+}
+
+func TestTracerRingOrderAndWrap(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(Span{Txn: uint64(i + 1), Phase: PhaseIssue})
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want ring capacity 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(i + 3); s.Txn != want {
+			t.Fatalf("span %d txn = %d, want %d (oldest-first after wrap)", i, s.Txn, want)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("Recorded = %d, want 6", tr.Recorded())
+	}
+}
+
+func TestTracerNowMonotonic(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Now()
+	b := tr.Now()
+	if b < a {
+		t.Fatalf("Now went backwards: %d then %d", a, b)
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Phases() {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Fatalf("phase %d has bad/duplicate name %q", p, name)
+		}
+		seen[name] = true
+	}
+	if Phase(200).String() != "unknown" {
+		t.Fatal("out-of-range phase must stringify to unknown")
+	}
+	if RoleCoordinator.String() == RoleFollower.String() {
+		t.Fatal("roles must stringify distinctly")
+	}
+}

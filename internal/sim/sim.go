@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // Time is a point in simulated time, in nanoseconds since the start of
@@ -160,7 +162,27 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 func (k *Kernel) Events() uint64 { return k.stats.Executed }
 
 // Stats returns the kernel's execution counters so far.
+//
+// Deprecated: collect the kernel into an obs.Snapshot instead (the
+// kernel implements obs.Source); the struct form remains for callers
+// that want raw fields.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// Describe implements obs.Source.
+func (k *Kernel) Describe() string { return "sim.kernel" }
+
+// Collect implements obs.Source, emitting the kernel's execution
+// counters under the "sim.kernel." prefix. Plain field reads in a
+// fixed order: the kernel is single-threaded and the emission must be
+// deterministic (simdet relies on this file staying clock- and
+// goroutine-free outside Spawn).
+func (k *Kernel) Collect(s *obs.Snapshot) {
+	s.AddCounter("sim.kernel.executed", int64(k.stats.Executed))
+	s.AddCounter("sim.kernel.stale_dropped", int64(k.stats.StaleDropped))
+	s.AddCounter("sim.kernel.compactions", int64(k.stats.Compactions))
+	s.AddGauge("sim.kernel.max_heap_depth", int64(k.stats.MaxHeapDepth))
+	s.AddGauge("sim.kernel.max_run_queue", int64(k.stats.MaxRunQueue))
+}
 
 // Live reports how many spawned processes have not yet finished.
 func (k *Kernel) Live() int { return len(k.procs) }

@@ -149,7 +149,8 @@ func (c *Cluster) Run(o RunOpts) *Metrics {
 	}
 	c.Metrics.Makespan = sim.Duration(lastDone)
 	c.K.Stop()
-	c.Metrics.Kernel = c.K.Stats()
+	c.K.Collect(&c.Metrics.Kernel)
+	c.Metrics.Kernel.Compact()
 	return c.Metrics
 }
 

@@ -1,6 +1,7 @@
 package simcluster
 
 import (
+	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/sim"
 	"github.com/minos-ddp/minos/internal/stats"
 )
@@ -34,10 +35,12 @@ type Metrics struct {
 	// Makespan is the simulated time at which the last worker finished.
 	Makespan sim.Duration
 
-	// Kernel holds the simulation kernel's execution counters for this
-	// run (events executed, stale wakes dropped, heap/run-queue depth) —
-	// the perf-regression signal for the simulator itself.
-	Kernel sim.Stats
+	// Kernel holds the simulation kernel's observability snapshot for
+	// this run ("sim.kernel.executed", "sim.kernel.stale_dropped",
+	// "sim.kernel.max_heap_depth", ...) — the perf-regression signal for
+	// the simulator itself, in the same Snapshot shape every other layer
+	// reports.
+	Kernel obs.Snapshot
 
 	// StaleReads counts linearizability violations observed at runtime:
 	// a read that returned a version older than a write to the same key

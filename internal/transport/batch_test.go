@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // tcpPair builds two wired TCP transports (0 and 1) and cleans them up.
@@ -92,12 +93,13 @@ func TestTCPPerPeerFIFO(t *testing.T) {
 	// the benchmark claims are vacuous. (16 senders × 300 frames through
 	// one link virtually always batch; if this ever flakes on some
 	// exotic scheduler, it signals real coalescing loss worth seeing.)
-	st := t1.Stats()
-	if st.BatchesSent >= st.FramesSent {
-		t.Errorf("no coalescing: %d batches for %d frames", st.BatchesSent, st.FramesSent)
+	st := obs.Collect(t1)
+	batches, frames := st.Counter("transport.batches_sent"), st.Counter("transport.frames_sent")
+	if batches >= frames {
+		t.Errorf("no coalescing: %d batches for %d frames", batches, frames)
 	}
-	if st.FramesSent != senders*per {
-		t.Errorf("FramesSent = %d, want %d", st.FramesSent, senders*per)
+	if frames != senders*per {
+		t.Errorf("frames_sent = %d, want %d", frames, senders*per)
 	}
 }
 
@@ -136,7 +138,7 @@ func TestBroadcastEncodesOnce(t *testing.T) {
 		trs[i].mu.Unlock()
 	}
 
-	before := trs[0].Stats()
+	before := obs.Collect(trs[0])
 	want := Frame{Kind: FrameMessage, Msg: ddp.Message{
 		Kind: ddp.KindInv, Key: 99, TS: ddp.Timestamp{Node: 0, Version: 1},
 		Value: []byte("broadcast-once"),
@@ -154,14 +156,14 @@ func TestBroadcastEncodesOnce(t *testing.T) {
 			t.Fatalf("peer %d never received the broadcast", i)
 		}
 	}
-	after := trs[0].Stats()
-	if got := after.Encodes - before.Encodes; got != 1 {
+	after := obs.Collect(trs[0])
+	if got := after.Counter("transport.encodes") - before.Counter("transport.encodes"); got != 1 {
 		t.Errorf("broadcast performed %d encodes, want exactly 1", got)
 	}
-	if got := after.Broadcasts - before.Broadcasts; got != 1 {
-		t.Errorf("Broadcasts counter moved by %d, want 1", got)
+	if got := after.Counter("transport.broadcasts") - before.Counter("transport.broadcasts"); got != 1 {
+		t.Errorf("broadcasts counter moved by %d, want 1", got)
 	}
-	if got := after.FramesSent - before.FramesSent; got != n-1 {
+	if got := after.Counter("transport.frames_sent") - before.Counter("transport.frames_sent"); got != n-1 {
 		t.Errorf("broadcast delivered %d frames, want %d", got, n-1)
 	}
 }
@@ -245,9 +247,8 @@ func TestTCPDeadPeerSendsErrorOut(t *testing.T) {
 	// (The exact errored fraction is timing-dependent — each redial probe
 	// window admits a burst before the dial fails — so it is not
 	// asserted; boundedness and gating are the contract.)
-	st := t1.Stats()
-	if st.Redials > 256 {
-		t.Errorf("%d redials in ~½s: backoff is not gating the dial loop", st.Redials)
+	if redials := obs.Collect(t1).Counter("transport.redials"); redials > 256 {
+		t.Errorf("%d redials in ~½s: backoff is not gating the dial loop", redials)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 func benchFrame(payload int) Frame {
@@ -131,8 +132,8 @@ func BenchmarkTCPSend(b *testing.B) {
 			}
 		})
 		b.StopTimer()
-		st := tr.Stats()
-		b.ReportMetric(st.FramesPerBatch(), "frames/batch")
+		st := obs.Collect(tr)
+		b.ReportMetric(st.Ratio("transport.frames_sent", "transport.batches_sent"), "frames/batch")
 	})
 }
 
@@ -160,10 +161,10 @@ func BenchmarkBroadcast(b *testing.B) {
 		}
 	}
 	b.StopTimer()
-	st := tr.Stats()
-	if st.Broadcasts > 0 {
+	st := obs.Collect(tr)
+	if st.Counter("transport.broadcasts") > 0 {
 		// ≈1.0 when every Broadcast encoded exactly once (a handful of
 		// priming Sends add noise in the numerator).
-		b.ReportMetric(float64(st.Encodes)/float64(st.Broadcasts), "encodes/broadcast")
+		b.ReportMetric(st.Ratio("transport.encodes", "transport.broadcasts"), "encodes/broadcast")
 	}
 }

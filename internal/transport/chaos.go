@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // Chaos wraps any Transport and injects random per-frame delivery
@@ -54,11 +55,29 @@ func (c *Chaos) Peers() []ddp.NodeID { return c.inner.Peers() }
 func (c *Chaos) Recv() <-chan Frame  { return c.inner.Recv() }
 
 // Stats delegates to the inner transport's counters when it has any.
+//
+// Deprecated: use Collect (obs.Source) and read the obs.Snapshot.
 func (c *Chaos) Stats() TransportStats {
-	if s, ok := c.inner.(StatsSource); ok {
+	if s, ok := c.inner.(interface{ Stats() TransportStats }); ok {
 		return s.Stats()
 	}
 	return TransportStats{}
+}
+
+// Describe implements obs.Source.
+func (c *Chaos) Describe() string {
+	if s, ok := c.inner.(StatsSource); ok {
+		return s.Describe()
+	}
+	return "transport"
+}
+
+// Collect delegates to the inner transport's instruments when it has
+// any; chaos itself adds nothing.
+func (c *Chaos) Collect(s *obs.Snapshot) {
+	if src, ok := c.inner.(StatsSource); ok {
+		src.Collect(s)
+	}
 }
 
 // Close stops the delay pumps, then closes the inner transport.

@@ -1,26 +1,40 @@
 package transport
 
-import "sync/atomic"
+import (
+	"github.com/minos-ddp/minos/internal/obs"
+)
 
-// TransportStats is a point-in-time snapshot of a transport's send and
-// receive counters. The batching-specific fields (BatchesSent, BatchHist)
-// stay zero on transports that deliver frames individually.
+// StatsSource is the unified observability interface a transport (or
+// any other layer) exposes its counters through. It is an alias of
+// obs.Source: callers collect an obs.Snapshot instead of plumbing the
+// legacy TransportStats struct.
+//
+// Deprecated: use obs.Source directly; the alias remains so historical
+// call sites (minos-server's stats wiring) read naturally.
+type StatsSource = obs.Source
+
+// TransportStats is the legacy point-in-time snapshot of a transport's
+// counters, kept so the deprecated Stats accessors still compile.
+//
+// Deprecated: collect an obs.Snapshot through the StatsSource
+// (obs.Source) interface instead; the counter names are listed on
+// newCounters.
 type TransportStats struct {
-	FramesSent  int64 // frames handed to the wire (or in-process peer)
-	FramesRecv  int64 // frames delivered to Recv
-	BatchesSent int64 // Write syscalls issued by the batched send path
+	FramesSent  int64
+	FramesRecv  int64
+	BatchesSent int64
 	BytesSent   int64
 	BytesRecv   int64
-	Encodes     int64 // frame encodings performed (Broadcast encodes once)
-	Broadcasts  int64 // Broadcast calls
-	Redials     int64 // connection (re-)establishment attempts
-	SendErrors  int64 // frames rejected or dropped by send failures
-	// BatchHist buckets frames-per-batch: 1, 2, 3-4, 5-8, 9-16, 17-32,
-	// 33-64, 65+.
-	BatchHist [8]int64
+	Encodes     int64
+	Broadcasts  int64
+	Redials     int64
+	SendErrors  int64
 }
 
 // FramesPerBatch returns the mean coalescing factor of the batched path.
+//
+// Deprecated: use Snapshot.Ratio("transport.frames_sent",
+// "transport.batches_sent").
 func (s TransportStats) FramesPerBatch() float64 {
 	if s.BatchesSent == 0 {
 		return 0
@@ -28,60 +42,44 @@ func (s TransportStats) FramesPerBatch() float64 {
 	return float64(s.FramesSent) / float64(s.BatchesSent)
 }
 
-// Add accumulates o into s (for aggregating a cluster's endpoints).
-func (s *TransportStats) Add(o TransportStats) {
-	s.FramesSent += o.FramesSent
-	s.FramesRecv += o.FramesRecv
-	s.BatchesSent += o.BatchesSent
-	s.BytesSent += o.BytesSent
-	s.BytesRecv += o.BytesRecv
-	s.Encodes += o.Encodes
-	s.Broadcasts += o.Broadcasts
-	s.Redials += o.Redials
-	s.SendErrors += o.SendErrors
-	for i := range s.BatchHist {
-		s.BatchHist[i] += o.BatchHist[i]
-	}
-}
-
-// StatsSource is implemented by transports that report counters.
-type StatsSource interface {
-	Stats() TransportStats
-}
-
-// counters is the atomic backing store behind Stats().
+// counters is the registry-backed instrument set shared by every
+// transport implementation. All instruments live in one obs.Registry
+// under the "transport" prefix, so a cluster's endpoints aggregate by
+// a plain snapshot merge.
 type counters struct {
-	framesSent  atomic.Int64
-	framesRecv  atomic.Int64
-	batchesSent atomic.Int64
-	bytesSent   atomic.Int64
-	bytesRecv   atomic.Int64
-	encodes     atomic.Int64
-	broadcasts  atomic.Int64
-	redials     atomic.Int64
-	sendErrors  atomic.Int64
-	batchHist   [8]atomic.Int64
+	reg         *obs.Registry
+	framesSent  *obs.Counter
+	framesRecv  *obs.Counter
+	batchesSent *obs.Counter
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+	encodes     *obs.Counter
+	broadcasts  *obs.Counter
+	redials     *obs.Counter
+	sendErrors  *obs.Counter
+	// batchFrames buckets frames-per-batch (power-of-two bounds),
+	// replacing the old fixed 8-bucket BatchHist array.
+	batchFrames *obs.Histogram
 }
 
-// batchBucket maps a frames-per-batch count to its histogram bucket.
-func batchBucket(frames int) int {
-	switch {
-	case frames <= 1:
-		return 0
-	case frames == 2:
-		return 1
-	case frames <= 4:
-		return 2
-	case frames <= 8:
-		return 3
-	case frames <= 16:
-		return 4
-	case frames <= 32:
-		return 5
-	case frames <= 64:
-		return 6
-	default:
-		return 7
+// newCounters builds the instrument set. Instrument names (all under
+// the "transport." prefix): frames_sent, frames_recv, batches_sent,
+// bytes_sent, bytes_recv, encodes, broadcasts, redials, send_errors,
+// and the frames_per_batch histogram.
+func newCounters() counters {
+	reg := obs.NewRegistry("transport")
+	return counters{
+		reg:         reg,
+		framesSent:  reg.Counter("frames_sent"),
+		framesRecv:  reg.Counter("frames_recv"),
+		batchesSent: reg.Counter("batches_sent"),
+		bytesSent:   reg.Counter("bytes_sent"),
+		bytesRecv:   reg.Counter("bytes_recv"),
+		encodes:     reg.Counter("encodes"),
+		broadcasts:  reg.Counter("broadcasts"),
+		redials:     reg.Counter("redials"),
+		sendErrors:  reg.Counter("send_errors"),
+		batchFrames: reg.Histogram("frames_per_batch"),
 	}
 }
 
@@ -89,11 +87,16 @@ func (c *counters) noteBatch(frames, bytes int) {
 	c.batchesSent.Add(1)
 	c.framesSent.Add(int64(frames))
 	c.bytesSent.Add(int64(bytes))
-	c.batchHist[batchBucket(frames)].Add(1)
+	c.batchFrames.Observe(int64(frames))
 }
 
+// collect appends the instrument values to s (Source plumbing for the
+// owning transport).
+func (c *counters) collect(s *obs.Snapshot) { c.reg.Collect(s) }
+
+// snapshot builds the legacy struct view from the instruments.
 func (c *counters) snapshot() TransportStats {
-	s := TransportStats{
+	return TransportStats{
 		FramesSent:  c.framesSent.Load(),
 		FramesRecv:  c.framesRecv.Load(),
 		BatchesSent: c.batchesSent.Load(),
@@ -104,8 +107,4 @@ func (c *counters) snapshot() TransportStats {
 		Redials:     c.redials.Load(),
 		SendErrors:  c.sendErrors.Load(),
 	}
-	for i := range s.BatchHist {
-		s.BatchHist[i] = c.batchHist[i].Load()
-	}
-	return s
 }

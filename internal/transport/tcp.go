@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 const (
@@ -110,6 +111,7 @@ func NewTCPTransport(self ddp.NodeID, addrs map[ddp.NodeID]string) (*TCPTranspor
 		done:    make(chan struct{}),
 		peers:   make(map[ddp.NodeID]*tcpPeer),
 		inbound: make(map[net.Conn]struct{}),
+		stats:   newCounters(),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -168,7 +170,16 @@ func (t *TCPTransport) Peers() []ddp.NodeID {
 func (t *TCPTransport) Recv() <-chan Frame { return t.rx }
 
 // Stats returns a snapshot of the transport's counters.
+//
+// Deprecated: use Collect (obs.Source) and read the obs.Snapshot.
 func (t *TCPTransport) Stats() TransportStats { return t.stats.snapshot() }
+
+// Describe implements obs.Source.
+func (t *TCPTransport) Describe() string { return "transport" }
+
+// Collect implements obs.Source, appending the transport's instruments
+// to s.
+func (t *TCPTransport) Collect(s *obs.Snapshot) { t.stats.collect(s) }
 
 // peer returns (lazily creating) the send queue for id.
 func (t *TCPTransport) peer(id ddp.NodeID) (*tcpPeer, error) {

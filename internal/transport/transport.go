@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 // Transport moves frames between nodes. Implementations guarantee
@@ -57,9 +58,10 @@ func NewMemNetwork(n int) *MemNetwork {
 	net := &MemNetwork{down: make(map[ddp.NodeID]bool)}
 	for i := 0; i < n; i++ {
 		net.endpoints = append(net.endpoints, &MemTransport{
-			net:  net,
-			self: ddp.NodeID(i),
-			rx:   make(chan Frame, 4096),
+			net:   net,
+			self:  ddp.NodeID(i),
+			rx:    make(chan Frame, 4096),
+			stats: newCounters(),
 		})
 	}
 	return net
@@ -178,7 +180,16 @@ func (t *MemTransport) Broadcast(f Frame) error {
 }
 
 // Stats returns a snapshot of the endpoint's counters.
+//
+// Deprecated: use Collect (obs.Source) and read the obs.Snapshot.
 func (t *MemTransport) Stats() TransportStats { return t.stats.snapshot() }
+
+// Describe implements obs.Source.
+func (t *MemTransport) Describe() string { return "transport" }
+
+// Collect implements obs.Source, appending the endpoint's instruments
+// to s.
+func (t *MemTransport) Collect(s *obs.Snapshot) { t.stats.collect(s) }
 
 // Close shuts the endpoint down and closes its receive channel.
 func (t *MemTransport) Close() error {
