@@ -4,19 +4,30 @@
 // It is a unitchecker: the go toolchain drives it one compilation unit
 // at a time, supplying type information via export data, exactly as it
 // drives `go vet`. Invoked directly with package patterns it re-executes
-// itself through the toolchain:
+// itself through the toolchain in JSON mode, aggregates every package's
+// diagnostics, and renders them once — as file:line:col text on stdout
+// and, with -sarif, as a SARIF 2.1.0 log for code-scanning upload:
 //
-//	go run ./cmd/minos-lint ./...        # whole module
-//	go vet -vettool=$(which minos-lint) ./...
+//	go run ./cmd/minos-lint ./...                     # whole module
+//	go run ./cmd/minos-lint -sarif lint.sarif ./...   # + SARIF log
+//	go vet -vettool=$(which minos-lint) ./...         # raw vet protocol
 //
-// Exit status is non-zero if any analyzer reports a finding.
+// Exit status: 0 clean, 1 findings, 2 driver/build errors. The suite's
+// wall-clock is printed to stderr so CI can track analysis cost.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/minos-ddp/minos/internal/lint"
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/unitchecker"
@@ -29,26 +40,68 @@ func main() {
 		unitchecker.Main(lint.Analyzers()...) // does not return
 	}
 
-	exe, err := os.Executable()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "minos-lint: %v\n", err)
-		os.Exit(2)
-	}
-	patterns := os.Args[1:]
+	fs := flag.NewFlagSet("minos-lint", flag.ExitOnError)
+	sarifPath := fs.String("sarif", "", "write the findings as a SARIF 2.1.0 log to this file")
+	fs.Parse(os.Args[1:])
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Stdin = os.Stdin
-	if err := cmd.Run(); err != nil {
-		if ee, ok := err.(*exec.ExitError); ok {
-			os.Exit(ee.ExitCode())
-		}
-		fmt.Fprintf(os.Stderr, "minos-lint: %v\n", err)
-		os.Exit(2)
+
+	exe, err := os.Executable()
+	if err != nil {
+		fatalf("%v", err)
 	}
+	start := time.Now()
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe, "-json"}, patterns...)...)
+	var vetOut bytes.Buffer
+	cmd.Stdout = &vetOut
+	cmd.Stderr = &vetOut
+	runErr := cmd.Run()
+
+	findings, perr := parseVetJSON(vetOut.Bytes())
+	if perr != nil {
+		// Non-JSON output means the toolchain itself failed (a package
+		// did not compile, a bad pattern): surface it verbatim.
+		os.Stderr.Write(vetOut.Bytes())
+		fatalf("%v", perr)
+	}
+	if runErr != nil && len(findings) == 0 {
+		os.Stderr.Write(vetOut.Bytes())
+		fatalf("go vet: %v", runErr)
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s [%s]\n", f.file, f.line, f.col, f.message, f.analyzer)
+	}
+	if *sarifPath != "" {
+		if err := writeSARIF(*sarifPath, findings); err != nil {
+			fatalf("sarif: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "minos-lint: %d analyzers, %d findings in %.2fs\n",
+		len(lint.Analyzers()), len(findings), time.Since(start).Seconds())
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "minos-lint: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // vetProtocol reports whether the arguments look like the go vet driver
@@ -60,4 +113,162 @@ func vetProtocol(args []string) bool {
 		}
 	}
 	return false
+}
+
+// finding is one diagnostic, position split for sorting and SARIF.
+type finding struct {
+	analyzer string
+	file     string // repo-relative when under the working directory
+	line     int
+	col      int
+	message  string
+}
+
+// parseVetJSON decodes the `go vet -json` stream: per package, a
+// `# import/path` comment line followed by one JSON object of shape
+// {"pkgpath": {"analyzer": [{"posn": "file:line:col", "message": ...}]}}.
+func parseVetJSON(raw []byte) ([]finding, error) {
+	cwd, _ := os.Getwd()
+	var jsonOnly bytes.Buffer
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		jsonOnly.Write(line)
+		jsonOnly.WriteByte('\n')
+	}
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	var findings []finding
+	dec := json.NewDecoder(&jsonOnly)
+	for dec.More() {
+		var pkgs map[string]map[string][]diag
+		if err := dec.Decode(&pkgs); err != nil {
+			return nil, fmt.Errorf("decoding vet output: %v", err)
+		}
+		for _, analyzers := range pkgs {
+			for name, diags := range analyzers {
+				for _, d := range diags {
+					f := finding{analyzer: name, message: d.Message}
+					f.file, f.line, f.col = splitPosn(d.Posn)
+					if cwd != "" {
+						if rel, err := filepath.Rel(cwd, f.file); err == nil && !strings.HasPrefix(rel, "..") {
+							f.file = rel
+						}
+					}
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	return findings, nil
+}
+
+// splitPosn splits "path:line:col" from the right, so Windows-style or
+// colon-bearing paths survive.
+func splitPosn(posn string) (file string, line, col int) {
+	rest := posn
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		col, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		line, _ = strconv.Atoi(rest[i+1:])
+		rest = rest[:i]
+	}
+	return rest, line, col
+}
+
+// writeSARIF renders the findings as a single-run SARIF 2.1.0 log. One
+// reportingDescriptor per analyzer (its Doc as the help text) so the
+// code-scanning UI can group and describe findings; file URIs are
+// repo-relative against %SRCROOT%.
+func writeSARIF(path string, findings []finding) error {
+	type text struct {
+		Text string `json:"text"`
+	}
+	type rule struct {
+		ID        string `json:"id"`
+		ShortDesc text   `json:"shortDescription"`
+		Help      text   `json:"help"`
+	}
+	type artifact struct {
+		URI       string `json:"uri"`
+		URIBaseID string `json:"uriBaseId"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn,omitempty"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifact `json:"artifactLocation"`
+		Region           region   `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID    string     `json:"ruleId"`
+		Level     string     `json:"level"`
+		Message   text       `json:"message"`
+		Locations []location `json:"locations"`
+	}
+	type driver struct {
+		Name           string `json:"name"`
+		InformationURI string `json:"informationUri"`
+		Rules          []rule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type sarifLog struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	var rules []rule
+	for _, a := range lint.Analyzers() {
+		doc := a.Doc
+		short := doc
+		if i := strings.IndexAny(short, ".\n"); i > 0 {
+			short = short[:i]
+		}
+		rules = append(rules, rule{ID: a.Name, ShortDesc: text{short}, Help: text{doc}})
+	}
+	results := []result{} // non-nil so an empty run still uploads
+	for _, f := range findings {
+		line := f.line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, result{
+			RuleID:  f.analyzer,
+			Level:   "warning",
+			Message: text{f.message},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifact{URI: filepath.ToSlash(f.file), URIBaseID: "%SRCROOT%"},
+				Region:           region{StartLine: line, StartColumn: f.col},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "minos-lint", InformationURI: "https://github.com/minos-ddp/minos", Rules: rules}},
+			Results: results,
+		}},
+	}
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

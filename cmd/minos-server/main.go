@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -85,13 +86,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("minos-server: client listener: %v", err)
 	}
-	go serveClients(ln, n, tr)
+	cs := &clientServer{conns: map[net.Conn]struct{}{}}
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		cs.serve(ln, n, tr)
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("node %d shutting down", self)
 	ln.Close()
+	cs.shutdown()
 	n.Close()
 }
 
@@ -115,7 +122,16 @@ func parseCluster(spec string) (map[ddp.NodeID]string, error) {
 	return out, nil
 }
 
-// serveClients accepts client connections and answers the line protocol:
+// clientServer tracks every accepted connection so shutdown can close
+// them and wait for their goroutines instead of abandoning them to
+// process exit.
+type clientServer struct {
+	mu    sync.Mutex
+	conns map[net.Conn]struct{} // nil once shutdown has begun
+	wg    sync.WaitGroup
+}
+
+// serve accepts client connections and answers the line protocol:
 //
 //	GET <key>                 -> OK <hex> | NIL | ERR <msg>
 //	SET <key> <hex>           -> OK | ERR <msg>
@@ -123,14 +139,22 @@ func parseCluster(spec string) (map[ddp.NodeID]string, error) {
 //	SCOPE                     -> OK <scope-id>
 //	PERSIST <scope-id>        -> OK | ERR <msg>
 //	STATS                     -> OK <json snapshot> (one obs.Snapshot: node, pipeline, wire)
-func serveClients(ln net.Listener, n *node.Node, ts transport.StatsSource) {
+func (cs *clientServer) serve(ln net.Listener, n *node.Node, ts transport.StatsSource) {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
+		if !cs.track(conn) {
+			conn.Close()
+			return
+		}
+		// The accept loop's own wg slot is held by the caller, so this
+		// Add never races a Wait whose counter could be zero.
+		cs.wg.Add(1)
 		go func() {
-			defer conn.Close()
+			defer cs.wg.Done()
+			defer cs.untrack(conn)
 			sc := bufio.NewScanner(conn)
 			sc.Buffer(make([]byte, 64<<10), 16<<20)
 			for sc.Scan() {
@@ -139,6 +163,37 @@ func serveClients(ln net.Listener, n *node.Node, ts transport.StatsSource) {
 			}
 		}()
 	}
+}
+
+func (cs *clientServer) track(conn net.Conn) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.conns == nil {
+		return false
+	}
+	cs.conns[conn] = struct{}{}
+	return true
+}
+
+func (cs *clientServer) untrack(conn net.Conn) {
+	conn.Close()
+	cs.mu.Lock()
+	delete(cs.conns, conn)
+	cs.mu.Unlock()
+}
+
+// shutdown closes every live connection and waits for the accept loop
+// and all per-connection goroutines to drain. The listener must already
+// be closed so no new connections arrive.
+func (cs *clientServer) shutdown() {
+	cs.mu.Lock()
+	conns := cs.conns
+	cs.conns = nil
+	cs.mu.Unlock()
+	for conn := range conns {
+		conn.Close()
+	}
+	cs.wg.Wait()
 }
 
 // handleCommand answers one protocol line. ts supplies the transport's

@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+)
+
+// AtomicSafe enforces a single access discipline per struct field: once
+// any code anywhere in the program touches a field through sync/atomic —
+// either a raw atomic.LoadX/StoreX/AddX/CompareAndSwapX call taking the
+// field's address, or a typed wrapper like atomic.Int64/atomic.Pointer —
+// every other access must be atomic too. A single plain read or write
+// mixed in races with the atomic users in ways the race detector only
+// catches if the scheduler happens to interleave them (the liveView /
+// lastSeen publication pattern in internal/node, the registry and
+// sampling counters in internal/obs, the pipeline counters in
+// internal/nvm).
+//
+// Two sub-rules:
+//
+//   - A raw field (plain int64/uint64/pointer) with at least one
+//     sync/atomic call site anywhere in the program is an "atomic
+//     field": every plain read/write of it is flagged. The atomic use is
+//     carried across package boundaries as an object fact, so a plain
+//     access in one package is caught even when the atomic users live
+//     in another.
+//
+//   - A field whose type is one of the sync/atomic wrapper types may
+//     only be used as the receiver of a method call (Load/Store/Add/
+//     CompareAndSwap/...) or have its address taken; assigning over it
+//     or copying it out as a value is flagged (the copy is a plain read
+//     of the underlying word, and assignments tear the discipline).
+//
+// Struct-literal keys are exempt: initializing a field in a composite
+// literal happens before the value is shared.
+var AtomicSafe = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc: "flag plain (non-atomic) accesses of struct fields that are accessed " +
+		"via sync/atomic anywhere in the program",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	FactTypes:  []analysis.Fact{(*atomicallyAccessed)(nil)},
+	Run:        runAtomicSafe,
+}
+
+// atomicallyAccessed marks a struct field object as having at least one
+// sync/atomic call site. At is the first observed site ("file:line"),
+// for the diagnostic.
+type atomicallyAccessed struct {
+	At string
+}
+
+func (*atomicallyAccessed) AFact() {}
+
+func (f *atomicallyAccessed) String() string { return "atomically accessed at " + f.At }
+
+// atomicWrapperTypes are the typed wrappers in sync/atomic.
+var atomicWrapperTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Pointer": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true, "Value": true,
+}
+
+func runAtomicSafe(pass *analysis.Pass) (interface{}, error) {
+	if excludedPackage(pass.Pkg.Path()) {
+		return newDirectiveUse(), nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: find every sync/atomic call whose first argument is the
+	// address of a struct field; record the field object.
+	atomicUsers := make(map[*types.Var]string) // field -> first site
+	// atomicArgs are the exact &x.f expressions appearing inside atomic
+	// calls, so pass 2 can skip them.
+	atomicArgs := make(map[ast.Expr]bool)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isSyncAtomicCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			un, ok := arg.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if fld := fieldObject(pass, un.X); fld != nil {
+				atomicArgs[un.X] = true
+				if _, seen := atomicUsers[fld]; !seen {
+					atomicUsers[fld] = pass.Fset.Position(call.Pos()).String()
+				}
+			}
+		}
+	})
+
+	// Export facts for fields declared in this package so importers see
+	// the discipline.
+	for fld, at := range atomicUsers {
+		if fld.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(fld, &atomicallyAccessed{At: at})
+		}
+	}
+
+	// atomicSite reports whether field fld has an atomic user, here or in
+	// an imported package, returning the site for the message.
+	atomicSite := func(fld *types.Var) (string, bool) {
+		if at, ok := atomicUsers[fld]; ok {
+			return at, true
+		}
+		var fact atomicallyAccessed
+		if pass.ImportObjectFact(fld, &fact) {
+			return fact.At, true
+		}
+		return "", false
+	}
+
+	// Pass 2: walk every selector that resolves to a struct field and
+	// classify the access.
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		sel := n.(*ast.SelectorExpr)
+		fld := fieldObject(pass, sel)
+		if fld == nil {
+			return true
+		}
+		parent := stack[len(stack)-2]
+
+		if named, ok := derefNamed(fld.Type()); ok &&
+			named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic" &&
+			atomicWrapperTypes[named.Obj().Name()] {
+			checkWrapperUse(pass, al, sel, fld, parent, stack)
+			return true
+		}
+
+		at, ok := atomicSite(fld)
+		if !ok {
+			return true
+		}
+		// Atomic call argument (&x.f inside atomic.XxxX(...)): fine.
+		if atomicArgsCover(atomicArgs, sel, stack) {
+			return true
+		}
+		// Composite-literal key or pre-publication init: Ident keys in
+		// struct literals resolve through Uses but are initialization.
+		if kv, ok := parent.(*ast.KeyValueExpr); ok && kv.Key == sel {
+			return true
+		}
+		verb := "read"
+		if isWriteContext(sel, parent) {
+			verb = "written plainly"
+			report(pass, al, sel.Pos(),
+				"field %s is accessed atomically (%s) but %s here: every access must go "+
+					"through sync/atomic once any does", fld.Name(), at, verb)
+			return true
+		}
+		report(pass, al, sel.Pos(),
+			"field %s is accessed atomically (%s) but read plainly here: every access "+
+				"must go through sync/atomic once any does", fld.Name(), at)
+		return true
+	})
+	return al.use, nil
+}
+
+// checkWrapperUse validates one use of a field whose type is a
+// sync/atomic wrapper: method-call receiver and address-taking are the
+// only legal uses; assignment and value copies are flagged.
+func checkWrapperUse(pass *analysis.Pass, al *allows, sel *ast.SelectorExpr, fld *types.Var, parent ast.Node, stack []ast.Node) {
+	switch p := parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f.Load() — receiver of a wrapper method. The grandparent
+		// being a call is not even required: a method value x.f.Load is
+		// fine too (it captures the address).
+		if p.X == sel {
+			return
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == sel {
+			return // &x.f: aliasing the wrapper is fine
+		}
+	case *ast.KeyValueExpr:
+		if p.Key == sel {
+			return // composite-literal initialization
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				report(pass, al, sel.Pos(),
+					"atomic wrapper field %s is reassigned; store through its methods "+
+						"instead of overwriting the wrapper", fld.Name())
+				return
+			}
+		}
+	case *ast.IndexExpr:
+		if p.X == sel {
+			return // x.f[i] on a slice/array of wrappers: the element use is checked, not the field
+		}
+	case *ast.RangeStmt:
+		if p.X == sel {
+			return // ranging over a slice of wrappers
+		}
+	case *ast.CallExpr:
+		// len(x.f), cap(x.f) on wrapper slices are fine; passing the
+		// wrapper by value to any other function copies it.
+		if id, ok := p.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+			return
+		}
+	}
+	// Slices/arrays/maps of wrappers reach here only for whole-value
+	// copies, which are just as racy as copying one wrapper.
+	report(pass, al, sel.Pos(),
+		"atomic wrapper field %s is copied as a value; a copy is a plain read of the "+
+			"underlying word — operate through the wrapper's methods", fld.Name())
+}
+
+// isSyncAtomicCall reports whether call invokes a function from
+// sync/atomic (raw Load/Store/Add/Swap/CompareAndSwap forms).
+func isSyncAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	// Methods of the wrapper types resolve here too but take no address
+	// argument; only package-level functions matter.
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldObject resolves expr to a struct-field object, if it is a field
+// selection.
+func fieldObject(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	// Qualified identifiers (pkg.Var) and composite-literal keys resolve
+	// through Uses.
+	if v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// derefNamed unwraps one pointer level and reports the named type, if
+// any.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// atomicArgsCover reports whether sel (or an enclosing selector chain
+// node) is one of the recorded &-arguments of a sync/atomic call.
+func atomicArgsCover(atomicArgs map[ast.Expr]bool, sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if atomicArgs[sel] {
+		return true
+	}
+	// &x.f where the walk visits x.f with parent UnaryExpr: covered via
+	// the map. Also cover nested selectors (&x.y.f visits y then f).
+	for i := len(stack) - 1; i >= 0; i-- {
+		if e, ok := stack[i].(ast.Expr); ok && atomicArgs[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// isWriteContext reports whether sel is written by its parent node.
+func isWriteContext(sel ast.Expr, parent ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if lhs == sel {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return p.X == sel
+	case *ast.UnaryExpr:
+		// &x.f escaping outside an atomic call: treat as a write-capable
+		// alias.
+		return p.Op == token.AND && p.X == sel
+	}
+	return false
+}

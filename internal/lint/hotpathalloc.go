@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+)
+
+// HotPathAlloc turns the benchmark-guarded 0-allocs/op results of the
+// pooled encode path (PR 3) and the pipelined write path (PR 4) into a
+// compile-time gate. A function annotated
+//
+//	//minos:hotpath
+//
+// in its doc comment must not contain syntactically heap-allocating
+// constructs:
+//
+//   - function literals (closures escape to the heap when they capture)
+//   - map/slice composite literals and make() of any kind
+//   - new(T) and &T{...} pointer-producing composites
+//   - fmt.* / errors.* calls (formatting allocates)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - concrete non-pointer values passed to interface parameters
+//     (boxing allocates; pointers, maps, chans and funcs are
+//     pointer-shaped and box for free)
+//   - go statements (a goroutine start allocates its stack)
+//
+// append() is deliberately exempt — amortized growth into a pooled
+// buffer is the hot paths' core idiom — as are []byte(nil)-style nil
+// conversions. The check is syntactic, not an escape analysis: it
+// cannot see an allocation hidden behind an unannotated callee, and it
+// may flag a construct the compiler would in fact stack-allocate; waive
+// those with //minos:allow hotpathalloc and a justification.
+var HotPathAlloc = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc: "forbid heap-allocating constructs in functions annotated " +
+		"//minos:hotpath (compile-time 0-alloc gate)",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	Run:        runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *analysis.Pass) (interface{}, error) {
+	if excludedPackage(pass.Pkg.Path()) {
+		return newDirectiveUse(), nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	hotLines := make(map[string]map[int]bool)
+	for _, d := range parseDirectives(pass) {
+		if d.kind != "hotpath" {
+			continue
+		}
+		if hotLines[d.file] == nil {
+			hotLines[d.file] = make(map[int]bool)
+		}
+		hotLines[d.file][d.line] = true
+	}
+	if len(hotLines) == 0 {
+		return al.use, nil
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || !isHotPath(pass, fn, hotLines) {
+			return
+		}
+		checkHotBody(pass, al, fn)
+	})
+	return al.use, nil
+}
+
+// isHotPath reports whether fn carries a //minos:hotpath directive,
+// either inside its doc comment or on the line directly above the
+// declaration.
+func isHotPath(pass *analysis.Pass, fn *ast.FuncDecl, hotLines map[string]map[int]bool) bool {
+	declPos := pass.Fset.Position(fn.Pos())
+	lines := hotLines[declPos.Filename]
+	if lines == nil {
+		return false
+	}
+	lo := declPos.Line - 1
+	if fn.Doc != nil {
+		lo = pass.Fset.Position(fn.Doc.Pos()).Line
+	}
+	for l := lo; l < declPos.Line; l++ {
+		if lines[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody flags allocating constructs in one annotated function.
+// Nested function literals are flagged as a whole and not descended
+// into (their bodies run under their own rules).
+func checkHotBody(pass *analysis.Pass, al *allows, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	hot := func(pos token.Pos, format string, args ...interface{}) {
+		args = append([]interface{}{name}, args...)
+		report(pass, al, pos, "hot path %s: "+format+" (//minos:hotpath is a 0-alloc gate)", args...)
+	}
+	walkSameFunc(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			hot(n.Pos(), "closure literal allocates when it captures")
+		case *ast.GoStmt:
+			hot(n.Pos(), "go statement allocates a goroutine")
+			return false // the spawn is the finding; the literal inside is implied
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				hot(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				hot(n.Pos(), "slice literal allocates its backing array")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					hot(n.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n)) {
+				hot(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 &&
+				isStringType(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				hot(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, hot, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *analysis.Pass, hot func(token.Pos, string, ...interface{}), call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				hot(call.Pos(), "make allocates")
+				return
+			}
+		case "new":
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				hot(call.Pos(), "new allocates")
+				return
+			}
+		case "append", "len", "cap", "copy", "delete", "clear", "min", "max":
+			if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return
+			}
+		}
+	}
+
+	// Conversions: T(x) where the call's Fun is a type expression.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		checkHotConversion(pass, hot, call, tv.Type)
+		return
+	}
+
+	fn := staticCallee(pass, call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors":
+			hot(call.Pos(), "%s.%s formats and allocates", fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+
+	// Interface boxing at the call boundary.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			continue // f(xs...) passes the slice through, no per-element box
+		}
+		pt := paramTypeAt(sig, i)
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		if _, argIsIface := at.Underlying().(*types.Interface); argIsIface {
+			continue // interface-to-interface: no box
+		}
+		if isPointerShaped(at) {
+			continue // pointers fit the iface data word
+		}
+		hot(arg.Pos(), "passing %s to an interface parameter boxes it on the heap", at)
+	}
+}
+
+// checkHotConversion flags string<->byte/rune-slice conversions, which
+// copy. A conversion of a nil literal ([]byte(nil)) is free.
+func checkHotConversion(pass *analysis.Pass, hot func(token.Pos, string, ...interface{}), call *ast.CallExpr, to types.Type) {
+	arg := call.Args[0]
+	from := pass.TypesInfo.TypeOf(arg)
+	if from == nil || isUntypedNil(from) {
+		return
+	}
+	toStr, fromStr := isStringType(to), isStringType(from)
+	toSlice := isByteOrRuneSlice(to)
+	fromSlice := isByteOrRuneSlice(from)
+	if (toStr && fromSlice) || (fromStr && toSlice) {
+		hot(call.Pos(), "%s <-> %s conversion copies and allocates", from, to)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// isPointerShaped reports whether values of t occupy one pointer word
+// and convert to an interface without allocating.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// callSignature returns the signature of the called function, for both
+// static and function-value calls.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	t := pass.TypesInfo.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramTypeAt returns the type of parameter i, expanding the variadic
+// tail.
+func paramTypeAt(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params == nil {
+		return nil
+	}
+	n := params.Len()
+	if sig.Variadic() && i >= n-1 {
+		if n == 0 {
+			return nil
+		}
+		if s, ok := params.At(n - 1).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return params.At(i).Type()
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/lint/linttest"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, "testdata", HotPathAlloc, "hotpathalloc/a")
+}

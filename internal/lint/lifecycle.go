@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+)
+
+// Lifecycle requires every goroutine started outside the simulation
+// domain to be provably tied to the owner's shutdown: its body (or the
+// function it invokes, resolved transitively) must either signal a
+// sync.WaitGroup via Done or observe a stop channel (a receive, a
+// select with a receive case, or ranging over a channel that the owner
+// closes). Untracked goroutines are exactly the teardown leaks PR 4's
+// Close-ordering work fixed by hand: a drain worker or read loop that
+// outlives Close keeps touching freed state and holds the test binary
+// open.
+//
+// Evidence is propagated interprocedurally: a function whose body
+// carries evidence is "managed", a function that calls a managed
+// function is managed, and managedness crosses package boundaries as an
+// object fact. `go n.recvLoop()` is therefore accepted by looking
+// inside recvLoop, and a helper that wraps the select loop is accepted
+// wherever it is spawned from.
+//
+// The analyzer cannot see that a Wait() exists for every Add(1), nor
+// that the stop channel is ever closed — it proves the goroutine has a
+// shutdown edge, not that the edge is exercised. _test.go files are
+// exempt (test goroutines die with the test process), as is the
+// simulation domain, where SimDet bans raw goroutines outright.
+var Lifecycle = &analysis.Analyzer{
+	Name: "lifecycle",
+	Doc: "require every go statement outside the sim domain to be tied to a " +
+		"WaitGroup Done or a stop-channel select (no leaked goroutines)",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	FactTypes:  []analysis.Fact{(*lifecycleManaged)(nil)},
+	Run:        runLifecycle,
+}
+
+// lifecycleManaged marks a function whose body (transitively) signals a
+// WaitGroup or observes a stop channel.
+type lifecycleManaged struct{}
+
+func (*lifecycleManaged) AFact() {}
+
+func (*lifecycleManaged) String() string { return "lifecycle-managed" }
+
+func runLifecycle(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if excludedPackage(path) || simSidePackage(path) {
+		return newDirectiveUse(), nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	decls := packageFuncDecls(pass)
+
+	// Fixpoint: a function is managed if its body has direct evidence or
+	// calls a managed function (same package, or imported with the
+	// fact).
+	managed := make(map[*types.Func]bool)
+	isManagedCallee := func(fn *types.Func) bool {
+		if managed[fn] {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+			return pass.ImportObjectFact(fn, &lifecycleManaged{})
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range decls {
+			if managed[fn] || decl.Body == nil {
+				continue
+			}
+			if bodyHasLifecycleEvidence(pass, decl.Body, isManagedCallee) {
+				managed[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn := range managed {
+		pass.ExportObjectFact(fn, &lifecycleManaged{})
+	}
+
+	ins.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		g := n.(*ast.GoStmt)
+		if strings.HasSuffix(pass.Fset.Position(g.Pos()).Filename, "_test.go") {
+			return
+		}
+		switch fun := g.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if bodyHasLifecycleEvidence(pass, fun.Body, isManagedCallee) {
+				return
+			}
+		default:
+			if fn := staticCallee(pass, g.Call); fn != nil {
+				if isManagedCallee(fn) {
+					return
+				}
+			}
+		}
+		report(pass, al, g.Pos(),
+			"goroutine is not tied to a WaitGroup (no reachable Done) or a stop "+
+				"channel (no select/receive); it can outlive Close and leak")
+	})
+	return al.use, nil
+}
+
+// packageFuncDecls maps this package's function objects to their
+// declarations.
+func packageFuncDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// staticCallee resolves a call to its static *types.Func, or nil for
+// dynamic calls (function values, interface methods resolve to the
+// interface method object, which has no body and no fact).
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// bodyHasLifecycleEvidence scans a function body (including nested
+// literals: a `defer func() { wg.Done() }()` counts) for shutdown
+// evidence.
+func bodyHasLifecycleEvidence(pass *analysis.Pass, body *ast.BlockStmt, isManagedCallee func(*types.Func) bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			// A select with any receive case observes a signal channel.
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					if hasReceive(cc.Comm) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if isChannelReceive(pass, n) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(pass, n); fn != nil {
+				if isWaitGroupDone(fn) || isManagedCallee(fn) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasReceive reports whether a comm-clause statement contains a channel
+// receive (as opposed to a send).
+func hasReceive(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		_, ok := s.X.(*ast.UnaryExpr)
+		return ok
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if _, ok := r.(*ast.UnaryExpr); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isChannelReceive reports whether n is a <-ch expression.
+func isChannelReceive(pass *analysis.Pass, n *ast.UnaryExpr) bool {
+	if n.Op.String() != "<-" {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(n.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isWaitGroupDone reports whether fn is (*sync.WaitGroup).Done.
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}

@@ -21,26 +21,48 @@
 //     must not be copied, leaked, or held across blocking I/O
 //     ([LockSafe]).
 //
+//   - Whole-program passes audit the invariants the fast write path of
+//     PRs 3-5 introduced: mixed atomic/plain field access ([AtomicSafe]),
+//     lock-class acquisition order ([LockOrder]), allocation-free hot
+//     paths ([HotPathAlloc]), and goroutine teardown ([Lifecycle]).
+//     These use analysis facts, so invariants follow values across
+//     package boundaries under the unitchecker protocol.
+//
 // Findings can be suppressed — with justification — by a trailing or
 // preceding comment of the form
 //
 //	//minos:allow analyzername  -- reason
 //
 // and order-dependent-looking map iteration that is in fact ordered can
-// be marked //minos:ordered.
+// be marked //minos:ordered. Directives that no longer suppress any
+// finding are themselves findings ([Waiver]); delete them instead of
+// letting dead waivers accrete. Two further annotations feed analyzers
+// rather than silence them: //minos:hotpath marks a function whose body
+// must not allocate ([HotPathAlloc]) and //minos:lockorder A < B
+// declares an edge of the intended lock-class partial order
+// ([LockOrder]).
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/types/typeutil"
 )
 
-// Analyzers returns the full minos-lint suite in a stable order.
+// Analyzers returns the full minos-lint suite in a stable order. Waiver
+// is last: it consumes every other analyzer's directive-usage result to
+// report suppressions that no longer suppress anything.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{SimDet, LockSafe, SendCheck, PersistOrder}
+	return []*analysis.Analyzer{
+		SimDet, LockSafe, SendCheck, PersistOrder,
+		AtomicSafe, LockOrder, HotPathAlloc, Lifecycle,
+		Waiver,
+	}
 }
 
 // pathHasElem reports whether the slash-separated import path contains
@@ -67,62 +89,131 @@ func excludedPackage(path string) bool {
 	return pathHasElem(path, "third_party") || pathHasElem(path, "testdata")
 }
 
-// allows maps file -> line -> analyzer names suppressed on that line via
-// //minos:allow or //minos:ordered directives.
-type allows map[string]map[int]map[string]bool
+// DirectiveUse is the per-analyzer result: which suppression directives
+// this analyzer actually consumed in this package. Keys are directive
+// identities ("file:line:name"). The Waiver analyzer unions these
+// across the suite and reports directives nothing consumed.
+type DirectiveUse struct {
+	Used map[string]bool
+}
 
-// buildAllows scans every comment in the pass for suppression
-// directives. A directive suppresses findings on its own line and on the
-// line directly below it (so it can sit above the flagged statement).
-func buildAllows(pass *analysis.Pass) allows {
-	a := make(allows)
-	add := func(pos token.Pos, name string) {
-		p := pass.Fset.Position(pos)
-		if a[p.Filename] == nil {
-			a[p.Filename] = make(map[int]map[string]bool)
-		}
-		for _, line := range []int{p.Line, p.Line + 1} {
-			if a[p.Filename][line] == nil {
-				a[p.Filename][line] = make(map[string]bool)
-			}
-			a[p.Filename][line][name] = true
-		}
-	}
+func newDirectiveUse() *DirectiveUse { return &DirectiveUse{Used: make(map[string]bool)} }
+
+// directiveKey is the identity of one analyzer name on one directive
+// comment line.
+func directiveKey(file string, line int, name string) string {
+	return fmt.Sprintf("%s:%d:%s", file, line, name)
+}
+
+// directive is one parsed //minos:* comment.
+type directive struct {
+	pos  token.Pos
+	file string
+	line int
+	kind string   // "allow", "ordered", "hotpath", "lockorder"
+	args []string // analyzer names (allow), or lock classes (lockorder)
+}
+
+// parseDirectives scans every comment in the pass for //minos:*
+// directives. Malformed directives are kept (with empty args) so Waiver
+// can flag them rather than silently ignoring a typo.
+func parseDirectives(pass *analysis.Pass) []directive {
+	var out []directive
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
-				switch {
-				case strings.HasPrefix(text, "minos:allow"):
-					rest := strings.TrimPrefix(text, "minos:allow")
-					// Strip a trailing "-- reason" justification.
-					if i := strings.Index(rest, "--"); i >= 0 {
-						rest = rest[:i]
-					}
-					for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
-						return r == ',' || r == ' ' || r == '\t'
-					}) {
-						add(c.Pos(), name)
-					}
-				case strings.HasPrefix(text, "minos:ordered"):
-					// Ordered map iteration: a SimDet-specific waiver.
-					add(c.Pos(), "simdet")
+				if !strings.HasPrefix(text, "minos:") {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				d := directive{pos: c.Pos(), file: p.Filename, line: p.Line}
+				body := strings.TrimPrefix(text, "minos:")
+				// Strip a nested comment (fixtures put // want on the same
+				// line) and a trailing "-- reason" justification.
+				if i := strings.Index(body, "//"); i >= 0 {
+					body = body[:i]
+				}
+				if i := strings.Index(body, "--"); i >= 0 {
+					body = body[:i]
+				}
+				fields := strings.FieldsFunc(body, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				})
+				if len(fields) == 0 {
+					continue
+				}
+				d.kind = fields[0]
+				d.args = fields[1:]
+				switch d.kind {
+				case "allow", "ordered", "hotpath", "lockorder":
+					out = append(out, d)
 				}
 			}
+		}
+	}
+	return out
+}
+
+// allows maps file -> line -> analyzer name -> directive key for
+// suppression directives, and records which directives fire.
+type allows struct {
+	byLine map[string]map[int]map[string]string
+	use    *DirectiveUse
+}
+
+// buildAllows indexes suppression directives (//minos:allow,
+// //minos:ordered). A directive suppresses findings on its own line and
+// on the line directly below it (so it can sit above the flagged
+// statement).
+func buildAllows(pass *analysis.Pass) *allows {
+	a := &allows{
+		byLine: make(map[string]map[int]map[string]string),
+		use:    newDirectiveUse(),
+	}
+	add := func(d directive, name string) {
+		key := directiveKey(d.file, d.line, name)
+		if a.byLine[d.file] == nil {
+			a.byLine[d.file] = make(map[int]map[string]string)
+		}
+		for _, line := range []int{d.line, d.line + 1} {
+			if a.byLine[d.file][line] == nil {
+				a.byLine[d.file][line] = make(map[string]string)
+			}
+			a.byLine[d.file][line][name] = key
+		}
+	}
+	for _, d := range parseDirectives(pass) {
+		switch d.kind {
+		case "allow":
+			for _, name := range d.args {
+				add(d, name)
+			}
+		case "ordered":
+			// Ordered map iteration: a SimDet-specific waiver.
+			add(d, "simdet")
 		}
 	}
 	return a
 }
 
 // allowed reports whether a finding of the named analyzer at pos is
-// suppressed by a directive.
-func (a allows) allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+// suppressed by a directive, marking the directive used if so.
+func (a *allows) allowed(fset *token.FileSet, pos token.Pos, name string) bool {
 	p := fset.Position(pos)
-	return a[p.Filename] != nil && a[p.Filename][p.Line] != nil && a[p.Filename][p.Line][name]
+	lines := a.byLine[p.Filename]
+	if lines == nil || lines[p.Line] == nil {
+		return false
+	}
+	key, ok := lines[p.Line][name]
+	if ok {
+		a.use.Used[key] = true
+	}
+	return ok
 }
 
 // report emits a diagnostic unless a directive suppresses it.
-func report(pass *analysis.Pass, al allows, pos token.Pos, format string, args ...interface{}) {
+func report(pass *analysis.Pass, al *allows, pos token.Pos, format string, args ...interface{}) {
 	if al.allowed(pass.Fset, pos, pass.Analyzer.Name) {
 		return
 	}
@@ -144,17 +235,26 @@ func enclosingFunc(stack []ast.Node) *ast.BlockStmt {
 }
 
 // walkSameFunc walks the subtree rooted at n without descending into
-// nested function literals, calling fn for every node visited.
+// nested function literals, calling fn for every node visited. A nested
+// literal is itself visited (so callers can flag its existence) but its
+// body is not.
 func walkSameFunc(n ast.Node, fn func(ast.Node) bool) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		if m == nil {
 			return false
 		}
 		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			fn(m)
 			return false
 		}
 		return fn(m)
 	})
+}
+
+// calleeFunc resolves a call's static callee as a *types.Func, or nil.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	return fn
 }
 
 // contains reports whether node n's source extent covers pos.

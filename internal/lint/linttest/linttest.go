@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -35,6 +36,13 @@ import (
 
 // Run analyzes the fixture packages (import paths relative to
 // testdata/src) with a, checking diagnostics against want comments.
+//
+// Fixture packages imported by a listed package are analyzed first, and
+// object/package facts exported there are visible when the importing
+// package runs — so cross-package (interprocedural) fixtures behave as
+// they do under the real unitchecker driver. Expectations are checked
+// only in the packages listed explicitly; dependency-only fixtures may
+// still carry want comments by being listed too.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	l := &loader{
@@ -43,14 +51,22 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		pkgs:   make(map[string]*fixturePkg),
 	}
 	l.base = importer.ForCompiler(l.fset, "source", nil)
+	r := &runner{
+		t:        t,
+		loader:   l,
+		results:  make(map[string]map[*analysis.Analyzer]interface{}),
+		diags:    make(map[string]map[*analysis.Analyzer][]analysis.Diagnostic),
+		objFacts: make(map[objFactKey]analysis.Fact),
+		pkgFacts: make(map[pkgFactKey]analysis.Fact),
+	}
 
 	for _, path := range pkgPaths {
 		p, err := l.load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags := runWithDeps(t, a, p, make(map[*analysis.Analyzer]interface{}))
-		checkExpectations(t, l.fset, p, diags)
+		r.analyze(a, p)
+		checkExpectations(t, l.fset, p, r.diags[path][a])
 	}
 }
 
@@ -133,15 +149,52 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 	return p, nil
 }
 
-// runWithDeps runs a's prerequisites, then a itself, returning a's
-// diagnostics. Results are memoized per package in results.
-func runWithDeps(t *testing.T, a *analysis.Analyzer, p *fixturePkg, results map[*analysis.Analyzer]interface{}) []analysis.Diagnostic {
-	t.Helper()
-	for _, req := range a.Requires {
-		if _, done := results[req]; !done {
-			runWithDeps(t, req, p, results)
+// objFactKey identifies one object fact: facts are keyed by the object
+// they attach to and the concrete fact type, mirroring the unitchecker
+// fact model.
+type objFactKey struct {
+	obj types.Object
+	typ reflect.Type
+}
+
+// pkgFactKey identifies one package fact.
+type pkgFactKey struct {
+	pkg *types.Package
+	typ reflect.Type
+}
+
+// runner executes analyzers over fixture packages with memoized
+// per-package results and a shared fact store, so facts exported while
+// analyzing a dependency fixture are importable from its dependents.
+type runner struct {
+	t        *testing.T
+	loader   *loader
+	results  map[string]map[*analysis.Analyzer]interface{}
+	diags    map[string]map[*analysis.Analyzer][]analysis.Diagnostic
+	objFacts map[objFactKey]analysis.Fact
+	pkgFacts map[pkgFactKey]analysis.Fact
+}
+
+// analyze runs a (and its prerequisites) over p, first running a over
+// every fixture package p imports so their facts are available. The
+// result is memoized per (package, analyzer).
+func (r *runner) analyze(a *analysis.Analyzer, p *fixturePkg) interface{} {
+	r.t.Helper()
+	if res, done := r.results[p.path][a]; done {
+		return res
+	}
+	// Depth-first over fixture dependencies: a fact-producing analyzer
+	// must see its own facts for imported packages, exactly as the vet
+	// driver guarantees.
+	for _, imp := range p.pkg.Imports() {
+		if dep, ok := r.loader.pkgs[imp.Path()]; ok {
+			r.analyze(a, dep)
 		}
 	}
+	for _, req := range a.Requires {
+		r.analyze(req, p)
+	}
+
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer:   a,
@@ -154,25 +207,64 @@ func runWithDeps(t *testing.T, a *analysis.Analyzer, p *fixturePkg, results map[
 		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
 		ReadFile:   os.ReadFile,
 		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
-			return false
+			return r.getFact(r.objFacts[objFactKey{obj, reflect.TypeOf(fact)}], fact)
 		},
 		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
-			return false
+			return r.getFact(r.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}], fact)
 		},
-		ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
-		ExportPackageFact: func(fact analysis.Fact) {},
-		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			r.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = copyFact(fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			r.pkgFacts[pkgFactKey{p.pkg, reflect.TypeOf(fact)}] = copyFact(fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for k, f := range r.objFacts {
+				out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for k, f := range r.pkgFacts {
+				out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+			}
+			return out
+		},
 	}
 	for _, req := range a.Requires {
-		pass.ResultOf[req] = results[req]
+		pass.ResultOf[req] = r.results[p.path][req]
 	}
 	res, err := a.Run(pass)
 	if err != nil {
-		t.Fatalf("%s failed on %s: %v", a.Name, p.path, err)
+		r.t.Fatalf("%s failed on %s: %v", a.Name, p.path, err)
 	}
-	results[a] = res
-	return diags
+	if r.results[p.path] == nil {
+		r.results[p.path] = make(map[*analysis.Analyzer]interface{})
+		r.diags[p.path] = make(map[*analysis.Analyzer][]analysis.Diagnostic)
+	}
+	r.results[p.path][a] = res
+	r.diags[p.path][a] = diags
+	return res
+}
+
+// getFact copies a stored fact into the caller's fact pointer,
+// reporting whether one was stored.
+func (r *runner) getFact(stored analysis.Fact, into analysis.Fact) bool {
+	if stored == nil {
+		return false
+	}
+	reflect.ValueOf(into).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// copyFact snapshots a fact so later mutation by the exporting analyzer
+// cannot alias the stored value.
+func copyFact(fact analysis.Fact) analysis.Fact {
+	v := reflect.New(reflect.TypeOf(fact).Elem())
+	v.Elem().Set(reflect.ValueOf(fact).Elem())
+	return v.Interface().(analysis.Fact)
 }
 
 // wantExpectation is one "// want" regexp at a file:line.

@@ -1,0 +1,686 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/ast/inspector"
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/cfg"
+)
+
+// LockOrder builds an interprocedural lock-acquisition graph over the
+// repo's named lock classes and checks it for deadlock shapes.
+//
+// A lock class names every instance of one mutex role: "nvm.logShard.mu"
+// is all 32 log shard mutexes, "node.txnStripe.mu" all 64 coordinator
+// stripes, "transport.tcpPeer.mu" every per-peer send queue, "kv.Record"
+// every record's Lock/Unlock wrapper. Classes are derived from the
+// acquisition site: x.mu.Lock() where mu is a field of struct T in
+// package p is class "p.T.mu"; x.Lock() where Lock is a wrapper method
+// on repo type T is class "p.T"; mu.Lock() on a package-level var is
+// "p.mu". Function-local mutexes have no class (they cannot participate
+// in cross-function ordering).
+//
+// An edge A -> B is recorded when class B is acquired while class A is
+// held — directly, or by calling (transitively, across packages via
+// object-fact summaries) a function that acquires B. The held interval
+// is computed on the CFG from the Lock call to the matching Unlock
+// (function end when the Unlock is deferred). Three findings result:
+//
+//   - same-class nesting (A -> A): two locks of one class taken
+//     together deadlock as soon as two goroutines pick opposite orders;
+//
+//   - cycles (A -> ... -> A across classes), using edges aggregated
+//     from imported packages' package facts;
+//
+//   - undeclared edges: every observed edge must be covered by the
+//     declared partial order, written next to the code that creates it:
+//
+//     //minos:lockorder kv.Record < node.txnStripe.mu
+//
+// Declarations compose transitively (A < B and B < C cover A -> C) and
+// may be chained (//minos:lockorder A < B < C). A declaration no
+// observed edge exercises is itself a finding, so the declared order
+// cannot drift from the code.
+//
+// The analyzer resolves static calls only: an acquisition behind an
+// interface method call (e.g. a transport send through the Transport
+// interface) is not attributed to the caller. Goroutine and defer call
+// sites are excluded from held intervals — a go statement under a lock
+// runs after the caller releases, it does not nest.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "check lock-class acquisition order: same-class nesting, cycles, and " +
+		"edges missing from the //minos:lockorder declared partial order",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	FactTypes:  []analysis.Fact{(*lockSummary)(nil), (*lockGraphFact)(nil)},
+	Run:        runLockOrder,
+}
+
+// lockSummary is an object fact on a function: the lock classes it (or
+// its static callees, transitively) acquires.
+type lockSummary struct {
+	Classes []string
+}
+
+func (*lockSummary) AFact() {}
+
+func (s *lockSummary) String() string {
+	return "acquires " + strings.Join(s.Classes, ",")
+}
+
+// lockGraphFact is a package fact: the acquisition edges observed in
+// (and below) a package, plus its lockorder declarations, so importers
+// can aggregate a global graph.
+type lockGraphFact struct {
+	Edges []LockEdge
+	Decls []LockDecl
+}
+
+func (*lockGraphFact) AFact() {}
+
+func (g *lockGraphFact) String() string {
+	return fmt.Sprintf("%d lock edges, %d decls", len(g.Edges), len(g.Decls))
+}
+
+// LockEdge records "To acquired while From held" with the source
+// position of the inner acquisition.
+type LockEdge struct {
+	From, To, At string
+}
+
+// LockDecl is one declared ordering pair From < To.
+type LockDecl struct {
+	From, To string
+}
+
+// lockAcq is one acquisition site within a function.
+type lockAcq struct {
+	call    *ast.CallExpr
+	class   string // lock class, "" if unclassifiable
+	key     string // receiver expression text, for Unlock matching
+	wrapper bool   // wrapper-method acquisition (Unlock/RUnlock methods release)
+}
+
+func runLockOrder(pass *analysis.Pass) (interface{}, error) {
+	path := pass.Pkg.Path()
+	if excludedPackage(path) || simSidePackage(path) {
+		return newDirectiveUse(), nil
+	}
+	al := buildAllows(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	// ---- collect acquisitions per function ----
+	type funcInfo struct {
+		obj  *types.Func // nil for FuncLits
+		body *ast.BlockStmt
+		g    *cfg.CFG
+		acqs []lockAcq
+	}
+	var funcs []*funcInfo
+	byObj := make(map[*types.Func]*funcInfo)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		fi := &funcInfo{}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil || isLockWrapperDecl(n) {
+				return
+			}
+			if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+				return
+			}
+			fi.obj, _ = pass.TypesInfo.Defs[n.Name].(*types.Func)
+			fi.body, fi.g = n.Body, cfgs.FuncDecl(n)
+		case *ast.FuncLit:
+			if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+				return
+			}
+			fi.body, fi.g = n.Body, cfgs.FuncLit(n)
+		}
+		walkSameFunc(fi.body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if acq, ok := classifyAcquisition(pass, call); ok {
+					fi.acqs = append(fi.acqs, acq)
+				}
+			}
+			return true
+		})
+		funcs = append(funcs, fi)
+		if fi.obj != nil {
+			byObj[fi.obj] = fi
+		}
+	})
+
+	// ---- function summaries: classes transitively acquired ----
+	summaries := make(map[*types.Func]map[string]bool)
+	calleeClasses := func(fn *types.Func) []string {
+		if s, ok := summaries[fn]; ok {
+			out := make([]string, 0, len(s))
+			for c := range s {
+				out = append(out, c)
+			}
+			return out
+		}
+		var fact lockSummary
+		if fn.Pkg() != nil && fn.Pkg() != pass.Pkg && pass.ImportObjectFact(fn, &fact) {
+			return fact.Classes
+		}
+		return nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range funcs {
+			if fi.obj == nil {
+				continue
+			}
+			s := summaries[fi.obj]
+			if s == nil {
+				s = make(map[string]bool)
+				summaries[fi.obj] = s
+			}
+			add := func(c string) {
+				if c != "" && !s[c] {
+					s[c] = true
+					changed = true
+				}
+			}
+			for _, acq := range fi.acqs {
+				add(acq.class)
+			}
+			walkSameFunc(fi.body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if callee := calleeFunc(pass, call); callee != nil {
+						if callee != fi.obj {
+							for _, c := range calleeClasses(callee) {
+								add(c)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for fn, s := range summaries {
+		if len(s) == 0 || fn.Pkg() != pass.Pkg {
+			continue
+		}
+		pass.ExportObjectFact(fn, &lockSummary{Classes: sortedKeys(s)})
+	}
+
+	// ---- observed edges: walk held intervals ----
+	edgeSet := make(map[LockDecl]LockEdge) // (From,To) -> first edge
+	addEdge := func(from, to string, at token.Pos) {
+		k := LockDecl{from, to}
+		if _, ok := edgeSet[k]; !ok {
+			p := pass.Fset.Position(at)
+			edgeSet[k] = LockEdge{from, to, fmt.Sprintf("%s:%d", p.Filename, p.Line)}
+		}
+	}
+	edgePos := make(map[LockDecl]token.Pos)
+	for _, fi := range funcs {
+		if fi.g == nil {
+			continue
+		}
+		asyncCalls := asyncCallSites(fi.body)
+		for _, acq := range fi.acqs {
+			if acq.class == "" {
+				continue
+			}
+			held := heldNodes(fi.g, acq, fi.body)
+			for _, n := range held {
+				walkSameFunc(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok || call == acq.call || asyncCalls[call] {
+						return true
+					}
+					if inner, ok := classifyAcquisition(pass, call); ok && inner.class != "" {
+						addEdge(acq.class, inner.class, call.Pos())
+						if _, seen := edgePos[LockDecl{acq.class, inner.class}]; !seen {
+							edgePos[LockDecl{acq.class, inner.class}] = call.Pos()
+						}
+						return true
+					}
+					if callee := calleeFunc(pass, call); callee != nil {
+						for _, c := range calleeClasses(callee) {
+							addEdge(acq.class, c, call.Pos())
+							if _, seen := edgePos[LockDecl{acq.class, c}]; !seen {
+								edgePos[LockDecl{acq.class, c}] = call.Pos()
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+
+	// ---- declarations ----
+	var decls []LockDecl
+	declAt := make(map[LockDecl]token.Pos)
+	for _, d := range parseDirectives(pass) {
+		if d.kind != "lockorder" {
+			continue
+		}
+		pairs, ok := parseLockDecl(d.args)
+		if !ok {
+			report(pass, al, d.pos,
+				"malformed //minos:lockorder declaration: want `//minos:lockorder A < B [< C]`")
+			continue
+		}
+		for _, p := range pairs {
+			decls = append(decls, p)
+			if _, seen := declAt[p]; !seen {
+				declAt[p] = d.pos
+			}
+		}
+	}
+
+	// ---- aggregate the global graph from imported facts ----
+	allEdges := make(map[LockDecl]LockEdge)
+	allDecls := make(map[LockDecl]bool)
+	for k, e := range edgeSet {
+		allEdges[k] = e
+	}
+	for _, p := range decls {
+		allDecls[p] = true
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact lockGraphFact
+		if pass.ImportPackageFact(imp, &fact) {
+			for _, e := range fact.Edges {
+				k := LockDecl{e.From, e.To}
+				if _, ok := allEdges[k]; !ok {
+					allEdges[k] = e
+				}
+			}
+			for _, p := range fact.Decls {
+				allDecls[p] = true
+			}
+		}
+	}
+	exportLockGraph(pass, allEdges, allDecls)
+
+	// ---- checks ----
+	declCovers := transitiveCover(allDecls)
+
+	ownEdges := make([]LockDecl, 0, len(edgeSet))
+	for k := range edgeSet {
+		ownEdges = append(ownEdges, k)
+	}
+	sort.Slice(ownEdges, func(i, j int) bool {
+		return ownEdges[i].From+"|"+ownEdges[i].To < ownEdges[j].From+"|"+ownEdges[j].To
+	})
+	for _, k := range ownEdges {
+		pos := edgePos[k]
+		switch {
+		case k.From == k.To:
+			report(pass, al, pos,
+				"lock class %s is acquired while another %s is already held; two "+
+					"goroutines taking instances in opposite orders deadlock", k.From, k.To)
+		case !declCovers[k]:
+			if cyc := findCycle(allEdges, k); cyc != "" {
+				report(pass, al, pos,
+					"lock acquisition %s -> %s closes a cycle [%s]; this order can deadlock",
+					k.From, k.To, cyc)
+			} else {
+				report(pass, al, pos,
+					"lock order %s -> %s is not declared; add `//minos:lockorder %s < %s` "+
+						"next to this acquisition (or reorder the locks)", k.From, k.To, k.From, k.To)
+			}
+		default:
+			if cyc := findCycle(allEdges, k); cyc != "" {
+				report(pass, al, pos,
+					"lock acquisition %s -> %s closes a cycle [%s]; this order can deadlock",
+					k.From, k.To, cyc)
+			}
+		}
+	}
+
+	// Stale declarations: declared here, exercised nowhere in the graph
+	// visible to this package. Declarations belong next to the
+	// acquisition that creates the edge.
+	seenDecl := make(map[LockDecl]bool)
+	for _, p := range decls {
+		if seenDecl[p] {
+			continue
+		}
+		seenDecl[p] = true
+		if !edgeExercisesDecl(allEdges, allDecls, p) {
+			report(pass, al, declAt[p],
+				"lockorder declaration %s < %s matches no observed acquisition edge; "+
+					"delete it (stale declarations hide real ordering drift)", p.From, p.To)
+		}
+	}
+	return al.use, nil
+}
+
+// exportLockGraph publishes the aggregated edges and declarations as a
+// package fact in deterministic order.
+func exportLockGraph(pass *analysis.Pass, edges map[LockDecl]LockEdge, decls map[LockDecl]bool) {
+	fact := &lockGraphFact{}
+	for _, e := range edges {
+		fact.Edges = append(fact.Edges, e)
+	}
+	sort.Slice(fact.Edges, func(i, j int) bool {
+		a, b := fact.Edges[i], fact.Edges[j]
+		return a.From+"|"+a.To < b.From+"|"+b.To
+	})
+	for d := range decls {
+		fact.Decls = append(fact.Decls, d)
+	}
+	sort.Slice(fact.Decls, func(i, j int) bool {
+		a, b := fact.Decls[i], fact.Decls[j]
+		return a.From+"|"+a.To < b.From+"|"+b.To
+	})
+	if len(fact.Edges) > 0 || len(fact.Decls) > 0 {
+		pass.ExportPackageFact(fact)
+	}
+}
+
+// edgeExercisesDecl reports whether declaration p is load-bearing:
+// some observed edge needs p on a declared path covering it.
+func edgeExercisesDecl(edges map[LockDecl]LockEdge, decls map[LockDecl]bool, p LockDecl) bool {
+	with := transitiveCover(decls)
+	without := make(map[LockDecl]bool, len(decls))
+	for d := range decls {
+		if d != p {
+			without[d] = true
+		}
+	}
+	cover := transitiveCover(without)
+	for k := range edges {
+		if with[k] && !cover[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// transitiveCover computes the transitive closure of the declared
+// pairs: cover[{A,C}] if A < ... < C.
+func transitiveCover(decls map[LockDecl]bool) map[LockDecl]bool {
+	succ := make(map[string]map[string]bool)
+	nodes := make(map[string]bool)
+	for d := range decls {
+		if succ[d.From] == nil {
+			succ[d.From] = make(map[string]bool)
+		}
+		succ[d.From][d.To] = true
+		nodes[d.From], nodes[d.To] = true, true
+	}
+	cover := make(map[LockDecl]bool)
+	for n := range nodes {
+		// BFS from n.
+		seen := map[string]bool{}
+		queue := []string{n}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for next := range succ[cur] {
+				if !seen[next] {
+					seen[next] = true
+					cover[LockDecl{n, next}] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return cover
+}
+
+// findCycle reports a cycle through edge k (a path To -> ... -> From in
+// the global edge set), rendered for the diagnostic, or "".
+func findCycle(edges map[LockDecl]LockEdge, k LockDecl) string {
+	succ := make(map[string][]string)
+	for e := range edges {
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	for _, s := range succ {
+		sort.Strings(s)
+	}
+	// Path from k.To back to k.From.
+	prev := map[string]string{k.To: ""}
+	queue := []string{k.To}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == k.From {
+			// Reconstruct.
+			var parts []string
+			for n := cur; n != ""; n = prev[n] {
+				parts = append(parts, n)
+			}
+			// parts is From ... To reversed; render From -> ... as cycle.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(append(parts, k.To), " -> ")
+		}
+		for _, next := range succ[cur] {
+			if _, ok := prev[next]; !ok {
+				prev[next] = cur
+				queue = append(queue, next)
+			}
+		}
+	}
+	return ""
+}
+
+// parseLockDecl parses ["A" "<" "B" "<" "C"] into pairs.
+func parseLockDecl(args []string) ([]LockDecl, bool) {
+	var out []LockDecl
+	if len(args) < 3 || len(args)%2 == 0 {
+		return nil, false
+	}
+	for i := 1; i < len(args); i += 2 {
+		if args[i] != "<" {
+			return nil, false
+		}
+		out = append(out, LockDecl{From: args[i-1], To: args[i+1]})
+	}
+	return out, true
+}
+
+// isLockWrapperDecl reports whether fn is itself a trivial lock wrapper
+// (Record.Lock calling r.mu.Lock): its body is excluded from
+// acquisition analysis, since the paired release lives in the sibling
+// wrapper.
+func isLockWrapperDecl(fn *ast.FuncDecl) bool {
+	switch fn.Name.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return fn.Recv != nil
+	}
+	return false
+}
+
+// classifyAcquisition resolves a call to a lock acquisition and names
+// its class.
+func classifyAcquisition(pass *analysis.Pass, call *ast.CallExpr) (lockAcq, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockAcq{}, false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" {
+		return lockAcq{}, false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return lockAcq{}, false
+	}
+	acq := lockAcq{call: call, key: types.ExprString(sel.X)}
+	if fn.Pkg().Path() == "sync" {
+		acq.class = mutexClass(pass, sel.X)
+		return acq, true
+	}
+	// Wrapper method on a repo type: class is the receiver's named type.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return lockAcq{}, false
+	}
+	if named, ok := derefNamed(sig.Recv().Type()); ok && named.Obj().Pkg() != nil {
+		acq.wrapper = true
+		acq.class = named.Obj().Pkg().Name() + "." + named.Obj().Name()
+		return acq, true
+	}
+	return lockAcq{}, false
+}
+
+// mutexClass names the class of a sync.Mutex/RWMutex expression:
+// "pkg.Type.field" for struct fields, "pkg.var" for package-level vars,
+// "" for locals. Mutexes internal to package sync itself (Pool's
+// allPoolsMu, Cond.L locked inside Wait, Once.m) are that library's
+// concern, not part of the repo's declared partial order, and are left
+// unclassed.
+func mutexClass(pass *analysis.Pass, expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if named, ok := derefNamed(s.Recv()); ok && named.Obj().Pkg() != nil &&
+				!syncInternalPkg(named.Obj().Pkg()) {
+				return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + e.Sel.Name
+			}
+			return ""
+		}
+		// pkg.Var qualified reference.
+		if v, ok := pass.TypesInfo.Uses[e.Sel].(*types.Var); ok && !v.IsField() && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() && !syncInternalPkg(v.Pkg()) {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok && v.Pkg() != nil {
+			if v.Parent() == v.Pkg().Scope() && !syncInternalPkg(v.Pkg()) {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// syncInternalPkg reports whether pkg is the sync package itself, whose
+// internal mutexes do not participate in the repo's lock order.
+func syncInternalPkg(pkg *types.Package) bool {
+	return pkg.Path() == "sync"
+}
+
+// asyncCallSites collects calls that do not run under the caller's
+// locks: go statements and deferred calls.
+func asyncCallSites(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	walkSameFunc(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			out[n.Call] = true
+		case *ast.DeferStmt:
+			out[n.Call] = true
+		}
+		return true
+	})
+	return out
+}
+
+// heldNodes returns the CFG nodes executed while acq is held: from the
+// Lock call forward to the matching explicit Unlock on each path. A
+// deferred release never appears as an explicit release node (defer
+// statements are skipped), so a defer-released acquisition is naturally
+// held over everything reachable — while an earlier, explicitly
+// released acquisition of the same expression (the RLock/RUnlock
+// upgrade pattern) still ends at its own RUnlock.
+func heldNodes(g *cfg.CFG, acq lockAcq, body *ast.BlockStmt) []ast.Node {
+	if g == nil {
+		return nil
+	}
+	releaseName := map[string]bool{"Unlock": true, "RUnlock": true}
+	releases := func(n ast.Node) bool {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			return false // runs at function exit, not here
+		}
+		found := false
+		walkSameFunc(n, func(m ast.Node) bool {
+			if d, ok := m.(*ast.DeferStmt); ok && d != n {
+				return d.Call == nil // skip the deferred call subtree
+			}
+			if call, ok := m.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok &&
+					releaseName[sel.Sel.Name] && types.ExprString(sel.X) == acq.key {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// Locate the acquisition node.
+	startBlock, startIdx := -1, -1
+	for bi, b := range g.Blocks {
+		for ni, n := range b.Nodes {
+			if contains(n, acq.call.Pos()) {
+				startBlock, startIdx = bi, ni
+				break
+			}
+		}
+		if startBlock >= 0 {
+			break
+		}
+	}
+	if startBlock < 0 {
+		return nil
+	}
+
+	var out []ast.Node
+	type item struct {
+		b   *cfg.Block
+		idx int
+	}
+	seen := make(map[*cfg.Block]bool)
+	work := []item{{g.Blocks[startBlock], startIdx + 1}}
+	seen[g.Blocks[startBlock]] = true
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		released := false
+		for i := it.idx; i < len(it.b.Nodes); i++ {
+			n := it.b.Nodes[i]
+			if releases(n) {
+				out = append(out, n) // the release node itself may nest (x.mu.Unlock after inner call)
+				released = true
+				break
+			}
+			out = append(out, n)
+		}
+		if released {
+			continue
+		}
+		for _, s := range it.b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, item{s, 0})
+			}
+		}
+	}
+	return out
+}
+
+// sortedKeys returns map keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,11 @@
+package lint
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/lint/linttest"
+)
+
+func TestLockOrder(t *testing.T) {
+	linttest.Run(t, "testdata", LockOrder, "lockorder/a", "lockorder/cross")
+}

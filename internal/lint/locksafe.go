@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 	"strings"
 
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
@@ -24,8 +25,9 @@ var LockSafe = &analysis.Analyzer{
 	Name: "locksafe",
 	Doc: "flag mutex value copies, lock/unlock imbalance across return paths, and " +
 		"locks held across blocking channel or network operations",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
-	Run:      runLockSafe,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:        runLockSafe,
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
 }
 
 func runLockSafe(pass *analysis.Pass) (interface{}, error) {
@@ -33,7 +35,7 @@ func runLockSafe(pass *analysis.Pass) (interface{}, error) {
 	if excludedPackage(path) || simSidePackage(path) {
 		// The simulator is single-threaded by construction; its
 		// determinism analyzer owns that domain.
-		return nil, nil
+		return newDirectiveUse(), nil
 	}
 	al := buildAllows(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -64,7 +66,7 @@ func runLockSafe(pass *analysis.Pass) (interface{}, error) {
 			}
 		}
 	})
-	return nil, nil
+	return al.use, nil
 }
 
 // containsMutex reports whether t (passed or copied by value) contains a
@@ -96,7 +98,7 @@ func containsMutex(t types.Type, depth int) bool {
 
 // checkLockCopiesInSignature flags receivers and parameters that take a
 // mutex-bearing struct by value.
-func checkLockCopiesInSignature(pass *analysis.Pass, al allows, fn *ast.FuncDecl) {
+func checkLockCopiesInSignature(pass *analysis.Pass, al *allows, fn *ast.FuncDecl) {
 	checkField := func(f *ast.Field, what string) {
 		t := pass.TypesInfo.TypeOf(f.Type)
 		if t == nil {
@@ -125,7 +127,7 @@ func checkLockCopiesInSignature(pass *analysis.Pass, al allows, fn *ast.FuncDecl
 // checkLockCopyAssign flags `x := y` / `x = y` where y is an existing
 // value (not a fresh literal or call result) whose type contains a
 // mutex.
-func checkLockCopyAssign(pass *analysis.Pass, al allows, s *ast.AssignStmt) {
+func checkLockCopyAssign(pass *analysis.Pass, al *allows, s *ast.AssignStmt) {
 	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
 		return
 	}
@@ -178,7 +180,7 @@ type blockOp struct {
 // analyzeLockFlow runs the per-function lock checks: every acquired
 // lock must be released on every path, and no blocking operation may
 // run while it is held.
-func analyzeLockFlow(pass *analysis.Pass, al allows, name string, body *ast.BlockStmt, getCFG func() *cfg.CFG) {
+func analyzeLockFlow(pass *analysis.Pass, al *allows, name string, body *ast.BlockStmt, getCFG func() *cfg.CFG) {
 	if lockWrapperNames[name] {
 		return
 	}
@@ -442,7 +444,7 @@ func terminatesPath(pass *analysis.Pass, n ast.Node) bool {
 // return reachable without releasing it. A call that passes the locked
 // value as an argument transfers ownership (callee is responsible) and
 // ends the path.
-func walkLockPaths(pass *analysis.Pass, al allows, g *cfg.CFG, ls lockSite, blocking []blockOp) {
+func walkLockPaths(pass *analysis.Pass, al *allows, g *cfg.CFG, ls lockSite, blocking []blockOp) {
 	// Locate the lock call in the CFG.
 	startBlock, startIdx := -1, -1
 	for bi, b := range g.Blocks {

@@ -3,6 +3,9 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
 
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/ctrlflow"
@@ -18,42 +21,118 @@ import (
 // dominated by the durable-write call. Concretely: in internal/node, on
 // every control-flow path from function entry to a statement that builds
 // a message with Kind KindAck or KindAckP, a durability event must
-// already have happened — a persist() call, a wait on the persistency
-// acknowledgments (waitPersistency / waitLocallyDurable), or a
-// PersistencyDone spin. Consistency-only acknowledgments (KindAckC) are
-// exempt: they legitimately precede the persist.
+// already have happened.
+//
+// Durability evidence is typed and interprocedural, not a name list:
+//
+//   - The seeds are the durability primitives themselves, matched by
+//     receiver type and package: nvm.Pipeline.Persist / PersistMany
+//     (blocking group-commit waits), nvm.Log.LocallyDurable (the local
+//     durability predicate spin loops poll), ddp.Meta.PersistencyDone
+//     and ddp.WriteTxn.AckedP (the protocol's persistency-ack
+//     predicates).
+//
+//   - Any function whose body calls a seed — or another evidence
+//     provider — is itself an evidence provider. The derivation crosses
+//     package boundaries as an object fact, so a helper in one package
+//     that flushes the pipeline carries its evidence to callers in
+//     another.
+//
+//   - Continuations follow the same scheme: nvm.Pipeline.Enqueue's
+//     func() parameter runs strictly after the log append, so a closure
+//     passed there (or to any function that forwards its own func
+//     parameter into that position, discovered transitively and
+//     exported as a fact) is born with durability established. A named
+//     function passed as a continuation is likewise exempt from the
+//     check.
+//
+// Consistency-only acknowledgments (KindAckC) are exempt: they
+// legitimately precede the persist.
 //
 // A loop whose body performs the durable write counts as evidence even
 // on its zero-iteration exit: "persist everything buffered" over an
-// empty buffer is vacuously durable.
+// empty buffer is vacuously durable. For the same reason a function
+// counts as an evidence provider if any statement in it persists — the
+// early returns of such helpers are their own empty-input cases.
 var PersistOrder = &analysis.Analyzer{
 	Name: "persistorder",
 	Doc: "require Strict/Synchronous acknowledgments (KindAck/KindAckP) to be " +
 		"preceded by the durable write on every control-flow path " +
 		"(persist-before-ack)",
-	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
-	Run:      runPersistOrder,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	FactTypes:  []analysis.Fact{(*durableEvidence)(nil), (*durableContinuations)(nil)},
+	Run:        runPersistOrder,
 }
 
-// durableEvidenceFuncs are calls that establish durability of the
-// update being acknowledged.
-var durableEvidenceFuncs = map[string]bool{
-	"persist":            true, // blocking pipeline persist (Node.persist)
-	"persistThen":        true, // pipeline persist whose continuation acks
-	"persistMany":        true, // blocking pipelined scope flush
-	"waitPersistency":    true, // coordinator-side spin on [ACK_P]s
-	"waitLocallyDurable": true, // spin on the local log
-	"PersistencyDone":    true, // metadata spin predicate
+// durableEvidence marks a function whose execution establishes
+// durability of the pending update (it transitively reaches a blocking
+// persist or a persistency-predicate spin).
+type durableEvidence struct{}
+
+func (*durableEvidence) AFact() {}
+
+func (*durableEvidence) String() string { return "durable-evidence" }
+
+// durableContinuations marks a function that forwards the listed
+// parameter indices into a persist-continuation position: closures
+// passed there run after the log append.
+type durableContinuations struct {
+	Params []int
 }
 
-// durableContinuationFuncs take a completion closure that the
-// durability pipeline runs strictly after the log append (the drain
-// engine's post-batch hook). A function literal passed to one of these
-// is therefore born with durability evidence: an acknowledgment built
-// inside it cannot outrun the persist.
-var durableContinuationFuncs = map[string]bool{
-	"Enqueue":     true, // nvm.Pipeline.Enqueue(key, ts, value, scope, then)
-	"persistThen": true, // Node.persistThen forwarding a continuation
+func (*durableContinuations) AFact() {}
+
+func (d *durableContinuations) String() string { return "durable-continuation params" }
+
+// evidenceSeeds matches the durability primitives by package path
+// element, receiver type name, and method name.
+var evidenceSeeds = map[[3]string]bool{
+	{"nvm", "Pipeline", "Persist"}:     true,
+	{"nvm", "Pipeline", "PersistMany"}: true,
+	{"nvm", "Log", "LocallyDurable"}:   true,
+	{"ddp", "Meta", "PersistencyDone"}: true,
+	{"ddp", "WriteTxn", "AckedP"}:      true,
+}
+
+// continuationSeed identifies nvm.Pipeline.Enqueue, whose func()
+// parameters are post-append continuations.
+func isContinuationSeed(fn *types.Func) bool {
+	pkg, recv, ok := methodIdentity(fn)
+	return ok && pathHasElem(pkg, "nvm") && recv == "Pipeline" && fn.Name() == "Enqueue"
+}
+
+func isEvidenceSeed(fn *types.Func) bool {
+	pkg, recv, ok := methodIdentity(fn)
+	return ok && evidenceSeeds[[3]string{lastProtocolElem(pkg), recv, fn.Name()}]
+}
+
+// lastProtocolElem maps an import path to the protocol package element
+// the seed table keys on ("nvm" or "ddp"), or "".
+func lastProtocolElem(path string) string {
+	for _, e := range []string{"nvm", "ddp"} {
+		if pathHasElem(path, e) {
+			return e
+		}
+	}
+	return ""
+}
+
+// methodIdentity returns the package path and receiver base type name
+// of a method.
+func methodIdentity(fn *types.Func) (pkgPath, recv string, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || sig.Recv() == nil {
+		return "", "", false
+	}
+	named, nok := derefNamed(sig.Recv().Type())
+	if !nok {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), named.Obj().Name(), true
 }
 
 // durableAckKinds are the message kinds that promise durability.
@@ -64,53 +143,243 @@ var durableAckKinds = map[string]bool{
 
 func runPersistOrder(pass *analysis.Pass) (interface{}, error) {
 	path := pass.Pkg.Path()
-	if excludedPackage(path) || !pathHasElem(path, "node") {
-		return nil, nil
+	if excludedPackage(path) {
+		return newDirectiveUse(), nil
 	}
 	al := buildAllows(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
-	blessed := blessedContinuations(pass)
+
+	decls := packageFuncDecls(pass)
+	world := newDurabilityWorld(pass, decls)
+	world.exportFacts()
+
+	// Reporting applies only to live-protocol handler code.
+	if !pathHasElem(path, "node") {
+		return al.use, nil
+	}
 
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.FuncDecl:
-			if n.Body != nil {
-				checkPersistOrder(pass, al, n.Body, cfgs.FuncDecl(n))
-			}
-		case *ast.FuncLit:
-			if blessed[n] {
+			if n.Body == nil {
 				return
 			}
-			checkPersistOrder(pass, al, n.Body, cfgs.FuncLit(n))
+			if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok && world.bornDurable[fn] {
+				return // runs as a persist continuation
+			}
+			checkPersistOrder(pass, al, world, n.Body, cfgs.FuncDecl(n))
+		case *ast.FuncLit:
+			if world.blessed[n] {
+				return
+			}
+			checkPersistOrder(pass, al, world, n.Body, cfgs.FuncLit(n))
 		}
 	})
-	return nil, nil
+	return al.use, nil
 }
 
-// blessedContinuations collects function literals passed directly to a
-// durable-continuation call: the pipeline runs them after the append,
-// so their bodies start with durability already established.
-func blessedContinuations(pass *analysis.Pass) map[*ast.FuncLit]bool {
-	out := make(map[*ast.FuncLit]bool)
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+// durabilityWorld is the package-level interprocedural state: which
+// functions provide durability evidence, which forward continuations,
+// and which function literals / named functions run as continuations.
+type durabilityWorld struct {
+	pass        *analysis.Pass
+	decls       map[*types.Func]*ast.FuncDecl
+	evidence    map[*types.Func]bool
+	contParams  map[*types.Func]map[int]bool
+	blessed     map[*ast.FuncLit]bool
+	bornDurable map[*types.Func]bool
+	// defersSend marks functions that hand the pipeline a post-append
+	// continuation (persistThen and friends): an ack kind named at their
+	// call sites is payload the drain engine sends after the persist, not
+	// an acknowledgment constructed here.
+	defersSend map[*types.Func]bool
+}
+
+func newDurabilityWorld(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) *durabilityWorld {
+	w := &durabilityWorld{
+		pass:        pass,
+		decls:       decls,
+		evidence:    make(map[*types.Func]bool),
+		contParams:  make(map[*types.Func]map[int]bool),
+		blessed:     make(map[*ast.FuncLit]bool),
+		bornDurable: make(map[*types.Func]bool),
+		defersSend:  make(map[*types.Func]bool),
+	}
+	// Fixpoint over both derivations; continuation forwarding can feed
+	// evidence (a blessed helper is still scanned for persists) and vice
+	// versa, so iterate them together.
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range decls {
+			if decl.Body == nil {
+				continue
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !durableContinuationFuncs[sel.Sel.Name] {
-				return true
+			if !w.evidence[fn] && w.bodyHasEvidenceCall(decl.Body) {
+				w.evidence[fn] = true
+				changed = true
 			}
-			for _, arg := range call.Args {
-				if fl, ok := arg.(*ast.FuncLit); ok {
-					out[fl] = true
+			if w.deriveContinuations(fn, decl) {
+				changed = true
+			}
+		}
+	}
+	return w
+}
+
+// isEvidenceCall reports whether fn establishes durability when called.
+func (w *durabilityWorld) isEvidenceCall(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if isEvidenceSeed(fn) || w.evidence[fn] {
+		return true
+	}
+	if fn.Pkg() != nil && fn.Pkg() != w.pass.Pkg {
+		return w.pass.ImportObjectFact(fn, &durableEvidence{})
+	}
+	return false
+}
+
+// continuationPositions returns the argument indices of call that are
+// run-after-persist continuations, or nil.
+func (w *durabilityWorld) continuationPositions(fn *types.Func) []int {
+	if fn == nil {
+		return nil
+	}
+	if isContinuationSeed(fn) {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		var out []int
+		for i := 0; i < sig.Params().Len(); i++ {
+			if _, isFunc := sig.Params().At(i).Type().Underlying().(*types.Signature); isFunc {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if ps, ok := w.contParams[fn]; ok {
+		return sortedInts(ps)
+	}
+	if fn.Pkg() != nil && fn.Pkg() != w.pass.Pkg {
+		var fact durableContinuations
+		if w.pass.ImportObjectFact(fn, &fact) {
+			return fact.Params
+		}
+	}
+	return nil
+}
+
+// bodyHasEvidenceCall reports whether body (outside nested literals)
+// calls an evidence provider.
+func (w *durabilityWorld) bodyHasEvidenceCall(body *ast.BlockStmt) bool {
+	found := false
+	walkSameFunc(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if w.isEvidenceCall(calleeFunc(w.pass, call)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// deriveContinuations scans fn's body for calls with continuation
+// positions, blessing literal arguments, marking named-function
+// arguments born-durable, and propagating forwarded parameters.
+func (w *durabilityWorld) deriveContinuations(fn *types.Func, decl *ast.FuncDecl) bool {
+	changed := false
+	sig, _ := fn.Type().(*types.Signature)
+	paramIndex := func(obj types.Object) int {
+		if sig == nil {
+			return -1
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == obj {
+				return i
+			}
+		}
+		return -1
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeFunc(w.pass, call)
+		for _, pos := range w.continuationPositions(callee) {
+			if !w.defersSend[fn] {
+				w.defersSend[fn] = true
+				changed = true
+			}
+			if pos >= len(call.Args) {
+				continue
+			}
+			switch arg := call.Args[pos].(type) {
+			case *ast.FuncLit:
+				if !w.blessed[arg] {
+					w.blessed[arg] = true
+					changed = true
+				}
+			case *ast.Ident, *ast.SelectorExpr:
+				var id *ast.Ident
+				if sel, ok := arg.(*ast.SelectorExpr); ok {
+					id = sel.Sel
+				} else {
+					id = arg.(*ast.Ident)
+				}
+				switch obj := w.pass.TypesInfo.Uses[id].(type) {
+				case *types.Func:
+					if !w.bornDurable[obj] {
+						w.bornDurable[obj] = true
+						changed = true
+					}
+				case *types.Var:
+					if i := paramIndex(obj); i >= 0 {
+						if w.contParams[fn] == nil {
+							w.contParams[fn] = make(map[int]bool)
+						}
+						if !w.contParams[fn][i] {
+							w.contParams[fn][i] = true
+							changed = true
+						}
+					}
 				}
 			}
-			return true
-		})
+		}
+		return true
+	})
+	return changed
+}
+
+// exportFacts publishes evidence and continuation derivations for
+// importing packages.
+func (w *durabilityWorld) exportFacts() {
+	for fn := range w.evidence {
+		if fn.Pkg() == w.pass.Pkg {
+			w.pass.ExportObjectFact(fn, &durableEvidence{})
+		}
 	}
+	for fn, ps := range w.contParams {
+		if fn.Pkg() == w.pass.Pkg && len(ps) > 0 {
+			w.pass.ExportObjectFact(fn, &durableContinuations{Params: sortedInts(ps)})
+		}
+	}
+}
+
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
 	return out
 }
 
@@ -121,12 +390,12 @@ type ackSite struct {
 }
 
 // checkPersistOrder verifies persist-before-ack within one function.
-func checkPersistOrder(pass *analysis.Pass, al allows, body *ast.BlockStmt, g *cfg.CFG) {
-	acks := findDurableAcks(body)
+func checkPersistOrder(pass *analysis.Pass, al *allows, world *durabilityWorld, body *ast.BlockStmt, g *cfg.CFG) {
+	acks := findDurableAcks(pass, world, body)
 	if len(acks) == 0 || g == nil {
 		return
 	}
-	evidence := findEvidenceIntervals(body)
+	evidence := findEvidenceIntervals(pass, world, body)
 
 	// Dataflow over the CFG: a block start is "clean" if it is reachable
 	// from entry without passing a durability event. Walking a clean
@@ -187,11 +456,18 @@ func checkPersistOrder(pass *analysis.Pass, al allows, body *ast.BlockStmt, g *c
 
 // findDurableAcks locates calls whose arguments mention KindAck or
 // KindAckP — sendAck(m, KindAck), send(to, Message{Kind: KindAckP, ...}).
-func findDurableAcks(body *ast.BlockStmt) []ackSite {
+// Calls into evidence providers or continuation senders are exempt: for
+// those the kind is payload that travels with (or behind) the durable
+// write, and the actual send happens after it.
+func findDurableAcks(pass *analysis.Pass, world *durabilityWorld, body *ast.BlockStmt) []ackSite {
 	var out []ackSite
 	walkSameFunc(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
+			return true
+		}
+		if callee := calleeFunc(pass, call); callee != nil &&
+			(world.isEvidenceCall(callee) || world.defersSend[callee]) {
 			return true
 		}
 		for _, arg := range call.Args {
@@ -224,7 +500,7 @@ func findDurableAcks(body *ast.BlockStmt) []ackSite {
 // too.
 type evidenceInterval struct{ lo, hi token.Pos }
 
-func findEvidenceIntervals(body *ast.BlockStmt) []evidenceInterval {
+func findEvidenceIntervals(pass *analysis.Pass, world *durabilityWorld, body *ast.BlockStmt) []evidenceInterval {
 	// Track loop nesting so each evidence call can be widened.
 	var out []evidenceInterval
 	var walk func(n ast.Node, loop ast.Node)
@@ -240,7 +516,7 @@ func findEvidenceIntervals(body *ast.BlockStmt) []evidenceInterval {
 				walk(loopBody(m), m)
 				return false
 			case *ast.CallExpr:
-				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && durableEvidenceFuncs[sel.Sel.Name] {
+				if world.isEvidenceCall(calleeFunc(pass, m)) {
 					iv := evidenceInterval{m.Pos(), m.End()}
 					if loop != nil {
 						iv = evidenceInterval{loop.Pos(), loop.End()}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"reflect"
 
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
@@ -19,13 +20,14 @@ var SendCheck = &analysis.Analyzer{
 	Name: "sendcheck",
 	Doc: "require transport send/enqueue errors to be checked or explicitly " +
 		"discarded with `_ =`",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runSendCheck,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	Run:        runSendCheck,
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
 }
 
 func runSendCheck(pass *analysis.Pass) (interface{}, error) {
 	if excludedPackage(pass.Pkg.Path()) {
-		return nil, nil
+		return newDirectiveUse(), nil
 	}
 	al := buildAllows(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -55,7 +57,7 @@ func runSendCheck(pass *analysis.Pass) (interface{}, error) {
 				callName(call))
 		}
 	})
-	return nil, nil
+	return al.use, nil
 }
 
 // isTransportSend reports whether call invokes a transport-layer send:

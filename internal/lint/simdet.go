@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"reflect"
 
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
 	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis/passes/inspect"
@@ -22,8 +23,9 @@ var SimDet = &analysis.Analyzer{
 	Doc: "enforce determinism invariants in simulation packages: no wall-clock time, " +
 		"no global math/rand, no raw goroutines outside the sim kernel, and no " +
 		"order-sensitive map iteration",
-	Requires: []*analysis.Analyzer{inspect.Analyzer},
-	Run:      runSimDet,
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	Run:        runSimDet,
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
 }
 
 // wallClockFuncs are time-package functions whose results depend on the
@@ -44,7 +46,7 @@ var seededConstructors = map[string]bool{
 func runSimDet(pass *analysis.Pass) (interface{}, error) {
 	path := pass.Pkg.Path()
 	if excludedPackage(path) || !simSidePackage(path) {
-		return nil, nil
+		return newDirectiveUse(), nil
 	}
 	al := buildAllows(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -78,12 +80,12 @@ func runSimDet(pass *analysis.Pass) (interface{}, error) {
 		}
 		return true
 	})
-	return nil, nil
+	return al.use, nil
 }
 
 // checkSimCall flags calls that read the wall clock or the global
 // math/rand source.
-func checkSimCall(pass *analysis.Pass, al allows, call *ast.CallExpr) {
+func checkSimCall(pass *analysis.Pass, al *allows, call *ast.CallExpr) {
 	fn := typeutil.Callee(pass.TypesInfo, call)
 	if fn == nil || fn.Pkg() == nil {
 		return
@@ -114,7 +116,7 @@ func checkSimCall(pass *analysis.Pass, al allows, call *ast.CallExpr) {
 // aggregation, map/set writes, deletes) are allowed, as is the
 // collect-then-sort idiom where every slice appended to inside the loop
 // is passed to a sort function later in the same enclosing function.
-func checkMapRange(pass *analysis.Pass, al allows, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
+func checkMapRange(pass *analysis.Pass, al *allows, rng *ast.RangeStmt, fnBody *ast.BlockStmt) {
 	t := pass.TypesInfo.TypeOf(rng.X)
 	if t == nil {
 		return

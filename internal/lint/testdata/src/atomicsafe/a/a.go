@@ -1,0 +1,57 @@
+// Fixture for the atomicsafe analyzer: same-package mixed
+// atomic/plain access.
+package a
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  uint64
+	gauge atomic.Int64
+	name  string
+}
+
+func (c *Counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *Counter) load() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *Counter) plainRead() uint64 {
+	return c.hits // want `accessed atomically .* but read plainly`
+}
+
+func (c *Counter) plainWrite() {
+	c.hits = 0 // want `accessed atomically .* but written plainly`
+}
+
+func (c *Counter) escapedAddr() *uint64 {
+	return &c.hits // want `accessed atomically .* but written plainly`
+}
+
+func (c *Counter) unrelatedFieldOK() string {
+	return c.name
+}
+
+func (c *Counter) wrapperOK() int64 {
+	c.gauge.Store(7)
+	return c.gauge.Load()
+}
+
+func (c *Counter) wrapperAliasOK() *atomic.Int64 {
+	return &c.gauge
+}
+
+func (c *Counter) wrapperReassign() {
+	c.gauge = atomic.Int64{} // want `atomic wrapper field gauge is reassigned`
+}
+
+func (c *Counter) wrapperCopy() atomic.Int64 {
+	return c.gauge // want `atomic wrapper field gauge is copied as a value`
+}
+
+func (c *Counter) waivedRead() uint64 {
+	//minos:allow atomicsafe -- fixture: pre-publication snapshot
+	return c.hits
+}

@@ -1,0 +1,22 @@
+// Fixture for the atomicsafe analyzer: the atomic call sites live in
+// the imported state package; the plain access here is caught through
+// the exported object fact.
+package cross
+
+import (
+	"sync/atomic"
+
+	"atomicsafe/state"
+)
+
+func Reset(g *state.Gauge) {
+	g.V = 0 // want `accessed atomically .* but written plainly`
+}
+
+func Read(g *state.Gauge) uint64 {
+	return g.V // want `accessed atomically .* but read plainly`
+}
+
+func AtomicReadOK(g *state.Gauge) uint64 {
+	return atomic.LoadUint64(&g.V)
+}

@@ -1,0 +1,13 @@
+// Fixture dependency: the atomic users of Gauge.V live here; the fact
+// travels to importers.
+package state
+
+import "sync/atomic"
+
+type Gauge struct {
+	V uint64
+}
+
+func (g *Gauge) Inc() {
+	atomic.AddUint64(&g.V, 1)
+}

@@ -1,0 +1,97 @@
+// Fixture for the hotpathalloc analyzer: //minos:hotpath functions are
+// 0-alloc gates.
+package a
+
+import "fmt"
+
+type frame struct {
+	buf []byte
+}
+
+type sink interface{ accept(interface{}) }
+
+// appendFrame is the blessed idiom: amortized append into a pooled
+// buffer.
+//
+//minos:hotpath
+func appendFrame(dst []byte, payload []byte) []byte {
+	dst = append(dst, byte(len(payload)))
+	return append(dst, payload...)
+}
+
+//minos:hotpath
+func badMake(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+//minos:hotpath
+func badNew() *frame {
+	return new(frame) // want `new allocates`
+}
+
+//minos:hotpath
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates`
+}
+
+//minos:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{} // want `map literal allocates`
+}
+
+//minos:hotpath
+func badAddrComposite() *frame {
+	return &frame{} // want `&composite literal escapes`
+}
+
+//minos:hotpath
+func badConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//minos:hotpath
+func badFmt(n int) {
+	fmt.Println(n) // want `fmt.Println formats and allocates`
+}
+
+//minos:hotpath
+func badConversion(s string) []byte {
+	return []byte(s) // want `conversion copies and allocates`
+}
+
+//minos:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want `closure literal allocates`
+}
+
+//minos:hotpath
+func badSpawn() {
+	go func() {}() // want `go statement allocates a goroutine`
+}
+
+//minos:hotpath
+func badBoxing(s sink, f frame) {
+	s.accept(f) // want `boxes it on the heap`
+}
+
+//minos:hotpath
+func pointerBoxOK(s sink, f *frame) {
+	s.accept(f)
+}
+
+//minos:hotpath
+func nilConversionOK() []byte {
+	return []byte(nil)
+}
+
+//minos:hotpath
+func waivedMake(n int) []byte {
+	//minos:allow hotpathalloc -- fixture: cold fallback path
+	return make([]byte, n)
+}
+
+// unannotated functions allocate freely.
+func coldPath(n int) []byte {
+	buf := make([]byte, n)
+	return append(buf, []byte(fmt.Sprintf("%d", n))...)
+}

@@ -1,0 +1,92 @@
+// Fixture for the lifecycle analyzer: every goroutine must be tied to
+// a WaitGroup Done or a stop-channel receive.
+package a
+
+import "sync"
+
+type Server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	work chan int
+}
+
+func work() {}
+
+func (s *Server) leak() {
+	go func() { // want `goroutine is not tied to a WaitGroup`
+		for {
+			work()
+		}
+	}()
+}
+
+func (s *Server) waitGroupOK() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+func (s *Server) stopChannelOK() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func (s *Server) rangeChannelOK() {
+	go func() {
+		for range s.work {
+			work()
+		}
+	}()
+}
+
+// loop carries its own shutdown edge, so spawning it by name is fine.
+func (s *Server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case n := <-s.work:
+			_ = n
+		}
+	}
+}
+
+func (s *Server) spawnLoopOK() {
+	go s.loop()
+}
+
+// spin has no shutdown edge; spawning it by name leaks.
+func (s *Server) spin() {
+	for {
+		work()
+	}
+}
+
+func (s *Server) spawnSpin() {
+	go s.spin() // want `goroutine is not tied to a WaitGroup`
+}
+
+// wrapped reaches loop transitively: managedness propagates through
+// the call graph.
+func (s *Server) wrapped() {
+	s.loop()
+}
+
+func (s *Server) spawnWrappedOK() {
+	go s.wrapped()
+}
+
+func (s *Server) waived() {
+	//minos:allow lifecycle -- fixture: process-lifetime goroutine
+	go work()
+}

@@ -1,0 +1,13 @@
+// Fixture for the lifecycle analyzer: managedness is imported as an
+// object fact from the worker package.
+package cross
+
+import "lifecycle/worker"
+
+func SpawnLoopOK(stop chan struct{}) {
+	go worker.Loop(stop)
+}
+
+func SpawnBusy() {
+	go worker.Busy() // want `goroutine is not tied to a WaitGroup`
+}

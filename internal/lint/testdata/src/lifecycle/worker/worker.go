@@ -1,0 +1,17 @@
+// Fixture dependency: Loop carries the shutdown edge; the
+// lifecycle-managed fact travels to importers. Busy does not.
+package worker
+
+func Loop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		}
+	}
+}
+
+func Busy() {
+	for {
+	}
+}

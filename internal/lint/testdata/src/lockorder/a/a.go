@@ -1,0 +1,115 @@
+// Fixture for the lockorder analyzer: same-class nesting, undeclared
+// edges, cycles, declared cover, and stale declarations — all within
+// one package.
+package a
+
+import "sync"
+
+type Shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Table struct {
+	mu     sync.RWMutex
+	shards []*Shard
+}
+
+type Reg struct{ mu sync.Mutex }
+
+type P struct{ mu sync.Mutex }
+type Q struct{ mu sync.Mutex }
+
+var regMu sync.Mutex
+
+// Two instances of one class taken together: instant deadlock shape.
+func transfer(x, y *Shard) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock class a.Shard.mu is acquired while another a.Shard.mu is already held`
+	y.n, x.n = x.n, y.n
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Declared edge: covered, no finding.
+//
+//minos:lockorder a.Table.mu < a.Shard.mu
+func (t *Table) get(s *Shard) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// The same edge reached interprocedurally through bump's summary is
+// covered by the same declaration.
+func (s *Shard) bump() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+func (t *Table) bumpAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.shards {
+		s.bump()
+	}
+}
+
+// Undeclared edge between acyclic classes.
+func (r *Reg) scan(t *Table) {
+	r.mu.Lock()
+	t.mu.Lock() // want `lock order a.Reg.mu -> a.Table.mu is not declared`
+	t.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// Package-level mutexes form a class of their own.
+func global(t *Table) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	t.mu.Lock() // want `lock order a.regMu -> a.Table.mu is not declared`
+	t.mu.Unlock()
+}
+
+// Opposite orders of P and Q: both sides close the cycle.
+func pq(p *P, q *Q) {
+	p.mu.Lock()
+	q.mu.Lock() // want `closes a cycle`
+	q.mu.Unlock()
+	p.mu.Unlock()
+}
+
+func qp(p *P, q *Q) {
+	q.mu.Lock()
+	p.mu.Lock() // want `closes a cycle`
+	p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// The read-check / write-upgrade pattern: the RLock is explicitly
+// released before the write lock, so the later deferred Unlock must not
+// make the two look nested.
+func (t *Table) upgradeOK(s *Shard) int {
+	t.mu.RLock()
+	n := len(t.shards)
+	t.mu.RUnlock()
+	if n > 0 {
+		return n
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.shards)
+}
+
+// A goroutine spawned under the lock runs after release: no edge.
+func (t *Table) spawnOK(s *Shard) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//minos:allow lifecycle -- fixture: lockorder is under test here
+	go s.bump()
+}
+
+//minos:lockorder a.Shard.mu < a.Reg.mu // want `matches no observed acquisition edge`

@@ -1,0 +1,32 @@
+// Fixture for the lockorder analyzer across packages: wrapper-class
+// acquisitions (kv.Record) and edges discovered through imported
+// summary facts.
+package cross
+
+import (
+	"sync"
+
+	"lockorder/kv"
+)
+
+type Stripe struct{ mu sync.Mutex }
+
+type Index struct{ mu sync.Mutex }
+
+// Declared and exercised: no finding.
+//
+//minos:lockorder kv.Record < cross.Stripe.mu
+func commit(r *kv.Record, s *Stripe) {
+	r.Lock()
+	defer r.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// The acquisition inside kv.Get is visible here only through its
+// exported lock summary.
+func snapshot(r *kv.Record, ix *Index) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return kv.Get(r) // want `lock order cross.Index.mu -> kv.Record is not declared`
+}

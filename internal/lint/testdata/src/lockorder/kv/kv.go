@@ -1,0 +1,20 @@
+// Fixture dependency: Record's Lock/Unlock wrapper is the class
+// "kv.Record"; Get's acquisition travels to importers as a summary
+// fact.
+package kv
+
+import "sync"
+
+type Record struct {
+	mu  sync.Mutex
+	val int
+}
+
+func (r *Record) Lock()   { r.mu.Lock() }
+func (r *Record) Unlock() { r.mu.Unlock() }
+
+func Get(r *Record) int {
+	r.Lock()
+	defer r.Unlock()
+	return r.val
+}

@@ -1,0 +1,11 @@
+// Fixture protocol metadata: the path element "ddp" makes these
+// persistency predicates evidence seeds for the persistorder analyzer.
+package ddp
+
+type Meta struct{}
+
+func (m *Meta) PersistencyDone(txn uint64) bool { return true }
+
+type WriteTxn struct{}
+
+func (w *WriteTxn) AckedP() bool { return true }

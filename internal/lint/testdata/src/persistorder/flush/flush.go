@@ -1,0 +1,19 @@
+// Fixture helper package: carries durability evidence and continuation
+// forwarding across a package boundary as analysis facts. No "node"
+// path element, so nothing here is reported on; the analyzer only
+// derives and exports facts.
+package flush
+
+import "persistorder/nvm"
+
+// Drain blocks until everything buffered is persisted — an evidence
+// provider whose fact importing packages consume.
+func Drain(p *nvm.Pipeline, es []nvm.Entry) {
+	p.PersistMany(es)
+}
+
+// After forwards its continuation into the pipeline's post-append
+// position, so closures handed to it are born durable one hop away.
+func After(p *nvm.Pipeline, e nvm.Entry, then func()) {
+	p.Enqueue(e, then)
+}

@@ -1,0 +1,15 @@
+// Fixture durability primitives: the path element "nvm" makes these
+// methods the persistorder analyzer's typed evidence seeds.
+package nvm
+
+type Entry struct{ Key string }
+
+type Pipeline struct{}
+
+func (p *Pipeline) Persist(e Entry)              {}
+func (p *Pipeline) PersistMany(es []Entry) bool  { return len(es) >= 0 }
+func (p *Pipeline) Enqueue(e Entry, then func()) {}
+
+type Log struct{}
+
+func (l *Log) LocallyDurable(seq uint64) bool { return true }

@@ -1,0 +1,40 @@
+// Fixture for the waiver analyzer: directives that suppress nothing
+// are themselves findings.
+package a
+
+func work() {}
+
+// A consumed waiver: the lifecycle finding on the go statement below is
+// absorbed, so Waiver stays quiet about this directive.
+func spawn() {
+	//minos:allow lifecycle -- fixture: goroutine intentionally untracked
+	go work()
+}
+
+// Nothing on this line (or the next) triggers lifecycle: stale.
+func idle() {
+	//minos:allow lifecycle // want `suppresses no finding; delete the stale waiver`
+	work()
+}
+
+// A typo'd analyzer name suppresses nothing while looking like it does.
+func typo() {
+	//minos:allow gofancy // want `names unknown analyzer gofancy`
+	work()
+}
+
+// An allow with no analyzer names at all.
+func empty() {
+	//minos:allow // want `names no analyzer`
+	work()
+}
+
+// ordered is a simdet waiver; outside the sim domain it marks nothing.
+func plain(m map[int]int) int {
+	sum := 0
+	//minos:ordered // want `marks no order-sensitive map iteration`
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

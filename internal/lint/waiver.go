@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"reflect"
+	"sort"
+
+	"github.com/minos-ddp/minos/third_party/golang.org/x/tools/go/analysis"
+)
+
+// Waiver reports suppression directives that no longer suppress
+// anything. Every analyzer in the suite records which //minos:allow /
+// //minos:ordered directives actually absorbed a finding; Waiver unions
+// those usage sets and flags the directives nothing consumed. A stale
+// waiver is worse than none: it documents a hazard that no longer
+// exists, and it will silently swallow the next, unrelated finding that
+// lands on its line.
+//
+// A directive naming an analyzer that does not exist is flagged too —
+// a typo in the name would otherwise disable nothing while looking like
+// it disables something.
+//
+// Waiver itself is waivable (//minos:allow waiver) for the rare
+// directive that guards a finding only older toolchains produce.
+var Waiver = &analysis.Analyzer{
+	Name: "waiver",
+	Doc: "report //minos:allow and //minos:ordered directives that no longer " +
+		"suppress any finding",
+	Requires:   waiverRequires,
+	ResultType: reflect.TypeOf((*DirectiveUse)(nil)),
+	Run:        runWaiver,
+}
+
+// waiverRequires is the audited suite; a separate var so runWaiver can
+// reference it without an initialization cycle through Waiver itself.
+var waiverRequires = []*analysis.Analyzer{
+	SimDet, LockSafe, SendCheck, PersistOrder,
+	AtomicSafe, LockOrder, HotPathAlloc, Lifecycle,
+}
+
+func runWaiver(pass *analysis.Pass) (interface{}, error) {
+	if excludedPackage(pass.Pkg.Path()) {
+		return newDirectiveUse(), nil
+	}
+	al := buildAllows(pass)
+
+	used := make(map[string]bool)
+	analyzerNames := make(map[string]bool)
+	analyzerNames["waiver"] = true
+	for _, req := range waiverRequires {
+		analyzerNames[req.Name] = true
+		if use, ok := pass.ResultOf[req].(*DirectiveUse); ok && use != nil {
+			for k := range use.Used {
+				used[k] = true
+			}
+		}
+	}
+
+	type finding struct {
+		d    directive
+		name string
+		msg  string
+	}
+	var findings []finding
+	for _, d := range parseDirectives(pass) {
+		switch d.kind {
+		case "allow":
+			if len(d.args) == 0 {
+				findings = append(findings, finding{d, "", "//minos:allow names no analyzer; delete it"})
+				continue
+			}
+			for _, name := range d.args {
+				switch {
+				case name == "waiver":
+					// A waiver of the waiver pass cannot audit itself.
+					continue
+				case !analyzerNames[name]:
+					findings = append(findings, finding{d, name,
+						"//minos:allow names unknown analyzer " + name + "; it suppresses nothing"})
+				case !used[directiveKey(d.file, d.line, name)]:
+					findings = append(findings, finding{d, name,
+						"//minos:allow " + name + " suppresses no finding; delete the stale waiver"})
+				}
+			}
+		case "ordered":
+			if !used[directiveKey(d.file, d.line, "simdet")] {
+				findings = append(findings, finding{d, "simdet",
+					"//minos:ordered marks no order-sensitive map iteration; delete the stale waiver"})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].d.file != findings[j].d.file {
+			return findings[i].d.file < findings[j].d.file
+		}
+		if findings[i].d.line != findings[j].d.line {
+			return findings[i].d.line < findings[j].d.line
+		}
+		return findings[i].name < findings[j].name
+	})
+	for _, f := range findings {
+		report(pass, al, f.d.pos, "%s", f.msg)
+	}
+	return al.use, nil
+}

@@ -63,6 +63,8 @@ func (e *executor) worker(q chan ddp.Message) {
 // dispatch routes m to its affine worker, blocking when that worker's
 // queue is full. Only recvLoop calls this, so the blocking send cannot
 // deadlock: workers never enqueue messages themselves.
+//
+//minos:hotpath
 func (e *executor) dispatch(m ddp.Message) {
 	q := e.queues[affinity(m)&e.mask]
 	// High-water lane depth: len on a channel is one atomic read, and
@@ -82,6 +84,8 @@ func (e *executor) closeQueues() {
 // key; scope control messages ([PERSIST]sc, [ACK_P]sc, [VAL_P]sc) have
 // a zero timestamp and route by scope so one scope's flush handshake
 // stays ordered too.
+//
+//minos:hotpath
 func affinity(m ddp.Message) uint64 {
 	if m.Scope != 0 && m.TS == (ddp.Timestamp{}) {
 		return ddp.Key(m.Scope).Hash() >> 32

@@ -23,6 +23,7 @@ func (n *Node) WriteScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	return n.writeScoped(key, value, sc)
 }
 
+//minos:hotpath
 func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	if n.closed.Load() {
 		return ErrClosed
@@ -31,10 +32,13 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	tc := n.startTrace(key)
 	r := n.store.GetOrCreate(key)
 
+	// Timestamp generation stripes by key under the record lock; the
+	// stripe mutex is a leaf taken only here.
+	//minos:lockorder kv.Record < node.txnStripe.mu
 	r.Lock()
 	ts := n.generateTS(key, r) // L4
 	tc.setVer(ts.Version)
-	if r.Meta.Obsolete(ts) {   // L5
+	if r.Meta.Obsolete(ts) { // L5
 		n.Stats.ObsoleteWrites.Add(1)
 		err := n.handleObsoleteLocked(r, ts)
 		r.Unlock()
@@ -128,6 +132,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 			// would overlap the next client write's, breaking the
 			// non-interleaving invariant the trace format guarantees.
 			n.wg.Add(1)
+			//minos:allow hotpathalloc -- REnf spawns the durability half off the client's critical path; one goroutine per returned write is the model's cost
 			go func() {
 				defer n.wg.Done()
 				n.finishDurable(r, wt, key, ts, sc, followers, nil)
@@ -227,6 +232,9 @@ func (n *Node) waitPersistency(wt *writeTxn) error {
 // waitLocallyDurable blocks until the local log holds ts (the local
 // persist may run in the background under REnf).
 func (n *Node) waitLocallyDurable(r *kv.Record, key ddp.Key, ts ddp.Timestamp) error {
+	// The durability predicate reads the log shard index under the
+	// record lock; shard mutexes are leaves of the write path.
+	//minos:lockorder kv.Record < nvm.logShard.mu
 	r.Lock()
 	defer r.Unlock()
 	for !n.log.LocallyDurable(key, ts) {

@@ -109,7 +109,7 @@ func (s Span) Dur() int64 { return s.End - s.Start }
 type Tracer struct {
 	base  time.Time
 	mask  uint64
-	every uint64
+	every atomic.Uint64
 	head  atomic.Uint64
 	ring  []Span
 }
@@ -144,8 +144,9 @@ func NewTracer(capacity int) *Tracer {
 func (t *Tracer) Enabled() bool { return t != nil }
 
 // SetSampleEvery makes SampleTxn admit one transaction in n (n <= 1
-// restores full tracing). Call before the traced workload starts; the
-// rate is not synchronized with concurrent recording.
+// restores full tracing). The rate is stored atomically, so it may be
+// retuned while a traced workload is running; transactions already past
+// their sampling decision keep it.
 func (t *Tracer) SetSampleEvery(n int) {
 	if t == nil {
 		return
@@ -153,7 +154,7 @@ func (t *Tracer) SetSampleEvery(n int) {
 	if n < 1 {
 		n = 1
 	}
-	t.every = uint64(n)
+	t.every.Store(uint64(n))
 }
 
 // SampleTxn reports whether the transaction with sequence number txn
@@ -164,7 +165,8 @@ func (t *Tracer) SampleTxn(txn uint64) bool {
 	if t == nil {
 		return false
 	}
-	return t.every <= 1 || txn%t.every == 0
+	every := t.every.Load()
+	return every <= 1 || txn%every == 0
 }
 
 // Now returns nanoseconds since the tracer's creation on the monotonic

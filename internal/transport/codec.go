@@ -63,6 +63,8 @@ func EncodeFrame(f Frame) []byte {
 // dst and returns the extended slice. It is the allocation-free encode
 // path: batching senders append frame after frame into one pooled buffer
 // and hand the whole run to a single Write.
+//
+//minos:hotpath
 func AppendFrame(dst []byte, f Frame) []byte {
 	lenAt := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, 0) // length backpatched below
@@ -84,6 +86,7 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	return dst
 }
 
+//minos:hotpath
 func appendMessage(b []byte, m ddp.Message) []byte {
 	b = append(b, byte(m.Kind))
 	b = binary.LittleEndian.AppendUint32(b, uint32(m.From))
@@ -96,6 +99,7 @@ func appendMessage(b []byte, m ddp.Message) []byte {
 	return b
 }
 
+//minos:hotpath
 func appendLogEntry(b []byte, e LogEntry) []byte {
 	b = binary.LittleEndian.AppendUint64(b, e.Seq)
 	b = binary.LittleEndian.AppendUint64(b, uint64(e.Key))

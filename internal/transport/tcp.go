@@ -356,7 +356,6 @@ func (p *tcpPeer) flush(batches []sendBatch) error {
 			p.countDrops(batches[i:])
 			return err
 		}
-		//minos:allow locksafe -- no locks held; the writer goroutine owns this connection
 		if _, err := conn.Write(b.buf); err != nil {
 			p.countDrops(batches[i:])
 			return err
