@@ -42,11 +42,14 @@ bench-smoke:
 bench-live:
 	$(GO) run ./cmd/minos-live -nodes 3 -workers 4 -requests 400 -tcp -json BENCH_live.json
 
-# Node write-path benchmarks (pipelined durability engine): serial and
-# parallel write microbenchmarks per model plus a livebench Lin-Synch
-# throughput run, with the NVM delay off and at the paper's 1295 ns.
-# Updates the "after" section of BENCH_node.json in place (the committed
-# "before" baseline from the pre-pipeline tree is kept).
+# Node write-path benchmarks: serial and parallel write
+# microbenchmarks per model over both the channel fabric ("mem") and
+# the shared-memory ring fabric ("ring", which also engages the nodes'
+# run-to-completion mode), plus livebench Lin-Synch throughput runs,
+# with the NVM delay off and at the paper's 1295 ns. Updates the
+# "after" section of BENCH_node.json in place (the committed "before"
+# baseline rows — fabric-less, i.e. mem — are kept). CI uploads the
+# result as the bench-node artifact.
 bench-node:
 	$(GO) run ./cmd/minos-benchnode -label after -json BENCH_node.json
 

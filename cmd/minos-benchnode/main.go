@@ -10,10 +10,10 @@
 //
 //	minos-benchnode -label after -json BENCH_node.json
 //
-// The command deliberately restricts itself to configuration surface
-// that predates the pipelined durability engine (node.Config.Model and
-// PersistDelay, livebench's original fields), so it builds unchanged
-// in a baseline worktree.
+// Rows are keyed by fabric: "mem" is the original channel fabric
+// (comparable against baseline worktrees, whose benchnode predates the
+// fabric field — their rows read as mem), "ring" is the shared-memory
+// SPSC datapath, which also engages the nodes' run-to-completion mode.
 package main
 
 import (
@@ -56,8 +56,9 @@ func main() {
 	}
 }
 
-// microResult is one (model, delay, variant) measurement.
+// microResult is one (fabric, model, delay, variant) measurement.
 type microResult struct {
+	Fabric   string  `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
 	Model    string  `json:"model"`
 	DelayNs  int64   `json:"delay_ns"`
 	Variant  string  `json:"variant"` // serial | parallel
@@ -67,13 +68,24 @@ type microResult struct {
 	AllocsOp int64   `json:"allocs_per_op"`
 }
 
-// cluster builds a 3-node in-process cluster and returns node 0 plus a
-// teardown closing every node.
-func cluster(model ddp.Model, delay time.Duration) (*node.Node, func()) {
-	net := transport.NewMemNetwork(3)
+// cluster builds a 3-node in-process cluster over the given fabric and
+// returns node 0 plus a teardown closing every node.
+func cluster(model ddp.Model, delay time.Duration, fabric string) (*node.Node, func()) {
+	eps := make([]transport.Transport, 3)
+	if fabric == "ring" {
+		net := transport.NewRingNetwork(3)
+		for i := range eps {
+			eps[i] = net.Endpoint(ddp.NodeID(i))
+		}
+	} else {
+		net := transport.NewMemNetwork(3)
+		for i := range eps {
+			eps[i] = net.Endpoint(ddp.NodeID(i))
+		}
+	}
 	nodes := make([]*node.Node, 3)
 	for i := range nodes {
-		nodes[i] = node.New(node.Config{Model: model, PersistDelay: delay}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i] = node.New(node.Config{Model: model, PersistDelay: delay}, eps[i])
 		nodes[i].Start()
 	}
 	return nodes[0], func() {
@@ -88,12 +100,21 @@ const scopeFlushEvery = 16
 func runMicro() []microResult {
 	val := bytes.Repeat([]byte("v"), 128)
 	var out []microResult
+	for _, fabric := range []string{"mem", "ring"} {
+		out = append(out, runMicroFabric(fabric, val)...)
+	}
+	return out
+}
+
+func runMicroFabric(fabric string, val []byte) []microResult {
+	var out []microResult
 	for _, model := range ddp.Models {
 		for _, d := range benchDelays {
 			model, d := model, d
 			serial := testing.Benchmark(func(b *testing.B) {
-				n, done := cluster(model, d)
+				n, done := cluster(model, d, fabric)
 				defer done()
+				b.ReportAllocs()
 				b.ResetTimer()
 				if model == ddp.LinScope {
 					sc := n.NewScope()
@@ -125,14 +146,16 @@ func runMicro() []microResult {
 				}
 				b.StopTimer()
 			})
-			out = append(out, toResult(model, d, "serial", serial))
-			fmt.Printf("%-12v delay=%-8v serial   %10.0f ns/op\n", model, d, nsPerOp(serial))
+			out = append(out, toResult(fabric, model, d, "serial", serial))
+			fmt.Printf("%-5s %-12v delay=%-8v serial   %10.0f ns/op %4d allocs/op\n",
+				fabric, model, d, nsPerOp(serial), serial.AllocsPerOp())
 
 			parallel := testing.Benchmark(func(b *testing.B) {
-				n, done := cluster(model, d)
+				n, done := cluster(model, d, fabric)
 				defer done()
 				var ctr atomic.Uint64
 				b.SetParallelism(8)
+				b.ReportAllocs()
 				b.ResetTimer()
 				b.RunParallel(func(pb *testing.PB) {
 					if model == ddp.LinScope {
@@ -167,8 +190,8 @@ func runMicro() []microResult {
 				})
 				b.StopTimer()
 			})
-			out = append(out, toResult(model, d, "parallel", parallel))
-			fmt.Printf("%-12v delay=%-8v parallel %10.0f ns/op\n", model, d, nsPerOp(parallel))
+			out = append(out, toResult(fabric, model, d, "parallel", parallel))
+			fmt.Printf("%-5s %-12v delay=%-8v parallel %10.0f ns/op\n", fabric, model, d, nsPerOp(parallel))
 		}
 	}
 	return out
@@ -181,20 +204,21 @@ func nsPerOp(r testing.BenchmarkResult) float64 {
 	return float64(r.T.Nanoseconds()) / float64(r.N)
 }
 
-func toResult(model ddp.Model, d time.Duration, variant string, r testing.BenchmarkResult) microResult {
+func toResult(fabric string, model ddp.Model, d time.Duration, variant string, r testing.BenchmarkResult) microResult {
 	ns := nsPerOp(r)
 	ops := 0.0
 	if ns > 0 {
 		ops = 1e9 / ns
 	}
 	return microResult{
-		Model: fmt.Sprint(model), DelayNs: d.Nanoseconds(), Variant: variant,
+		Fabric: fabric, Model: fmt.Sprint(model), DelayNs: d.Nanoseconds(), Variant: variant,
 		NsPerOp: ns, OpsPerS: ops, N: r.N, AllocsOp: r.AllocsPerOp(),
 	}
 }
 
 // liveResult is one livebench throughput point.
 type liveResult struct {
+	Fabric         string  `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
 	Model          string  `json:"model"`
 	DelayNs        int64   `json:"delay_ns"`
 	Workers        int     `json:"workers_per_node"`
@@ -215,30 +239,33 @@ func runLive(requests int) []liveResult {
 	wl := workload.Default()
 	wl.WriteRatio = 1.0
 	wl.ValueSize = 128
-	for _, workers := range []int{1, 8} {
-		for _, d := range benchDelays {
-			res, err := livebench.Run(livebench.Config{
-				Nodes:           3,
-				Model:           ddp.LinSynch,
-				WorkersPerNode:  workers,
-				RequestsPerNode: requests,
-				PersistDelay:    d,
-				Workload:        wl,
-				Seed:            42,
-			})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "minos-benchnode: livebench:", err)
-				os.Exit(1)
+	for _, fabric := range []string{"mem", "ring"} {
+		for _, workers := range []int{1, 8} {
+			for _, d := range benchDelays {
+				res, err := livebench.Run(livebench.Config{
+					Nodes:           3,
+					Model:           ddp.LinSynch,
+					WorkersPerNode:  workers,
+					RequestsPerNode: requests,
+					PersistDelay:    d,
+					Workload:        wl,
+					Seed:            42,
+					Fabric:          fabric,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "minos-benchnode: livebench:", err)
+					os.Exit(1)
+				}
+				out = append(out, liveResult{
+					Fabric: fabric, Model: fmt.Sprint(res.Model), DelayNs: d.Nanoseconds(), Workers: workers,
+					Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
+					ThroughputOpsS: res.Throughput(),
+					WriteAvgNs:     res.WriteLat.Mean(),
+					WriteP99Ns:     res.WriteLat.Percentile(99),
+				})
+				fmt.Printf("live %-5s %-9v delay=%-8v workers=%d %9.0f op/s (wr avg %.0f ns)\n",
+					fabric, res.Model, d, workers, res.Throughput(), res.WriteLat.Mean())
 			}
-			out = append(out, liveResult{
-				Model: fmt.Sprint(res.Model), DelayNs: d.Nanoseconds(), Workers: workers,
-				Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
-				ThroughputOpsS: res.Throughput(),
-				WriteAvgNs:     res.WriteLat.Mean(),
-				WriteP99Ns:     res.WriteLat.Percentile(99),
-			})
-			fmt.Printf("live %-9v delay=%-8v workers=%d %9.0f op/s (wr avg %.0f ns)\n",
-				res.Model, d, workers, res.Throughput(), res.WriteLat.Mean())
 		}
 	}
 	return out

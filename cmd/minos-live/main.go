@@ -5,6 +5,7 @@
 // Usage:
 //
 //	minos-live                          # all models, 5 nodes, in-process fabric
+//	minos-live -fabric ring             # shared-memory rings + run-to-completion nodes
 //	minos-live -tcp                     # same cluster over loopback TCP (batched wire path)
 //	minos-live -tcp -json BENCH_live.json
 //	minos-live -nodes 3 -requests 5000 -persist 1295ns -writes 1.0
@@ -30,7 +31,8 @@ func main() {
 	persist := flag.Duration("persist", 1295*time.Nanosecond, "emulated NVM persist delay")
 	valueSize := flag.Int("value", 128, "record value bytes")
 	seed := flag.Int64("seed", 42, "workload seed")
-	tcp := flag.Bool("tcp", false, "run over loopback TCP (real batched wire path) instead of the in-process fabric")
+	tcp := flag.Bool("tcp", false, "run over loopback TCP (real batched wire path) instead of the in-process fabric; alias for -fabric tcp")
+	fabricFlag := flag.String("fabric", "", "cluster interconnect: mem (default), ring (shared-memory SPSC + run-to-completion), or tcp")
 	dispatch := flag.Int("dispatch", 0, "key-affine dispatch workers per node (0 = node default)")
 	drains := flag.Int("drains", 0, "NVM drain engines per node (0 = node default)")
 	jsonPath := flag.String("json", "", "write results into this JSON file (existing 'before' and 'after.microbench' keys are preserved)")
@@ -42,12 +44,19 @@ func main() {
 	wl.WriteRatio = *writes
 	wl.ValueSize = *valueSize
 
-	fabric := "in-process"
-	if *tcp {
-		fabric = "loopback TCP"
+	fabric := *fabricFlag
+	if fabric == "" && *tcp {
+		fabric = "tcp"
+	}
+	fabricDesc := map[string]string{
+		"": "in-process", "mem": "in-process",
+		"ring": "shared-memory rings", "tcp": "loopback TCP",
+	}[fabric]
+	if fabricDesc == "" {
+		fabricDesc = fabric
 	}
 	fmt.Printf("live MINOS-B: %d nodes × %d workers, %d req/node, %d%% writes, persist %v, %s\n\n",
-		*nodes, *workers, *requests, int(*writes*100), *persist, fabric)
+		*nodes, *workers, *requests, int(*writes*100), *persist, fabricDesc)
 	results, err := livebench.RunAllModels(livebench.Config{
 		Nodes:           *nodes,
 		WorkersPerNode:  *workers,
@@ -57,7 +66,7 @@ func main() {
 		PersistDrains:   *drains,
 		Workload:        wl,
 		Seed:            *seed,
-		TCP:             *tcp,
+		Fabric:          fabric,
 		Trace:           *tracePath != "",
 		TraceSample:     *traceSample,
 	})
@@ -69,7 +78,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, *nodes, *workers, *requests, *tcp, results); err != nil {
+		if err := writeJSON(*jsonPath, *nodes, *workers, *requests, fabric, results); err != nil {
 			fmt.Fprintln(os.Stderr, "minos-live:", err)
 			os.Exit(1)
 		}
@@ -130,7 +139,7 @@ type liveResult struct {
 // writeJSON records the run under the "after.live" key, preserving any
 // other keys an existing file carries (the committed BENCH_live.json
 // keeps the pre-batching baseline under "before").
-func writeJSON(path string, nodes, workers, requests int, tcp bool, results []*livebench.Result) error {
+func writeJSON(path string, nodes, workers, requests int, fabric string, results []*livebench.Result) error {
 	doc := map[string]any{}
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &doc); err != nil {
@@ -163,9 +172,12 @@ func writeJSON(path string, nodes, workers, requests int, tcp bool, results []*l
 		})
 	}
 	after["live"] = out
+	if fabric == "" {
+		fabric = "mem"
+	}
 	after["live_config"] = map[string]any{
 		"nodes": nodes, "workers_per_node": workers, "requests_per_node": requests,
-		"tcp": tcp, "models": len(results),
+		"tcp": fabric == "tcp", "fabric": fabric, "models": len(results),
 	}
 	doc["after"] = after
 	buf, err := json.MarshalIndent(doc, "", "  ")

@@ -34,6 +34,26 @@ func NewWriteTxn(p Policy, self NodeID, key Key, ts Timestamp, followers int) *W
 	}
 }
 
+// Reset reinitializes w in place for a new write, retaining the
+// allocated acknowledgment maps — the pooling hook that keeps the
+// coordinator's steady-state write path allocation-free.
+func (w *WriteTxn) Reset(p Policy, self NodeID, key Key, ts Timestamp, followers int) {
+	w.TS = ts
+	w.Key = key
+	w.Scope = 0
+	w.self = self
+	w.needed = followers
+	if w.ackC == nil {
+		w.ackC = make(map[NodeID]bool, followers)
+		w.ackP = make(map[NodeID]bool, followers)
+	} else {
+		clear(w.ackC)
+		clear(w.ackP)
+	}
+	w.separate = p.SeparateAcks
+	w.tracksPer = p.TracksPersistency
+}
+
 // RecordAck registers an acknowledgment of the given kind from a
 // follower. A combined ACK counts for both consistency and persistency.
 // It returns an error for illegal senders, duplicate acknowledgments, or

@@ -26,6 +26,14 @@ type Record struct {
 	Key   ddp.Key
 	Value []byte
 	Meta  ddp.Meta
+
+	// Issued is the coordinator-local high-water mark of timestamp
+	// versions handed out for this key (Fig 2 L4). It can run ahead of
+	// Meta.VolatileTS while writes are in flight. Guarded by mu; only
+	// the record's home coordinator advances it, so keeping it on the
+	// record (instead of a separate striped map) makes timestamp
+	// generation free once the record lock is held.
+	Issued ddp.Version
 }
 
 // newRecord returns an initialized record for key.

@@ -1,0 +1,49 @@
+// Blessed shape: the bump-arena copy used by the NVM log's hot append.
+// The annotated function only bump-allocates out of the current chunk
+// (append is exempt, three-index slicing is free); the chunk refill and
+// the oversized-value escape hatch live in an unannotated slow path.
+package a
+
+type arenaShard struct {
+	arena []byte
+}
+
+const arenaChunk = 1 << 10
+
+//minos:hotpath
+func (sh *arenaShard) copyToArena(v []byte) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	n := len(sh.arena)
+	if n+len(v) > cap(sh.arena) {
+		return sh.copyToArenaSlow(v)
+	}
+	sh.arena = sh.arena[:n+len(v)]
+	copy(sh.arena[n:], v)
+	return sh.arena[n : n+len(v) : n+len(v)]
+}
+
+func (sh *arenaShard) copyToArenaSlow(v []byte) []byte {
+	if len(v) > arenaChunk/4 {
+		return append([]byte(nil), v...)
+	}
+	sh.arena = make([]byte, len(v), arenaChunk)
+	copy(sh.arena, v)
+	return sh.arena[0:len(v):len(v)]
+}
+
+// Folding the refill into the annotated function is the anti-pattern
+// the split exists to avoid: the analyzer flags the chunk make.
+//
+//minos:hotpath
+func (sh *arenaShard) copyToArenaFused(v []byte) []byte {
+	n := len(sh.arena)
+	if n+len(v) > cap(sh.arena) {
+		sh.arena = make([]byte, 0, arenaChunk) // want `make allocates`
+		n = 0
+	}
+	sh.arena = sh.arena[:n+len(v)]
+	copy(sh.arena[n:], v)
+	return sh.arena[n : n+len(v) : n+len(v)]
+}

@@ -1,0 +1,60 @@
+// Blessed shape: the ring transport's spin-then-park poller. The
+// goroutine body is a named method whose loop selects on the stop
+// channel both at the top of each round and while parked, so the
+// analyzer sees the shutdown edge through the method call.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type poller struct {
+	wg     sync.WaitGroup
+	stopc  chan struct{}
+	wake   chan struct{}
+	parked atomic.Bool
+	pollMu sync.Mutex
+}
+
+func (p *poller) start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.pollLoop()
+	}()
+}
+
+func (p *poller) pollLoop() {
+	for {
+		select {
+		case <-p.stopc:
+			return
+		default:
+		}
+		if p.pollMu.TryLock() {
+			p.pollMu.Unlock()
+		}
+		p.parked.Store(true)
+		select {
+		case <-p.wake:
+		case <-p.stopc:
+			p.parked.Store(false)
+			return
+		}
+		p.parked.Store(false)
+	}
+}
+
+// A busy-spin poller with no stop edge and no WaitGroup is still a
+// leak — parking on a wake channel is what makes the shape above
+// shut-downable, not the spinning itself.
+func (p *poller) startLeaky() {
+	go func() { // want `goroutine is not tied to a WaitGroup`
+		for {
+			if p.pollMu.TryLock() {
+				p.pollMu.Unlock()
+			}
+		}
+	}()
+}

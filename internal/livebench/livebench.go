@@ -44,8 +44,17 @@ type Config struct {
 	Seed int64
 	// TCP runs the cluster over loopback TCP transports instead of the
 	// in-process fabric, exercising the real batched wire path (framing,
-	// per-peer writer coalescing, broadcast fan-out).
+	// per-peer writer coalescing, broadcast fan-out). Equivalent to
+	// Fabric == "tcp"; kept for existing callers.
 	TCP bool
+	// Fabric selects the cluster interconnect: "mem" (channel-based
+	// in-process fabric, the default), "tcp" (loopback TCP mesh), or
+	// "ring" (shared-memory SPSC rings with inline polling — the fast
+	// datapath, which also enables the nodes' run-to-completion mode).
+	Fabric string
+	// RTC overrides the nodes' run-to-completion mode (default: auto —
+	// on over fabrics that support inline polling, off otherwise).
+	RTC node.RTCMode
 	// Trace records per-transaction phase spans on every node; the
 	// collected spans land in Result.Spans (minos-trace's input).
 	Trace bool
@@ -136,6 +145,7 @@ func Run(cfg Config) (*Result, error) {
 			node.WithDispatchWorkers(cfg.DispatchWorkers),
 			node.WithPersistDrains(cfg.PersistDrains),
 			node.WithTracer(tracers[i]),
+			node.WithRTC(cfg.RTC),
 		)
 		nodes[i].Start()
 	}
@@ -167,6 +177,16 @@ func Run(cfg Config) (*Result, error) {
 		mu.Unlock()
 	}
 
+	// Build every worker's generator before starting the clock:
+	// generator construction is O(records) (the zipfian zeta sum), and
+	// charging it to the measured window skewed multi-worker runs.
+	gens := make([]*workload.Generator, 0, cfg.Nodes*cfg.WorkersPerNode)
+	for ni := 0; ni < cfg.Nodes; ni++ {
+		for w := 0; w < cfg.WorkersPerNode; w++ {
+			gens = append(gens, workload.NewGenerator(cfg.Workload, cfg.Seed+int64(ni)*1009+int64(w)*7919))
+		}
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ni, nd := range nodes {
@@ -177,7 +197,7 @@ func Run(cfg Config) (*Result, error) {
 			if w == cfg.WorkersPerNode-1 {
 				count = cfg.RequestsPerNode - per*(cfg.WorkersPerNode-1)
 			}
-			gen := workload.NewGenerator(cfg.Workload, cfg.Seed+int64(ni)*1009+int64(w)*7919)
+			gen := gens[ni*cfg.WorkersPerNode+w]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -254,16 +274,36 @@ func Run(cfg Config) (*Result, error) {
 	return res, firstErr
 }
 
-// buildFabric creates one endpoint per node: the in-process fabric by
-// default, or a fully-meshed loopback TCP cluster when cfg.TCP is set.
+// buildFabric creates one endpoint per node: the in-process channel
+// fabric by default, shared-memory rings for Fabric "ring", or a
+// fully-meshed loopback TCP cluster for Fabric "tcp" / cfg.TCP.
 func buildFabric(cfg Config) ([]transport.Transport, error) {
+	fabric := cfg.Fabric
+	if fabric == "" {
+		if cfg.TCP {
+			fabric = "tcp"
+		} else {
+			fabric = "mem"
+		}
+	}
 	eps := make([]transport.Transport, cfg.Nodes)
-	if !cfg.TCP {
+	switch fabric {
+	case "mem":
 		net := transport.NewMemNetwork(cfg.Nodes)
 		for i := range eps {
 			eps[i] = net.Endpoint(ddp.NodeID(i))
 		}
 		return eps, nil
+	case "ring":
+		net := transport.NewRingNetwork(cfg.Nodes)
+		for i := range eps {
+			eps[i] = net.Endpoint(ddp.NodeID(i))
+		}
+		return eps, nil
+	case "tcp":
+		// fallthrough to the TCP mesh below
+	default:
+		return nil, fmt.Errorf("livebench: unknown fabric %q (want mem, ring, or tcp)", fabric)
 	}
 	tcps := make([]*transport.TCPTransport, cfg.Nodes)
 	for i := range tcps {

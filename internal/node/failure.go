@@ -35,7 +35,12 @@ func (n *Node) heartbeatLoop() {
 // path (every inbound frame lands here), with a new liveness epoch
 // published only when a previously failed peer speaks again. The peer
 // is responsible for running Recover itself to catch up its replica.
+// With the detector off nothing ever reads lastSeen and no peer can be
+// failed, so the whole call (and its clock read) is skipped.
 func (n *Node) noteAlive(id ddp.NodeID) {
+	if !n.detecting {
+		return
+	}
 	i, ok := n.peerIdx[id]
 	if !ok {
 		return

@@ -151,9 +151,21 @@ func (n *Node) sendAck(m ddp.Message, kind ddp.MsgKind) {
 	})
 }
 
-// handleAck records a follower acknowledgment at the coordinator.
+// handleAck records a follower acknowledgment at the coordinator. It
+// runs entirely under the transaction-stripe lock: that is what lets
+// removePending recycle a retired transaction's bookkeeping the moment
+// its delete commits — no handler can still hold a reference. The
+// transaction mutex nests inside the stripe mutex here, the only place
+// the two are held together.
+//
+//minos:lockorder node.txnStripe.mu < node.writeTxn.mu
+//
+//minos:hotpath
 func (n *Node) handleAck(m ddp.Message) {
-	wt := n.lookupPending(m.Key, m.TS)
+	s := n.stripeFor(m.Key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wt := s.pending[txnKey{m.Key, m.TS}]
 	if wt == nil {
 		// Late ack from a peer that was declared failed mid-write (the
 		// transaction already completed without it) — discard.
@@ -163,8 +175,42 @@ func (n *Node) handleAck(m ddp.Message) {
 	// Duplicate acks can occur after failure/recovery races; ignore
 	// errors from re-recording, they are benign here.
 	_ = wt.txn.RecordAck(m.Kind, m.From)
-	wt.cond.Broadcast()
+	// Publish the counts for the run-to-completion spin, then wake the
+	// parked waiter only if its predicate can actually hold now — every
+	// follower acked, or a missing one is dead (the detector broadcasts
+	// at the moment of death; this covers acks arriving after it).
+	// Intermediate acks skip the broadcast, halving the wake traffic of
+	// a multi-follower write.
+	wt.ackCn.Store(int32(wt.txn.AckCCount()))
+	wt.ackPn.Store(int32(wt.txn.AckPCount()))
+	if n.ackWaitSatisfiable(wt) {
+		wt.cond.Broadcast()
+	}
 	wt.mu.Unlock()
+}
+
+// ackWaitSatisfiable reports whether either ack-wait predicate (all
+// live followers acked consistency, or persistency) currently holds.
+// Caller holds wt.mu.
+//
+//minos:hotpath
+func (n *Node) ackWaitSatisfiable(wt *writeTxn) bool {
+	doneC, doneP := true, true
+	for _, f := range wt.followers {
+		if !n.isAlive(f) {
+			continue
+		}
+		if doneC && !wt.txn.AckedC(f) {
+			doneC = false
+		}
+		if doneP && !wt.txn.AckedP(f) {
+			doneP = false
+		}
+		if !doneC && !doneP {
+			return false
+		}
+	}
+	return true
 }
 
 // handleVal applies a VAL/VAL_C/VAL_P at a follower (Fig 2 L41-44).

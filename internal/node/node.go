@@ -52,7 +52,31 @@ type Config struct {
 	// write path (obs.Phase taxonomy). Nil disables tracing; the hot
 	// path then pays a single predictable branch per phase boundary.
 	Tracer *obs.Tracer
+	// RTC selects the run-to-completion coordinator mode: protocol
+	// messages are handled inline on the transport's polling goroutine
+	// (no executor hand-off), and a coordinator blocked on
+	// acknowledgments drives the receive path itself via inline polling
+	// instead of parking. Requires a transport implementing
+	// transport.InlinePoller; RTCAuto enables it whenever the transport
+	// supports it.
+	RTC RTCMode
 }
+
+// RTCMode controls the run-to-completion dispatch mode.
+type RTCMode int
+
+const (
+	// RTCAuto (the default) runs to completion when the transport
+	// supports inline polling, and falls back to the executor-lane
+	// dispatch otherwise.
+	RTCAuto RTCMode = iota
+	// RTCEnabled requires inline dispatch (still falls back if the
+	// transport cannot poll inline).
+	RTCEnabled
+	// RTCDisabled always uses the parked executor-lane dispatch, even
+	// over transports that could poll inline.
+	RTCDisabled
+)
 
 // txnKey identifies a write transaction; TS_WR is unique per record only.
 type txnKey struct {
@@ -61,21 +85,38 @@ type txnKey struct {
 }
 
 // writeTxn is the coordinator-side state of one in-flight client-write.
+// ackCn/ackPn mirror the acknowledgment counts atomically so the
+// run-to-completion fast path can spin on them without taking mu; the
+// authoritative per-follower state stays in txn under mu.
 type writeTxn struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	txn       *ddp.WriteTxn
 	followers []ddp.NodeID
+	ackCn     atomic.Int32
+	ackPn     atomic.Int32
 }
 
-func newWriteTxn(p ddp.Policy, self ddp.NodeID, key ddp.Key, ts ddp.Timestamp, followers []ddp.NodeID) *writeTxn {
-	wt := &writeTxn{
-		txn: ddp.NewWriteTxn(p, self, key, ts, len(followers)),
-		// followers comes from an immutable liveness snapshot; aliasing
-		// it is safe and keeps the write fast path allocation-free.
-		followers: followers,
-	}
+// wtPool recycles writeTxn state (including the WriteTxn ack maps, via
+// Reset) across writes. Safe because removePending holds the stripe
+// lock, the only place concurrent handlers obtain wt references.
+var wtPool = sync.Pool{New: func() any {
+	wt := &writeTxn{txn: &ddp.WriteTxn{}}
 	wt.cond = sync.NewCond(&wt.mu)
+	return wt
+}}
+
+// getWriteTxn checks bookkeeping for one write out of the pool.
+//
+//minos:hotpath
+func (n *Node) getWriteTxn(key ddp.Key, ts ddp.Timestamp, followers []ddp.NodeID) *writeTxn {
+	wt := wtPool.Get().(*writeTxn)
+	// followers comes from an immutable liveness snapshot; aliasing it
+	// is safe and keeps the write fast path allocation-free.
+	wt.followers = followers
+	wt.txn.Reset(n.policy, n.id, key, ts, len(followers))
+	wt.ackCn.Store(0)
+	wt.ackPn.Store(0)
 	return wt
 }
 
@@ -99,10 +140,11 @@ type scopePersist struct {
 const txnStripeCount = 64
 
 // txnStripe is one stripe of the coordinator's transaction table.
+// (Issued-version tracking lives on kv.Record.Issued, under the record
+// lock the write path already holds.)
 type txnStripe struct {
 	mu      sync.Mutex
 	pending map[txnKey]*writeTxn
-	issued  map[ddp.Key]ddp.Version
 }
 
 // liveView is an immutable snapshot of the failure detector's world.
@@ -131,6 +173,19 @@ type Node struct {
 	log   *nvm.Log
 	pipe  *nvm.Pipeline
 	exec  *executor
+
+	// poller is non-nil when the transport supports inline polling;
+	// inline is true when the node runs messages to completion on the
+	// polling goroutine (no executor lanes, no recv loop). syncSend is
+	// true when the transport finishes encoding before Send/Broadcast
+	// return, letting the write path skip its defensive value copy.
+	poller   transport.InlinePoller
+	inline   bool
+	syncSend bool
+
+	// detecting is true when the failure detector is configured; with it
+	// off, noteAlive (a clock read per inbound frame) short-circuits.
+	detecting bool
 
 	txns [txnStripeCount]*txnStripe
 
@@ -197,11 +252,14 @@ func New(cfg Config, tr transport.Transport) *Node {
 		stop:      make(chan struct{}),
 	}
 	for i := range n.txns {
-		n.txns[i] = &txnStripe{
-			pending: make(map[txnKey]*writeTxn),
-			issued:  make(map[ddp.Key]ddp.Version),
-		}
+		n.txns[i] = &txnStripe{pending: make(map[txnKey]*writeTxn)}
 	}
+	if p, ok := tr.(transport.InlinePoller); ok && cfg.RTC != RTCDisabled {
+		n.poller = p
+		n.inline = true
+	}
+	_, n.syncSend = tr.(transport.SyncEncoder)
+	n.detecting = cfg.HeartbeatEvery > 0 && cfg.FailAfter > 0
 	n.peerIdx = make(map[ddp.NodeID]int, len(n.peers))
 	n.lastSeen = make([]atomic.Int64, len(n.peers))
 	now := time.Now().UnixNano()
@@ -229,9 +287,10 @@ func New(cfg Config, tr transport.Transport) *Node {
 		// PersistDelay is a flat per-device-write cost, matching the
 		// pre-pipeline semantics where every persist charged the full
 		// delay; group commit amortizes it across a drained batch.
-		Lat:     nvm.LatencyModel{FixedNs: cfg.PersistDelay.Nanoseconds()},
-		Drains:  cfg.PersistDrains,
-		OnBatch: n.onPersistBatch,
+		Lat:      nvm.LatencyModel{FixedNs: cfg.PersistDelay.Nanoseconds()},
+		Drains:   cfg.PersistDrains,
+		OnBatch:  n.onPersistBatch,
+		OnInline: n.onPersistInline,
 	})
 	n.exec = newExecutor(n, cfg.DispatchWorkers)
 	n.obs.Register(n.pipe)
@@ -268,11 +327,17 @@ func (n *Node) Describe() string { return "node" }
 func (n *Node) Collect(s *obs.Snapshot) { n.obs.Collect(s) }
 
 // Start begins serving protocol messages and, if configured, the
-// failure detector.
+// failure detector. In run-to-completion mode the transport's polling
+// goroutine delivers frames straight into the handlers; otherwise the
+// recv loop feeds the key-affine executor.
 func (n *Node) Start() {
-	n.exec.start()
-	n.wg.Add(1)
-	go n.recvLoop()
+	if n.inline {
+		n.poller.SetHandler(n.handleFrame)
+	} else {
+		n.exec.start()
+		n.wg.Add(1)
+		go n.recvLoop()
+	}
 	if n.cfg.HeartbeatEvery > 0 && n.cfg.FailAfter > 0 {
 		n.wg.Add(1)
 		go n.heartbeatLoop()
@@ -350,17 +415,44 @@ func (n *Node) recvLoop() {
 		case transport.FrameHeartbeat:
 			// noteAlive above is the whole job.
 		case transport.FrameRecoveryRequest:
-			since := f.Since
-			from := f.From
-			n.wg.Add(1)
-			go func() {
-				defer n.wg.Done()
-				n.serveRecovery(from, since)
-			}()
+			n.spawnRecovery(f.From, f.Since)
 		case transport.FrameRecoveryEntries:
 			n.applyRecovery(f.Entries)
 		}
 	}
+}
+
+// handleFrame is the run-to-completion frame sink: it runs on whichever
+// goroutine holds the transport's poll token (the endpoint's poller or
+// a coordinator polling inline during its ack wait) and drives each
+// protocol message through its handler with no executor hand-off.
+// Frame values may borrow transport storage; every retaining path
+// (record apply, scope buffer, log append) copies before parking or
+// returning, so nothing outlives the callback.
+//
+//minos:hotpath
+func (n *Node) handleFrame(f transport.Frame) {
+	n.noteAlive(f.From)
+	switch f.Kind {
+	case transport.FrameMessage:
+		n.handleMessage(f.Msg)
+	case transport.FrameHeartbeat:
+		// noteAlive above is the whole job.
+	case transport.FrameRecoveryRequest:
+		n.spawnRecovery(f.From, f.Since)
+	case transport.FrameRecoveryEntries:
+		n.applyRecovery(f.Entries)
+	}
+}
+
+// spawnRecovery serves a log-shipping request off the delivery path;
+// recovery is rare and EntriesSince is O(log tail).
+func (n *Node) spawnRecovery(from ddp.NodeID, since uint64) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.serveRecovery(from, since)
+	}()
 }
 
 // send transmits a protocol message; transport failures are left to the
@@ -400,17 +492,17 @@ func (n *Node) stripeFor(key ddp.Key) *txnStripe {
 }
 
 // generateTS issues a unique timestamp for a write to key; the caller
-// holds the record lock, serializing same-key generation.
-func (n *Node) generateTS(key ddp.Key, r *kv.Record) ddp.Timestamp {
-	s := n.stripeFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// holds the record lock, which guards the record's issued-version
+// high-water mark — no additional lock and no map on the path.
+//
+//minos:hotpath
+func (n *Node) generateTS(r *kv.Record) ddp.Timestamp {
 	v := r.Meta.VolatileTS.Version
-	if iv := s.issued[key]; iv > v {
-		v = iv
+	if r.Issued > v {
+		v = r.Issued
 	}
 	v++
-	s.issued[key] = v
+	r.Issued = v
 	return ddp.Timestamp{Node: n.id, Version: v}
 }
 
@@ -434,18 +526,25 @@ func (n *Node) addPending(key ddp.Key, ts ddp.Timestamp, wt *writeTxn) {
 	s.mu.Unlock()
 }
 
+// removePending retires a write transaction and recycles its
+// bookkeeping. Taking the stripe lock is the quiescence point: handlers
+// only obtain wt references under it (handleAck holds it for the whole
+// ack update), so once the delete commits no handler can still touch
+// the recycled state. Close's broadcast may race a recycle, but a
+// spurious broadcast on a reused cond is benign — waiters re-check
+// their predicates.
+//
+//minos:hotpath
 func (n *Node) removePending(key ddp.Key, ts ddp.Timestamp) {
 	s := n.stripeFor(key)
+	k := txnKey{key, ts}
 	s.mu.Lock()
-	delete(s.pending, txnKey{key, ts})
+	wt := s.pending[k]
+	delete(s.pending, k)
 	s.mu.Unlock()
-}
-
-func (n *Node) lookupPending(key ddp.Key, ts ddp.Timestamp) *writeTxn {
-	s := n.stripeFor(key)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.pending[txnKey{key, ts}]
+	if wt != nil {
+		wtPool.Put(wt)
+	}
 }
 
 // persist makes (key, ts, value) durable through the pipeline: it
@@ -461,12 +560,29 @@ func (n *Node) persist(key ddp.Key, ts ddp.Timestamp, value []byte, sc ddp.Scope
 // worker for the NVM latency. The continuation runs on the drain
 // engine strictly after the log append, so the acknowledgment can
 // never outrun durability.
+//minos:hotpath
 func (n *Node) persistThen(m ddp.Message, kind ddp.MsgKind) {
 	to, key, ts, sc := m.From, m.Key, m.TS, m.Scope
 	// Followers have no coordinator transaction sequence; the sampling
 	// decision hashes the issued version instead, so a sampled run pays
 	// the follower-side clock reads at the same 1-in-N rate.
 	traced := n.tracer.Enabled() && n.tracer.SampleTxn(uint64(ts.Version))
+	if !traced && n.pipe.Inline() {
+		// Zero-latency pipeline: the append completes synchronously in
+		// Enqueue, so the acknowledgment can follow directly — the
+		// persist-before-ack order holds with no continuation closure.
+		if n.pipe.Enqueue(key, ts, m.Value, sc, nil) {
+			n.send(to, ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()})
+		}
+		return
+	}
+	n.persistThenQueued(m, kind, traced)
+}
+
+// persistThenQueued is the queued-pipeline (or traced) half of
+// persistThen: the acknowledgment rides a drain-engine continuation.
+func (n *Node) persistThenQueued(m ddp.Message, kind ddp.MsgKind, traced bool) {
+	to, key, ts, sc := m.From, m.Key, m.TS, m.Scope
 	var start int64
 	if traced {
 		start = n.tracer.Now()
@@ -529,6 +645,19 @@ func (n *Node) onPersistBatch(keys []ddp.Key, entries int) {
 			r.Wake()
 			r.Unlock()
 		}
+	}
+}
+
+// onPersistInline is onPersistBatch for the pipeline's synchronous
+// single-entry append path: same counter, same record wake, no slice.
+//
+//minos:hotpath
+func (n *Node) onPersistInline(key ddp.Key) {
+	n.Stats.Persists.Add(1)
+	if r := n.store.Get(key); r != nil {
+		r.Lock()
+		r.Wake()
+		r.Unlock()
 	}
 }
 

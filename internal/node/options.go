@@ -53,6 +53,11 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(c *Config) { c.Tracer = t }
 }
 
+// WithRTC selects the run-to-completion dispatch mode (see RTCMode).
+func WithRTC(m RTCMode) Option {
+	return func(c *Config) { c.RTC = m }
+}
+
 // NewWithOptions creates a node over tr with the given options applied
 // to a zero Config. It is the options-style face of New; both build
 // identical nodes, and New remains for callers that already hold a

@@ -1,0 +1,35 @@
+package node
+
+import (
+	"testing"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/transport"
+)
+
+// BenchmarkRingSerialWrite is the PR's headline microbenchmark: one
+// client, 3 nodes, <Lin,Synch>, no emulated NVM delay, shared-memory
+// rings with run-to-completion dispatch. The companion allocs assertion
+// lives in the hotpathalloc annotations; here b.ReportAllocs keeps the
+// number visible.
+func BenchmarkRingSerialWrite(b *testing.B) {
+	net := transport.NewRingNetwork(3)
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		nodes[i] = New(Config{Model: ddp.LinSynch}, net.Endpoint(ddp.NodeID(i)))
+		nodes[i].Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := nodes[0].Write(ddp.Key(i&255), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

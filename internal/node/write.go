@@ -1,6 +1,8 @@
 package node
 
 import (
+	"runtime"
+
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/kv"
 	"github.com/minos-ddp/minos/internal/obs"
@@ -32,11 +34,11 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	tc := n.startTrace(key)
 	r := n.store.GetOrCreate(key)
 
-	// Timestamp generation stripes by key under the record lock; the
-	// stripe mutex is a leaf taken only here.
+	// The transaction-stripe mutex nests inside the record lock
+	// (addPending below runs with the record held).
 	//minos:lockorder kv.Record < node.txnStripe.mu
 	r.Lock()
-	ts := n.generateTS(key, r) // L4
+	ts := n.generateTS(r) // L4
 	tc.setVer(ts.Version)
 	if r.Meta.Obsolete(ts) { // L5
 		n.Stats.ObsoleteWrites.Add(1)
@@ -65,14 +67,21 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	}
 
 	followers := n.liveFollowers()
-	wt := newWriteTxn(n.policy, n.id, key, ts, followers)
+	wt := n.getWriteTxn(key, ts, followers)
 	n.addPending(key, ts, wt)
 	tc.mark(obs.PhaseIssue) // timestamp issued, locks held, txn pending
 
 	inv := ddp.Message{
 		Kind: ddp.KindInv, Key: key, TS: ts, Scope: sc,
-		Value: append([]byte(nil), value...),
+		Value: value,
 		Size:  ddp.DataSize(len(value)),
+	}
+	if !n.syncSend {
+		// The transport may retain the frame after Send returns (queued
+		// in-process delivery); give it a copy it owns. Synchronous
+		// encoders (TCP batcher, ring) finish with the bytes before
+		// returning, so the client's buffer can be aliased directly.
+		inv.Value = append([]byte(nil), value...)
 	}
 	n.sendAll(followers, inv) // L11: send INVs (broadcast when all alive)
 	tc.mark(obs.PhaseInvFanout)
@@ -107,7 +116,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	}
 
 	// Step e: spin for consistency acknowledgments.
-	if err := n.waitConsistency(wt); err != nil {
+	if err := n.waitConsistencyFast(wt); err != nil {
 		n.removePending(key, ts)
 		return err
 	}
@@ -155,7 +164,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 // the RDLock where the model demands, send the durable VAL, retire.
 func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID, tc *traceCtx) error {
 	defer n.removePending(key, ts)
-	if err := n.waitPersistency(wt); err != nil {
+	if err := n.waitPersistencyFast(wt); err != nil {
 		return err
 	}
 	tc.mark(obs.PhaseAckWait) // second ack wait: the persistency spin
@@ -180,6 +189,57 @@ func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Tim
 func (n *Node) sendVal(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) {
 	val := ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()}
 	n.sendAll(followers, val)
+}
+
+// Run-to-completion ack-wait tuning: a coordinator spins this many
+// rounds — each one either draining inbound frames itself (PollInline)
+// or yielding the processor — before falling back to the parked wait.
+// Over the ring fabric at zero persist delay the whole INV→ACK round
+// trip completes within a few rounds; the parked path remains the
+// fallback for slow acks and for followers that die mid-write.
+const (
+	rtcSpinRounds = 256
+	rtcPollBudget = 32
+)
+
+// waitConsistencyFast is the run-to-completion consistency wait: spin
+// on the atomic ack count, driving the transport's receive path inline
+// so the acks this coordinator is waiting for are processed on its own
+// goroutine. Falls back to the parked wait (which also understands
+// follower death) when the spin budget runs out.
+//
+//minos:hotpath
+func (n *Node) waitConsistencyFast(wt *writeTxn) error {
+	if n.inline {
+		need := int32(len(wt.followers))
+		for spin := 0; spin < rtcSpinRounds; spin++ {
+			if wt.ackCn.Load() >= need {
+				return nil
+			}
+			if n.poller.PollInline(rtcPollBudget) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return n.waitConsistency(wt)
+}
+
+// waitPersistencyFast is waitConsistencyFast for the persistency acks.
+//
+//minos:hotpath
+func (n *Node) waitPersistencyFast(wt *writeTxn) error {
+	if n.inline {
+		need := int32(len(wt.followers))
+		for spin := 0; spin < rtcSpinRounds; spin++ {
+			if wt.ackPn.Load() >= need {
+				return nil
+			}
+			if n.poller.PollInline(rtcPollBudget) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+	return n.waitPersistency(wt)
 }
 
 // waitConsistency blocks until every live follower acknowledged the

@@ -64,25 +64,124 @@ const logShardCount = 32
 // The log also serves recovery: EntriesSince streams the tail to a
 // re-inserted node (§III-E).
 //
-// Storage is striped by key: each shard holds its own entry slice and
-// durable map under its own mutex, so concurrent appenders for
-// different keys never contend. Sequence numbers come from one atomic
-// counter but are assigned while the destination shard's lock is held,
-// so each shard's entries stay sorted by Seq; the cold full-log views
-// (EntriesSince, Replay) merge the shards back into global Seq order.
+// Storage is striped by key: each shard holds its own segmented entry
+// store and durable map under its own mutex, so concurrent appenders
+// for different keys never contend. Sequence numbers come from one
+// atomic counter but are assigned while the destination shard's lock is
+// held, so each shard's entries stay sorted by Seq; the cold full-log
+// views (EntriesSince, Replay) merge the shards back into global Seq
+// order.
 type Log struct {
 	nextSeq atomic.Uint64
 	shards  [logShardCount]logShard
 }
 
 type logShard struct {
-	mu      sync.Mutex
-	entries []Entry
+	mu sync.Mutex
+
+	// Entries are stored in fixed-capacity segments: active is the tail
+	// being appended to, sealed holds the full segments before it, in
+	// order. A flat slice would re-zero and copy the entire log on every
+	// growth doubling — on a long run that single append line dominated
+	// the write path's CPU profile. Segments are allocated once, never
+	// copied, and never moved.
+	sealed [][]Entry
+	active []Entry
+
+	// arena backs the value copies made by Append: values bump-allocate
+	// out of fixed-size chunks so the steady-state append path performs
+	// no per-entry heap allocation. Chunks stay reachable through the
+	// entries that reference them — the same total footprint individual
+	// copies would have, minus the per-copy allocator visit.
+	arena []byte
 
 	// durable tracks, per key, the newest timestamp present in the log —
 	// i.e. locally durable. The model checker and the protocol's
 	// PersistencySpin consult this.
 	durable map[ddp.Key]ddp.Timestamp
+}
+
+// segEntries is the capacity of one log segment. At ~64 bytes per
+// Entry a segment is a few hundred KB — large enough that seals are
+// rare, small enough that an idle shard costs nothing until first use.
+const segEntries = 4096
+
+// appendEntry adds e to the shard in Seq order; the caller holds sh.mu
+// and must have assigned e.Seq under it. The segment seal (the only
+// allocation) lives in the unannotated slow path.
+//
+//minos:hotpath
+func (sh *logShard) appendEntry(e Entry) {
+	if len(sh.active) == cap(sh.active) {
+		sh.sealSegment()
+	}
+	sh.active = append(sh.active, e)
+}
+
+// sealSegment retires the full active segment and starts a fresh one.
+// Also handles the shard's very first append (nil active).
+func (sh *logShard) sealSegment() {
+	if sh.active != nil {
+		sh.sealed = append(sh.sealed, sh.active)
+	}
+	sh.active = make([]Entry, 0, segEntries)
+}
+
+// forEach visits every entry in append (= per-shard Seq) order; the
+// caller holds sh.mu.
+func (sh *logShard) forEach(f func(Entry)) {
+	for _, seg := range sh.sealed {
+		for _, e := range seg {
+			f(e)
+		}
+	}
+	for _, e := range sh.active {
+		f(e)
+	}
+}
+
+// count returns the shard's entry count; the caller holds sh.mu.
+func (sh *logShard) count() int {
+	n := len(sh.active)
+	for _, seg := range sh.sealed {
+		n += len(seg)
+	}
+	return n
+}
+
+// arenaChunk is the shard arena's chunk size. Values larger than a
+// quarter chunk are copied individually rather than wasting most of a
+// fresh chunk.
+const arenaChunk = 64 << 10
+
+// copyToArena copies v into the shard's bump arena; the caller holds
+// sh.mu. The refill and the oversized-value escape live in the
+// unannotated slow path.
+//
+//minos:hotpath
+func (sh *logShard) copyToArena(v []byte) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	n := len(sh.arena)
+	if n+len(v) > cap(sh.arena) {
+		return sh.copyToArenaSlow(v)
+	}
+	sh.arena = sh.arena[:n+len(v)]
+	copy(sh.arena[n:], v)
+	return sh.arena[n : n+len(v) : n+len(v)]
+}
+
+// copyToArenaSlow starts a fresh chunk (or, for oversized values, makes
+// an individual copy). The abandoned tail of the previous chunk is
+// bounded waste: at most a quarter chunk per refill.
+func (sh *logShard) copyToArenaSlow(v []byte) []byte {
+	if len(v) > arenaChunk/4 {
+		return append([]byte(nil), v...)
+	}
+	sh.arena = make([]byte, len(v), arenaChunk)
+	copy(sh.arena, v)
+	return sh.arena[0:len(v):len(v)]
 }
 
 // NewLog returns an empty log.
@@ -99,9 +198,22 @@ func (l *Log) shardIndex(key ddp.Key) uint64 {
 }
 
 // Append atomically adds an entry for (key, ts, value) and returns its
-// sequence number. Appends need not arrive in timestamp order.
+// sequence number. Appends need not arrive in timestamp order. The
+// value is copied into the shard's arena, so the caller keeps ownership
+// of its buffer and the steady-state append allocates nothing.
+//
+//minos:hotpath
 func (l *Log) Append(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) uint64 {
-	return l.appendOwned(key, ts, append([]byte(nil), value...), scope)
+	sh := &l.shards[l.shardIndex(key)]
+	sh.mu.Lock()
+	owned := sh.copyToArena(value)
+	seq := l.nextSeq.Add(1) - 1
+	sh.appendEntry(Entry{Seq: seq, Key: key, TS: ts, Value: owned, Scope: scope})
+	if cur, ok := sh.durable[key]; !ok || cur.Less(ts) {
+		sh.durable[key] = ts
+	}
+	sh.mu.Unlock()
+	return seq
 }
 
 // appendOwned is Append for a value the caller hands over (no copy).
@@ -110,7 +222,7 @@ func (l *Log) appendOwned(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	seq := l.nextSeq.Add(1) - 1
-	sh.entries = append(sh.entries, Entry{Seq: seq, Key: key, TS: ts, Value: value, Scope: scope})
+	sh.appendEntry(Entry{Seq: seq, Key: key, TS: ts, Value: value, Scope: scope})
 	if cur, ok := sh.durable[key]; !ok || cur.Less(ts) {
 		sh.durable[key] = ts
 	}
@@ -146,7 +258,7 @@ func (l *Log) appendBatch(entries []batchEntry) {
 			}
 			e := &entries[j]
 			seq := l.nextSeq.Add(1) - 1
-			sh.entries = append(sh.entries, Entry{Seq: seq, Key: e.key, TS: e.ts, Value: e.value, Scope: e.scope})
+			sh.appendEntry(Entry{Seq: seq, Key: e.key, TS: e.ts, Value: e.value, Scope: e.scope})
 			if cur, ok := sh.durable[e.key]; !ok || cur.Less(e.ts) {
 				sh.durable[e.key] = e.ts
 			}
@@ -162,7 +274,7 @@ func (l *Log) Len() int {
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		n += len(sh.entries)
+		n += sh.count()
 		sh.mu.Unlock()
 	}
 	return n
@@ -192,8 +304,11 @@ func (l *Log) EntriesSince(seq uint64) []Entry {
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		j := sort.Search(len(sh.entries), func(k int) bool { return sh.entries[k].Seq >= seq })
-		out = append(out, sh.entries[j:]...)
+		sh.forEach(func(e Entry) {
+			if e.Seq >= seq {
+				out = append(out, e)
+			}
+		})
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
@@ -211,11 +326,11 @@ func (l *Log) Materialize() map[ddp.Key]Entry {
 	for i := range l.shards {
 		sh := &l.shards[i]
 		sh.mu.Lock()
-		for _, e := range sh.entries {
+		sh.forEach(func(e Entry) {
 			if cur, ok := db[e.Key]; !ok || cur.TS.Less(e.TS) {
 				db[e.Key] = e
 			}
-		}
+		})
 		sh.mu.Unlock()
 	}
 	return db

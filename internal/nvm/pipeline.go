@@ -25,9 +25,10 @@ import (
 // that is exactly the out-of-order log insertion §V-B.4 permits,
 // because obsolete entries are filtered when the log is applied.
 type Pipeline struct {
-	log     *Log
-	lat     LatencyModel
-	onBatch func(keys []ddp.Key, entries int)
+	log      *Log
+	lat      LatencyModel
+	onBatch  func(keys []ddp.Key, entries int)
+	onInline func(key ddp.Key)
 
 	queues []*drainQueue
 	mask   uint64
@@ -69,6 +70,11 @@ type PipelineConfig struct {
 	// The node layer uses it to wake each record once per batch and to
 	// keep its persist counters exact.
 	OnBatch func(keys []ddp.Key, entries int)
+	// OnInline, when set, replaces OnBatch on the zero-latency inline
+	// append path: it receives the single appended key with no slice
+	// wrapper, keeping the inline persist allocation-free. When unset,
+	// inline appends fall back to OnBatch.
+	OnInline func(key ddp.Key)
 }
 
 // Update is one record update submitted to the pipeline.
@@ -117,12 +123,13 @@ func NewPipeline(log *Log, cfg PipelineConfig) *Pipeline {
 		n <<= 1
 	}
 	p := &Pipeline{
-		log:     log,
-		lat:     cfg.Lat,
-		onBatch: cfg.OnBatch,
-		mask:    uint64(n - 1),
-		inline:  cfg.Lat.Zero(),
-		stop:    make(chan struct{}),
+		log:      log,
+		lat:      cfg.Lat,
+		onBatch:  cfg.OnBatch,
+		onInline: cfg.OnInline,
+		mask:     uint64(n - 1),
+		inline:   cfg.Lat.Zero(),
+		stop:     make(chan struct{}),
 	}
 	p.reg = obs.NewRegistry("nvm.pipeline")
 	p.batches = p.reg.Counter("batches")
@@ -200,7 +207,10 @@ func (p *Pipeline) enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope dd
 }
 
 // appendInline is the zero-latency fast path: a synchronous append with
-// per-entry bookkeeping, no queue handoff.
+// per-entry bookkeeping, no queue handoff, and no allocation when the
+// OnInline hook is installed.
+//
+//minos:hotpath
 func (p *Pipeline) appendInline(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) {
 	p.log.Append(key, ts, value, scope)
 	p.entries.Add(1)
@@ -209,10 +219,24 @@ func (p *Pipeline) appendInline(key ddp.Key, ts ddp.Timestamp, value []byte, sco
 	if then != nil {
 		then()
 	}
-	if p.onBatch != nil {
-		p.onBatch([]ddp.Key{key}, 1)
+	if p.onInline != nil {
+		p.onInline(key)
+	} else if p.onBatch != nil {
+		p.onBatchSingle(key)
 	}
 }
+
+// onBatchSingle adapts the single-key inline append to the batch hook;
+// the slice literal lives here, off the annotated fast path.
+func (p *Pipeline) onBatchSingle(key ddp.Key) {
+	p.onBatch([]ddp.Key{key}, 1)
+}
+
+// Inline reports whether the pipeline appends synchronously in the
+// caller (zero modeled latency, no drain workers). Callers use it to
+// skip continuation closures: after an inline Enqueue returns, the
+// entry is already durable.
+func (p *Pipeline) Inline() bool { return p.inline }
 
 // Enqueue submits an update without waiting for durability. If then is
 // non-nil it runs on the drain worker strictly after the batch holding

@@ -114,8 +114,24 @@ func appendLogEntry(b []byte, e LogEntry) []byte {
 // DecodeFrame parses one frame from buf, which must contain exactly the
 // bytes after the length prefix (kind onward).
 func DecodeFrame(buf []byte) (Frame, error) {
+	return decodeFrame(buf, false)
+}
+
+// DecodeFrameBorrowed is DecodeFrame without the defensive copy of
+// Msg.Value: the returned frame's value aliases buf and is only valid
+// while buf is. It is the zero-copy decode path for ring-fabric inline
+// delivery, where the frame is consumed synchronously before the ring
+// storage is released. Recovery entries are always copied — they
+// outlive the frame by design (they land in the log).
+//
+//minos:hotpath
+func DecodeFrameBorrowed(buf []byte) (Frame, error) {
+	return decodeFrame(buf, true)
+}
+
+func decodeFrame(buf []byte, borrow bool) (Frame, error) {
 	var f Frame
-	r := reader{buf: buf}
+	r := reader{buf: buf, borrow: borrow}
 	kind, err := r.u8()
 	if err != nil {
 		return f, err
@@ -158,8 +174,9 @@ func DecodeFrame(buf []byte) (Frame, error) {
 }
 
 type reader struct {
-	buf []byte
-	off int
+	buf    []byte
+	off    int
+	borrow bool // message values alias buf instead of being copied
 }
 
 func (r *reader) need(n int) error {
@@ -213,6 +230,30 @@ func (r *reader) bytes() ([]byte, error) {
 	return out, nil
 }
 
+// bytesShared is bytes without the copy when the reader is in borrow
+// mode; the result aliases r.buf. Used only for message values, whose
+// borrowed lifetime the transport contract defines.
+//
+//minos:hotpath
+func (r *reader) bytesShared() ([]byte, error) {
+	if !r.borrow {
+		return r.bytes()
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if err := r.need(int(n)); err != nil {
+		return nil, err
+	}
+	out := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}
+
 func (r *reader) message() (ddp.Message, error) {
 	var m ddp.Message
 	kind, err := r.u8()
@@ -247,7 +288,7 @@ func (r *reader) message() (ddp.Message, error) {
 		return m, err
 	}
 	m.Scope = ddp.ScopeID(sc)
-	m.Value, err = r.bytes()
+	m.Value, err = r.bytesShared()
 	m.Size = ddp.DataSize(len(m.Value))
 	return m, err
 }

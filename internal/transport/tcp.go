@@ -150,6 +150,11 @@ func (t *TCPTransport) SetPeerAddr(id ddp.NodeID, addr string) {
 // Self returns this endpoint's node ID.
 func (t *TCPTransport) Self() ddp.NodeID { return t.self }
 
+// SyncEncode marks that Send/Broadcast serialize the frame (value
+// included) into the peer's batch buffer before returning, so callers
+// may reuse the value's backing array immediately (SyncEncoder).
+func (t *TCPTransport) SyncEncode() {}
+
 // Peers returns the other cluster members in ascending NodeID order.
 // The sort makes iteration order deterministic for every caller that
 // fans out over the cluster (the map's range order is not).
