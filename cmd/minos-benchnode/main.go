@@ -1,10 +1,12 @@
-// Command minos-benchnode measures the live node's write path: a
+// Command minos-benchnode measures the live node's client paths: a
 // serial and a parallel write microbenchmark per DDP model, with the
 // emulated NVM delay both off and at the paper's 1295 ns device write
-// (Table II), plus a livebench throughput run over the in-process
-// fabric. Results land under a -label key ("before" / "after") in a
-// JSON file, so the same source compiled at two commits produces one
-// comparable document.
+// (Table II); serial and parallel read microbenchmarks (including the
+// zero-copy ReadInto fast path and a GOMAXPROCS sweep); plus livebench
+// throughput runs over the in-process fabric, including the read-mostly
+// YCSB-B/C mixes. Results land under a -label key ("before" / "after")
+// in a JSON file, so the same source compiled at two commits produces
+// one comparable document.
 //
 // Usage:
 //
@@ -14,6 +16,11 @@
 // (comparable against baseline worktrees, whose benchnode predates the
 // fabric field — their rows read as mem), "ring" is the shared-memory
 // SPSC datapath, which also engages the nodes' run-to-completion mode.
+//
+// Before/after discipline: this file compiles against both the pre- and
+// post-seqlock node package. Features the baseline tree lacks (ReadInto,
+// livebench store preload) are reached through interface assertions and
+// reflection, so a "before" worktree run simply skips those rows.
 package main
 
 import (
@@ -22,6 +29,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -43,8 +52,10 @@ func main() {
 
 	doc := map[string]any{}
 	micro := runMicro()
+	reads := runReads()
 	live := runLive(*liveRequests)
 	doc["microbench"] = micro
+	doc["reads"] = reads
 	doc["live"] = live
 
 	if *jsonPath != "" {
@@ -61,7 +72,8 @@ type microResult struct {
 	Fabric   string  `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
 	Model    string  `json:"model"`
 	DelayNs  int64   `json:"delay_ns"`
-	Variant  string  `json:"variant"` // serial | parallel
+	Variant  string  `json:"variant"` // serial | parallel | read-* | readinto-*
+	Procs    int     `json:"procs,omitempty"`
 	NsPerOp  float64 `json:"ns_per_op"`
 	OpsPerS  float64 `json:"ops_per_s"`
 	N        int     `json:"n"`
@@ -197,6 +209,99 @@ func runMicroFabric(fabric string, val []byte) []microResult {
 	return out
 }
 
+// readIntoer is satisfied by the post-seqlock node. Reaching ReadInto
+// through the assertion keeps this source compiling in a "before"
+// worktree, where the rows are simply skipped.
+type readIntoer interface {
+	ReadInto(key ddp.Key, buf []byte) ([]byte, error)
+}
+
+// readKeys is the preloaded key-set size for the read benchmarks. 256
+// distinct keys spread across every store shard while staying resident
+// in cache — the "uncontended key set" of the scaling criterion.
+const readKeys = 256
+
+// readProcs is the GOMAXPROCS sweep for the parallel read rows.
+var readProcs = []int{1, 2, 4, 8}
+
+// runReads measures the read path per fabric: the copying Read, the
+// zero-alloc ReadInto, and a RunParallel ReadInto sweep across
+// GOMAXPROCS. Reads are model-independent (always local, §III-D), so
+// one model per fabric suffices; Lin-Synch is the reference.
+func runReads() []microResult {
+	val := bytes.Repeat([]byte("r"), 128)
+	var out []microResult
+	for _, fabric := range []string{"mem", "ring"} {
+		n, done := cluster(ddp.LinSynch, 0, fabric)
+		for i := 0; i < readKeys; i++ {
+			if err := n.Write(ddp.Key(i), val); err != nil {
+				fmt.Fprintln(os.Stderr, "minos-benchnode: preload:", err)
+				os.Exit(1)
+			}
+		}
+
+		serial := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Read(ddp.Key(i & (readKeys - 1))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out = append(out, toResult(fabric, ddp.LinSynch, 0, "read-serial", serial))
+		fmt.Printf("%-5s %-12v read-serial       %10.1f ns/op %4d allocs/op\n",
+			fabric, ddp.LinSynch, nsPerOp(serial), serial.AllocsPerOp())
+
+		if ri, ok := any(n).(readIntoer); ok {
+			into := testing.Benchmark(func(b *testing.B) {
+				buf := make([]byte, 0, len(val))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, err := ri.ReadInto(ddp.Key(i&(readKeys-1)), buf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					buf = v[:0]
+				}
+			})
+			out = append(out, toResult(fabric, ddp.LinSynch, 0, "readinto-serial", into))
+			fmt.Printf("%-5s %-12v readinto-serial   %10.1f ns/op %4d allocs/op\n",
+				fabric, ddp.LinSynch, nsPerOp(into), into.AllocsPerOp())
+
+			for _, procs := range readProcs {
+				procs := procs
+				prev := runtime.GOMAXPROCS(procs)
+				par := testing.Benchmark(func(b *testing.B) {
+					var ctr atomic.Uint64
+					b.ReportAllocs()
+					b.RunParallel(func(pb *testing.PB) {
+						base := ctr.Add(1) * 31
+						buf := make([]byte, 0, len(val))
+						i := uint64(0)
+						for pb.Next() {
+							i++
+							v, err := ri.ReadInto(ddp.Key((base+i)&(readKeys-1)), buf)
+							if err != nil {
+								b.Fatal(err)
+							}
+							buf = v[:0]
+						}
+					})
+				})
+				runtime.GOMAXPROCS(prev)
+				row := toResult(fabric, ddp.LinSynch, 0, "readinto-parallel", par)
+				row.Procs = procs
+				out = append(out, row)
+				fmt.Printf("%-5s %-12v readinto-parallel procs=%d %10.1f ns/op %12.0f reads/s %4d allocs/op\n",
+					fabric, ddp.LinSynch, procs, nsPerOp(par), row.OpsPerS, par.AllocsPerOp())
+			}
+		}
+		done()
+	}
+	return out
+}
+
 func nsPerOp(r testing.BenchmarkResult) float64 {
 	if r.N <= 0 {
 		return 0
@@ -220,6 +325,7 @@ func toResult(fabric string, model ddp.Model, d time.Duration, variant string, r
 type liveResult struct {
 	Fabric         string  `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
 	Model          string  `json:"model"`
+	Mix            string  `json:"mix,omitempty"` // "" == 100% writes
 	DelayNs        int64   `json:"delay_ns"`
 	Workers        int     `json:"workers_per_node"`
 	Ops            int     `json:"ops"`
@@ -227,13 +333,15 @@ type liveResult struct {
 	ThroughputOpsS float64 `json:"throughput_ops_s"`
 	WriteAvgNs     float64 `json:"write_avg_ns"`
 	WriteP99Ns     float64 `json:"write_p99_ns"`
+	ReadAvgNs      float64 `json:"read_avg_ns,omitempty"`
+	ReadP99Ns      float64 `json:"read_p99_ns,omitempty"`
 }
 
-// runLive measures Lin-Synch on the in-process fabric with the persist
-// delay off and at 1295 ns — the acceptance metric for the pipelined
-// durability engine. Two offered loads: one client per node, where the
-// per-write device delay is fully exposed on the critical path, and
-// eight, where concurrency can hide it.
+// runLive measures Lin-Synch on the in-process fabrics: the all-write
+// mix with the persist delay off and at 1295 ns (the pipelined
+// durability engine's acceptance metric), then the read-mostly YCSB-B
+// (95/5) and YCSB-C (100% read) mixes, where the lock-free read path
+// carries the load.
 func runLive(requests int) []liveResult {
 	var out []liveResult
 	wl := workload.Default()
@@ -242,33 +350,64 @@ func runLive(requests int) []liveResult {
 	for _, fabric := range []string{"mem", "ring"} {
 		for _, workers := range []int{1, 8} {
 			for _, d := range benchDelays {
-				res, err := livebench.Run(livebench.Config{
-					Nodes:           3,
-					Model:           ddp.LinSynch,
-					WorkersPerNode:  workers,
-					RequestsPerNode: requests,
-					PersistDelay:    d,
-					Workload:        wl,
-					Seed:            42,
-					Fabric:          fabric,
-				})
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "minos-benchnode: livebench:", err)
-					os.Exit(1)
-				}
-				out = append(out, liveResult{
-					Fabric: fabric, Model: fmt.Sprint(res.Model), DelayNs: d.Nanoseconds(), Workers: workers,
-					Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
-					ThroughputOpsS: res.Throughput(),
-					WriteAvgNs:     res.WriteLat.Mean(),
-					WriteP99Ns:     res.WriteLat.Percentile(99),
-				})
-				fmt.Printf("live %-5s %-9v delay=%-8v workers=%d %9.0f op/s (wr avg %.0f ns)\n",
-					fabric, res.Model, d, workers, res.Throughput(), res.WriteLat.Mean())
+				out = append(out, runLiveCell(fabric, "", wl, workers, d, requests))
 			}
 		}
 	}
+	// Read-mostly cells: both presets, write delay off (reads never
+	// touch NVM), eight workers so the read path sees concurrency.
+	for _, fabric := range []string{"mem", "ring"} {
+		for _, preset := range []workload.Preset{workload.PresetB, workload.PresetC} {
+			pwl := preset.Config()
+			pwl.ValueSize = 128
+			out = append(out, runLiveCell(fabric, preset.String(), pwl, 8, 0, requests))
+		}
+	}
 	return out
+}
+
+func runLiveCell(fabric, mix string, wl workload.Config, workers int, d time.Duration, requests int) liveResult {
+	cfg := livebench.Config{
+		Nodes:           3,
+		Model:           ddp.LinSynch,
+		WorkersPerNode:  workers,
+		RequestsPerNode: requests,
+		PersistDelay:    d,
+		Workload:        wl,
+		Seed:            42,
+		Fabric:          fabric,
+	}
+	if mix != "" {
+		// Read-mostly mixes only measure real value copies when the
+		// store is preloaded. The field is set reflectively so this
+		// source still compiles in a "before" worktree whose livebench
+		// predates it (the cell then reads empty records — the row is
+		// labeled all the same).
+		if f := reflect.ValueOf(&cfg).Elem().FieldByName("PreloadRecords"); f.IsValid() && f.CanSet() {
+			f.SetInt(int64(wl.Records))
+		}
+	}
+	res, err := livebench.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minos-benchnode: livebench:", err)
+		os.Exit(1)
+	}
+	row := liveResult{
+		Fabric: fabric, Model: fmt.Sprint(res.Model), Mix: mix, DelayNs: d.Nanoseconds(), Workers: workers,
+		Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
+		ThroughputOpsS: res.Throughput(),
+		WriteAvgNs:     res.WriteLat.Mean(),
+		WriteP99Ns:     res.WriteLat.Percentile(99),
+		ReadAvgNs:      res.ReadLat.Mean(),
+		ReadP99Ns:      res.ReadLat.Percentile(99),
+	}
+	label := mix
+	if label == "" {
+		label = "writes"
+	}
+	fmt.Printf("live %-5s %-9v %-7s delay=%-8v workers=%d %9.0f op/s (wr avg %.0f ns, rd avg %.0f ns)\n",
+		fabric, res.Model, label, d, workers, res.Throughput(), res.WriteLat.Mean(), res.ReadLat.Mean())
+	return row
 }
 
 // mergeJSON stores doc under label in path, preserving every other

@@ -28,12 +28,19 @@ const (
 	// KindPersist is the Scope model's [PERSIST]sc request asking
 	// Followers to persist every write in a scope.
 	KindPersist
+	// KindValBatch carries several release-side validations (VAL/VAL_C/
+	// VAL_P) from back-to-back commits in one frame. Run-to-completion
+	// transports coalesce them so consecutive single-key transactions
+	// share one encode+broadcast; the receiver unpacks and handles each
+	// entry as if it had arrived alone.
+	KindValBatch
 
 	numMsgKinds
 )
 
 var msgKindNames = [numMsgKinds]string{
 	"INV", "ACK", "ACK_C", "ACK_P", "VAL", "VAL_C", "VAL_P", "PERSIST",
+	"VAL_BATCH",
 }
 
 func (k MsgKind) String() string {

@@ -7,5 +7,5 @@ import (
 )
 
 func TestLockOrder(t *testing.T) {
-	linttest.Run(t, "testdata", LockOrder, "lockorder/a", "lockorder/cross")
+	linttest.Run(t, "testdata", LockOrder, "lockorder/a", "lockorder/cross", "lockorder/valstage")
 }

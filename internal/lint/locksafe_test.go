@@ -7,5 +7,5 @@ import (
 )
 
 func TestLockSafe(t *testing.T) {
-	linttest.Run(t, "testdata", LockSafe, "locksafe/a", "locksafe/pipeline")
+	linttest.Run(t, "testdata", LockSafe, "locksafe/a", "locksafe/pipeline", "locksafe/seqlock")
 }

@@ -1,0 +1,73 @@
+// Blessed shape: the record seqlock's lock-free read — atomic sequence
+// check, blocked-mirror gate, word-wise atomic copy into a
+// caller-recycled buffer, bounded retry. The buffer grow (the only
+// allocation) lives in an unannotated slow path, exactly like the
+// arena refill next door.
+package a
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+)
+
+type seqRecord struct {
+	seq     atomic.Uint64
+	blocked atomic.Bool
+	vlen    atomic.Int64
+	words   []atomic.Uint64
+}
+
+const seqRetries = 8
+
+//minos:hotpath
+func (r *seqRecord) readInto(buf []byte) ([]byte, bool) {
+	for attempt := 0; attempt < seqRetries; attempt++ {
+		s := r.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		if r.blocked.Load() {
+			return nil, false
+		}
+		n := int(r.vlen.Load())
+		if n < 0 {
+			return nil, true
+		}
+		if cap(buf) < n {
+			buf = growReadBuf(n)
+		}
+		buf = buf[:n]
+		for i := 0; i+8 <= n; i += 8 {
+			binary.LittleEndian.PutUint64(buf[i:], r.words[i/8].Load())
+		}
+		if r.seq.Load() == s {
+			return buf, true
+		}
+	}
+	return nil, false
+}
+
+func growReadBuf(n int) []byte { return make([]byte, n) }
+
+// Folding the grow into the annotated read is the anti-pattern the
+// split avoids: the analyzer flags the make.
+//
+//minos:hotpath
+func (r *seqRecord) readIntoFused(buf []byte) ([]byte, bool) {
+	s := r.seq.Load()
+	if s&1 != 0 {
+		return nil, false
+	}
+	n := int(r.vlen.Load())
+	if n < 0 {
+		return nil, true
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n) // want `make allocates`
+	}
+	buf = buf[:n]
+	for i := 0; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], r.words[i/8].Load())
+	}
+	return buf, r.seq.Load() == s
+}

@@ -1,0 +1,42 @@
+// Fixture: the VAL-stage leaf shape — a record lock held across the
+// stage flush is legal once declared, while an undeclared nesting
+// under the same record lock is flagged.
+package valstage
+
+import "sync"
+
+type Record struct{ mu sync.Mutex }
+
+func (r *Record) Lock()   { r.mu.Lock() }
+func (r *Record) Unlock() { r.mu.Unlock() }
+
+type stage struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// fanout sends with the record held; the send path flushes the stage,
+// so the stage mutex nests inside the record lock. Declared: the stage
+// is a leaf whose holder only encodes and broadcasts.
+//
+//minos:lockorder valstage.Record < valstage.stage.mu
+func fanout(r *Record, s *stage) {
+	r.Lock()
+	defer r.Unlock()
+	s.mu.Lock()
+	s.buf = s.buf[:0]
+	s.mu.Unlock()
+}
+
+type side struct {
+	mu sync.Mutex
+}
+
+// Nesting a second mutex under the record without a matching
+// declaration is the shape the analyzer exists to catch.
+func fanoutUndeclared(r *Record, s *side) {
+	r.Lock()
+	defer r.Unlock()
+	s.mu.Lock() // want `lock order valstage.Record -> valstage.side.mu is not declared`
+	s.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+// Fixture: the seqlock publication, its mutex read fallback, and the
+// drain engine's pooled stop-aware timer park. Every pattern here is
+// the blessed form — the write-side critical section performs only
+// field updates and atomic stores, the fallback's condvar wait loop
+// runs under its own lock, and the timer park selects on stop with no
+// lock held, draining the fired timer before pooling it. Expect zero
+// diagnostics.
+package seqlock
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type record struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    atomic.Uint64
+	val    []byte
+	locked bool
+}
+
+// publish is the seqlock write side: sequence odd, mutate, sequence
+// even — all inside the record's critical section, nothing blocking.
+func (r *record) publish(v []byte) {
+	r.mu.Lock()
+	r.seq.Add(1)
+	r.val = append(r.val[:0], v...)
+	r.seq.Add(1)
+	r.mu.Unlock()
+}
+
+// readSlow is the mutex fallback behind the lock-free fast path: the
+// condvar wait loop runs under the record lock, the blessed spin shape.
+func (r *record) readSlow(buf []byte) []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.locked {
+		r.cond.Wait()
+	}
+	return append(buf[:0], r.val...)
+}
+
+// timerPool recycles park timers; only drained timers are pooled, so
+// Reset is always legal.
+var timerPool sync.Pool
+
+// park models one group commit's device sleep: a pooled timer raced
+// against stop, with the fired-timer drain on the stop path keeping
+// the pooled timer Reset-safe. No lock is held across either receive.
+func park(stop chan struct{}, d time.Duration) bool {
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(d)
+	} else {
+		t.Reset(d)
+	}
+	select {
+	case <-stop:
+		if !t.Stop() {
+			<-t.C
+		}
+		timerPool.Put(t)
+		return false
+	case <-t.C:
+		timerPool.Put(t)
+		return true
+	}
+}

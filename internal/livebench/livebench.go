@@ -40,6 +40,11 @@ type Config struct {
 	PersistDrains int
 	// Workload is the request mix (default: the paper's default).
 	Workload workload.Config
+	// PreloadRecords, when positive, pre-populates every node's store
+	// with that many records (keys 0..n-1, workload-sized values)
+	// before the clock starts, so read-mostly mixes measure real value
+	// copies instead of not-found lookups.
+	PreloadRecords int
 	// Seed fixes the workload streams.
 	Seed int64
 	// TCP runs the cluster over loopback TCP transports instead of the
@@ -157,6 +162,13 @@ func Run(cfg Config) (*Result, error) {
 
 	res := &Result{Model: cfg.Model}
 	value := make([]byte, cfg.Workload.ValueSize)
+	if cfg.PreloadRecords > 0 {
+		// Replicas start identical: the preload writes every node's
+		// local store directly, off the protocol (and off the clock).
+		for _, nd := range nodes {
+			nd.Store().Preload(cfg.PreloadRecords, value)
+		}
+	}
 	var mu sync.Mutex
 	var firstErr error
 	record := func(isWrite bool, d time.Duration) {

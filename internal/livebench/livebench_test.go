@@ -34,6 +34,48 @@ func TestRunCompletesAllOps(t *testing.T) {
 	}
 }
 
+// TestRunReadMostlyPreloaded runs the YCSB-B (95/5) and YCSB-C (pure
+// read) mixes over a preloaded store: every op completes, read latency
+// samples dominate, and — because the records exist before the clock
+// starts — reads return real values, not not-found misses.
+func TestRunReadMostlyPreloaded(t *testing.T) {
+	for _, preset := range []workload.Preset{workload.PresetB, workload.PresetC} {
+		preset := preset
+		t.Run(preset.String(), func(t *testing.T) {
+			t.Parallel()
+			wl := preset.Config()
+			wl.Records = 512
+			wl.ValueSize = 64
+			res, err := Run(Config{
+				Nodes:           3,
+				Model:           ddp.LinSynch,
+				WorkersPerNode:  2,
+				RequestsPerNode: 200,
+				Seed:            1,
+				Fabric:          "ring",
+				Workload:        wl,
+				PreloadRecords:  512,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops != 600 {
+				t.Fatalf("completed %d ops, want 600", res.Ops)
+			}
+			if res.ReadLat.N() == 0 {
+				t.Fatal("read-mostly mix recorded no read samples")
+			}
+			if res.ReadLat.N() < res.WriteLat.N() {
+				t.Fatalf("read-mostly mix recorded %d reads < %d writes",
+					res.ReadLat.N(), res.WriteLat.N())
+			}
+			if preset == workload.PresetC && res.WriteLat.N() != 0 {
+				t.Fatalf("pure-read mix recorded %d writes", res.WriteLat.N())
+			}
+		})
+	}
+}
+
 // TestRunTCPFabric runs the live cluster over real loopback TCP: all
 // ops must complete and the aggregated wire counters must show batched
 // frames flowing (and broadcasts, since invalidations fan out to the

@@ -78,6 +78,47 @@ func BenchmarkNodeWrite(b *testing.B) {
 	}
 }
 
+// Read-path benchmarks: reads are always local (§III-D), so one model
+// suffices. BenchmarkNodeRead measures the copying API (one alloc for
+// the returned value); BenchmarkNodeReadInto the seqlock fast path
+// with a recycled caller buffer (0 allocs).
+func BenchmarkNodeRead(b *testing.B) {
+	val := bytes.Repeat([]byte("r"), 128)
+	n := benchCluster(b, ddp.LinSynch, 0)
+	for i := 0; i < 256; i++ {
+		if err := n.Write(ddp.Key(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Read(ddp.Key(i & 255)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeReadInto(b *testing.B) {
+	val := bytes.Repeat([]byte("r"), 128)
+	n := benchCluster(b, ddp.LinSynch, 0)
+	for i := 0; i < 256; i++ {
+		if err := n.Write(ddp.Key(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf := make([]byte, 0, len(val))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := n.ReadInto(ddp.Key(i&255), buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = v[:0]
+	}
+}
+
 func BenchmarkNodeWriteParallel(b *testing.B) {
 	val := bytes.Repeat([]byte("v"), 128)
 	for _, model := range ddp.Models {

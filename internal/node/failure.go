@@ -116,7 +116,7 @@ func (n *Node) onPeerFailed(id ddp.NodeID) {
 	n.store.Range(func(r *kv.Record) bool {
 		r.Lock()
 		if r.Meta.RDLockOwner.Node == id {
-			r.Meta.RDLockOwner = ddp.NoOwner
+			r.ForceReleaseRDLock()
 			r.Wake()
 		}
 		r.Unlock()
@@ -164,8 +164,7 @@ func (n *Node) applyRecovery(entries []transport.LogEntry) {
 		r := n.store.GetOrCreate(e.Key)
 		r.Lock()
 		if !r.Meta.Obsolete(e.TS) && r.Meta.VolatileTS.Less(e.TS) {
-			r.Value = append(r.Value[:0], e.Value...)
-			r.Meta.ApplyVolatile(e.TS)
+			r.Publish(e.Value, e.TS)
 			r.Meta.AdvanceGlbVolatile(e.TS)
 			r.Meta.AdvanceGlbDurable(e.TS)
 			applied++

@@ -28,6 +28,8 @@ func (n *Node) handleMessage(m ddp.Message) {
 		n.handleVal(m)
 	case ddp.KindPersist:
 		n.handlePersist(m)
+	case ddp.KindValBatch:
+		n.handleValBatch(m)
 	}
 }
 
@@ -42,7 +44,7 @@ func (n *Node) handleInv(m ddp.Message) {
 		n.spawnObsolete(r, m)
 		return
 	}
-	r.Meta.SnatchRDLock(m.TS) // L31
+	r.SnatchRDLock(m.TS) // L31
 
 	for r.Meta.WRLock { // L32
 		if n.closed.Load() {
@@ -61,8 +63,7 @@ func (n *Node) handleInv(m ddp.Message) {
 		return
 	}
 
-	r.Value = append(r.Value[:0], m.Value...) // L34-35: update LLC
-	r.Meta.ApplyVolatile(m.TS)
+	r.Publish(m.Value, m.TS) // L34-35: update LLC (seqlocked)
 	r.Meta.WRLock = false // L36
 	r.Wake()
 	r.Unlock()
@@ -110,7 +111,7 @@ func (n *Node) followerObsolete(r *kv.Record, m ddp.Message) {
 		}
 		r.Wait()
 	}
-	if r.Meta.ReleaseRDLockIfOwner(m.TS) {
+	if r.ReleaseRDLockIfOwner(m.TS) {
 		// Same liveness guard as the coordinator: an obsolete write that
 		// won the lock after the superseder finished must free it.
 		r.Wake()
@@ -224,7 +225,7 @@ func (n *Node) handleVal(m ddp.Message) {
 		if m.Kind == ddp.KindVal && n.policy.ValAfterDurable {
 			r.Meta.AdvanceGlbDurable(m.TS)
 		}
-		r.Meta.ReleaseRDLockIfOwner(m.TS)
+		r.ReleaseRDLockIfOwner(m.TS)
 	case ddp.KindValP:
 		r.Meta.AdvanceGlbDurable(m.TS)
 	}

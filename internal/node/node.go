@@ -183,6 +183,11 @@ type Node struct {
 	inline   bool
 	syncSend bool
 
+	// vals coalesces release-side VAL broadcasts from back-to-back
+	// commits (valbatch.go); non-nil only in run-to-completion mode over
+	// a synchronous encoder.
+	vals *valStage
+
 	// detecting is true when the failure detector is configured; with it
 	// off, noteAlive (a clock read per inbound frame) short-circuits.
 	detecting bool
@@ -210,6 +215,8 @@ type Node struct {
 	tracer     *obs.Tracer
 	heartbeats *obs.Counter
 	laneDepth  *obs.Gauge
+	valBatches *obs.Counter
+	valsStaged *obs.Counter
 
 	// Stats counts protocol events for observability and tests.
 	Stats Stats
@@ -259,6 +266,9 @@ func New(cfg Config, tr transport.Transport) *Node {
 		n.inline = true
 	}
 	_, n.syncSend = tr.(transport.SyncEncoder)
+	if n.inline && n.syncSend {
+		n.vals = &valStage{}
+	}
 	n.detecting = cfg.HeartbeatEvery > 0 && cfg.FailAfter > 0
 	n.peerIdx = make(map[ddp.NodeID]int, len(n.peers))
 	n.lastSeen = make([]atomic.Int64, len(n.peers))
@@ -282,6 +292,8 @@ func New(cfg Config, tr transport.Transport) *Node {
 	}
 	n.heartbeats = n.obs.Counter("heartbeats_sent")
 	n.laneDepth = n.obs.Gauge("exec_lane_depth_max")
+	n.valBatches = n.obs.Counter("val_batches")
+	n.valsStaged = n.obs.Counter("vals_staged")
 	n.tracer = cfg.Tracer
 	n.pipe = nvm.NewPipeline(n.log, nvm.PipelineConfig{
 		// PersistDelay is a flat per-device-write cost, matching the
@@ -291,6 +303,7 @@ func New(cfg Config, tr transport.Transport) *Node {
 		Drains:   cfg.PersistDrains,
 		OnBatch:  n.onPersistBatch,
 		OnInline: n.onPersistInline,
+		OnAck:    n.sendDurableAck,
 	})
 	n.exec = newExecutor(n, cfg.DispatchWorkers)
 	n.obs.Register(n.pipe)
@@ -341,6 +354,10 @@ func (n *Node) Start() {
 	if n.cfg.HeartbeatEvery > 0 && n.cfg.FailAfter > 0 {
 		n.wg.Add(1)
 		go n.heartbeatLoop()
+	}
+	if n.vals != nil {
+		n.wg.Add(1)
+		go n.valFlushLoop()
 	}
 }
 
@@ -458,6 +475,7 @@ func (n *Node) spawnRecovery(from ddp.NodeID, since uint64) {
 // send transmits a protocol message; transport failures are left to the
 // failure detector.
 func (n *Node) send(to ddp.NodeID, m ddp.Message) {
+	n.flushVals() // staged VALs precede later traffic (FIFO)
 	m.From = n.id
 	if err := n.tr.Send(to, transport.Frame{Kind: transport.FrameMessage, Msg: m}); err != nil {
 		// The peer is unreachable; the detector (or reconnection) will
@@ -474,6 +492,7 @@ func (n *Node) send(to ddp.NodeID, m ddp.Message) {
 // With a reduced follower set it falls back to per-peer sends, since
 // broadcasting would also wake peers the detector has declared dead.
 func (n *Node) sendAll(followers []ddp.NodeID, m ddp.Message) {
+	n.flushVals() // staged VALs precede later traffic (FIFO)
 	if len(followers) == len(n.peers) {
 		m.From = n.id
 		// Best effort, like send: unreachable peers are the failure
@@ -579,14 +598,28 @@ func (n *Node) persistThen(m ddp.Message, kind ddp.MsgKind) {
 	n.persistThenQueued(m, kind, traced)
 }
 
+// sendDurableAck is the pipeline's OnAck hook: it ships the durable
+// acknowledgment an EnqueueAck entry carries. It runs on the drain
+// engine strictly after the entry's group commit, so the
+// persist-before-ack order holds with no per-entry closure.
+//
+//minos:hotpath
+func (n *Node) sendDurableAck(to ddp.NodeID, kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
+	n.send(to, ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()})
+}
+
 // persistThenQueued is the queued-pipeline (or traced) half of
-// persistThen: the acknowledgment rides a drain-engine continuation.
+// persistThen. The untraced common case rides the pipeline's ack
+// fields (EnqueueAck → sendDurableAck), allocating nothing; only a
+// sampled transaction pays for a continuation closure, which is what
+// lets it wrap the acknowledgment in trace spans.
 func (n *Node) persistThenQueued(m ddp.Message, kind ddp.MsgKind, traced bool) {
 	to, key, ts, sc := m.From, m.Key, m.TS, m.Scope
-	var start int64
-	if traced {
-		start = n.tracer.Now()
+	if !traced {
+		n.pipe.EnqueueAck(key, ts, m.Value, sc, to, kind)
+		return
 	}
+	start := n.tracer.Now()
 	n.pipe.Enqueue(key, ts, m.Value, sc, func() {
 		// The follower's durability wait and the acknowledgment that
 		// follows it, as two chained spans: the persist (group_commit)

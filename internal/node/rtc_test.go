@@ -114,14 +114,27 @@ func TestRTCLinearizableEquivalence(t *testing.T) {
 						wg.Add(1)
 						go func() {
 							defer wg.Done()
+							// Alternate the copying Read and the zero-alloc
+							// ReadInto (with a recycled buffer) so both read
+							// entry points feed the linearizability check.
+							buf := make([]byte, 0, 64)
 							for i := 0; i < 3; i++ {
 								start := time.Now()
-								v, err := nd.Read(1)
+								var v []byte
+								var err error
+								if i%2 == 0 {
+									v, err = nd.Read(1)
+								} else {
+									v, err = nd.ReadInto(1, buf[:0])
+								}
 								if err != nil {
 									t.Errorf("read: %v", err)
 									return
 								}
 								record(histOp{isWrite: false, value: string(v), start: start, end: time.Now()})
+								if i%2 != 0 && v != nil {
+									buf = v
+								}
 								time.Sleep(time.Duration(i) * 200 * time.Microsecond)
 							}
 						}()

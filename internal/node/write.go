@@ -46,7 +46,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		r.Unlock()
 		return err
 	}
-	r.Meta.SnatchRDLock(ts) // L8
+	r.SnatchRDLock(ts) // L8
 
 	for r.Meta.WRLock { // L9
 		if n.closed.Load() {
@@ -83,11 +83,14 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 		// returning, so the client's buffer can be aliased directly.
 		inv.Value = append([]byte(nil), value...)
 	}
+	// The INV fan-out runs with the record held, and every send first
+	// flushes the staged VAL broadcasts; the stage mutex is a leaf (its
+	// holder only encodes and broadcasts, never touching records).
+	//minos:lockorder kv.Record < node.valStage.mu
 	n.sendAll(followers, inv) // L11: send INVs (broadcast when all alive)
 	tc.mark(obs.PhaseInvFanout)
 
-	r.Value = append(r.Value[:0], value...) // L12: update local volatile state
-	r.Meta.ApplyVolatile(ts)
+	r.Publish(value, ts) // L12: update local volatile state (seqlocked)
 	r.Meta.WRLock = false // L13
 	r.Wake()
 	r.Unlock()
@@ -125,7 +128,7 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	r.Meta.AdvanceGlbVolatile(ts)
 	r.Wake()
 	if n.policy.SendsValAtConsistency() && n.policy.Release == ddp.ReleaseWhenConsistent {
-		r.Meta.ReleaseRDLockIfOwner(ts)
+		r.ReleaseRDLockIfOwner(ts)
 		r.Wake()
 	}
 	r.Unlock()
@@ -175,7 +178,7 @@ func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Tim
 	r.Lock()
 	r.Meta.AdvanceGlbDurable(ts)
 	if n.policy.Release == ddp.ReleaseWhenDurable || !n.policy.SendsValAtConsistency() {
-		r.Meta.ReleaseRDLockIfOwner(ts)
+		r.ReleaseRDLockIfOwner(ts)
 	}
 	r.Wake()
 	r.Unlock()
@@ -187,6 +190,13 @@ func (n *Node) finishDurable(r *kv.Record, wt *writeTxn, key ddp.Key, ts ddp.Tim
 }
 
 func (n *Node) sendVal(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID, followers []ddp.NodeID) {
+	if n.vals != nil && len(followers) == len(n.peers) {
+		// Run-to-completion mode: stage the validation; the next
+		// outbound message (or the flush ticker) broadcasts it, letting
+		// back-to-back commits share one encode+fan-out (valbatch.go).
+		n.stageVal(kind, key, ts, sc)
+		return
+	}
 	val := ddp.Message{Kind: kind, Key: key, TS: ts, Scope: sc, Size: ddp.ControlSize()}
 	n.sendAll(followers, val)
 }
@@ -216,6 +226,9 @@ func (n *Node) waitConsistencyFast(wt *writeTxn) error {
 			if wt.ackCn.Load() >= need {
 				return nil
 			}
+			// A spinning coordinator must not sit on staged VAL
+			// releases: its peers' hot-key writes wait on them.
+			n.flushVals()
 			if n.poller.PollInline(rtcPollBudget) == 0 {
 				runtime.Gosched()
 			}
@@ -234,6 +247,7 @@ func (n *Node) waitPersistencyFast(wt *writeTxn) error {
 			if wt.ackPn.Load() >= need {
 				return nil
 			}
+			n.flushVals()
 			if n.poller.PollInline(rtcPollBudget) == 0 {
 				runtime.Gosched()
 			}
@@ -246,6 +260,9 @@ func (n *Node) waitPersistencyFast(wt *writeTxn) error {
 // volatile update. Followers that fail mid-write stop being waited for
 // when the detector declares them.
 func (n *Node) waitConsistency(wt *writeTxn) error {
+	// Parked waiters cannot piggyback flushes; drain the stage before
+	// blocking so peers are not left waiting on our releases.
+	n.flushVals()
 	wt.mu.Lock()
 	defer wt.mu.Unlock()
 	for {
@@ -269,6 +286,7 @@ func (n *Node) waitConsistency(wt *writeTxn) error {
 // waitPersistency blocks until every live follower acknowledged the
 // persist (vacuous for models that do not track persistency).
 func (n *Node) waitPersistency(wt *writeTxn) error {
+	n.flushVals()
 	wt.mu.Lock()
 	defer wt.mu.Unlock()
 	for {
@@ -327,7 +345,7 @@ func (n *Node) handleObsoleteLocked(r *kv.Record, ts ddp.Timestamp) error {
 			r.Wait()
 		}
 	}
-	if r.Meta.ReleaseRDLockIfOwner(ts) {
+	if r.ReleaseRDLockIfOwner(ts) {
 		r.Wake()
 	}
 	return nil
@@ -337,11 +355,38 @@ func (n *Node) handleObsoleteLocked(r *kv.Record, ts ddp.Timestamp) error {
 // while the record's RDLock is held by an in-flight write. It returns a
 // copy of the value (nil if the key has never been written).
 func (n *Node) Read(key ddp.Key) ([]byte, error) {
+	return n.ReadInto(key, nil)
+}
+
+// ReadInto is Read with a caller-supplied buffer: the value is copied
+// into buf (reusing its capacity, growing it only when too small) and
+// the filled slice returned, so a client that recycles its buffer reads
+// without allocating. The steady-state path is the record's seqlock —
+// no mutex, no condvar, one wait-free store lookup; the mutex+condvar
+// wait remains the fallback whenever the record's RDLock is held by an
+// in-flight write (the §III-D read stall) or a publication keeps
+// racing the copy.
+//
+//minos:hotpath
+func (n *Node) ReadInto(key ddp.Key, buf []byte) ([]byte, error) {
 	if n.closed.Load() {
 		return nil, ErrClosed
 	}
 	n.Stats.Reads.Add(1)
-	r := n.store.GetOrCreate(key)
+	r := n.store.Get(key)
+	if r == nil {
+		// Never written or preloaded anywhere: nothing to stall on.
+		return nil, nil
+	}
+	if v, ok := r.ReadInto(buf); ok {
+		return v, nil
+	}
+	return n.readSlow(r, buf)
+}
+
+// readSlow is the read fallback: take the record mutex and wait out the
+// RDLock exactly as the pre-seqlock read path did.
+func (n *Node) readSlow(r *kv.Record, buf []byte) ([]byte, error) {
 	r.Lock()
 	defer r.Unlock()
 	for r.Meta.RDLocked() {
@@ -353,5 +398,5 @@ func (n *Node) Read(key ddp.Key) ([]byte, error) {
 	if r.Value == nil {
 		return nil, nil
 	}
-	return append([]byte(nil), r.Value...), nil
+	return append(buf[:0], r.Value...), nil
 }

@@ -216,29 +216,18 @@ func (l *Log) Append(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.Scop
 	return seq
 }
 
-// appendOwned is Append for a value the caller hands over (no copy).
-func (l *Log) appendOwned(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID) uint64 {
-	sh := &l.shards[l.shardIndex(key)]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	seq := l.nextSeq.Add(1) - 1
-	sh.appendEntry(Entry{Seq: seq, Key: key, TS: ts, Value: value, Scope: scope})
-	if cur, ok := sh.durable[key]; !ok || cur.Less(ts) {
-		sh.durable[key] = ts
-	}
-	return seq
-}
-
 // appendBatch appends one drained group commit, taking each destination
 // shard's lock once per batch rather than once per entry. Entries for
 // the same key keep their slice order (the drain queue's FIFO order).
+// Values are copied into the shard arenas: the caller's buffers are
+// drain-queue recycles, free for reuse the moment this returns.
 func (l *Log) appendBatch(entries []batchEntry) {
 	if len(entries) == 0 {
 		return
 	}
 	if len(entries) == 1 {
 		e := &entries[0]
-		l.appendOwned(e.key, e.ts, e.value, e.scope)
+		l.Append(e.key, e.ts, e.value, e.scope)
 		return
 	}
 	shardOf := make([]uint64, len(entries))
@@ -258,7 +247,7 @@ func (l *Log) appendBatch(entries []batchEntry) {
 			}
 			e := &entries[j]
 			seq := l.nextSeq.Add(1) - 1
-			sh.appendEntry(Entry{Seq: seq, Key: e.key, TS: e.ts, Value: e.value, Scope: e.scope})
+			sh.appendEntry(Entry{Seq: seq, Key: e.key, TS: e.ts, Value: sh.copyToArena(e.value), Scope: e.scope})
 			if cur, ok := sh.durable[e.key]; !ok || cur.Less(e.ts) {
 				sh.durable[e.key] = e.ts
 			}

@@ -24,11 +24,18 @@ import (
 // Across records, batches from different queues interleave freely;
 // that is exactly the out-of-order log insertion §V-B.4 permits,
 // because obsolete entries are filtered when the log is applied.
+//
+// The queued path is allocation-free in steady state: each queue
+// recycles its value buffers (a free list) and alternates between two
+// generation-counted batches (cur accumulating, spare draining), and
+// durable acknowledgments ride entry fields dispatched through the
+// OnAck hook instead of per-entry continuation closures.
 type Pipeline struct {
 	log      *Log
 	lat      LatencyModel
 	onBatch  func(keys []ddp.Key, entries int)
 	onInline func(key ddp.Key)
+	onAck    func(to ddp.NodeID, kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, scope ddp.ScopeID)
 
 	queues []*drainQueue
 	mask   uint64
@@ -75,6 +82,11 @@ type PipelineConfig struct {
 	// wrapper, keeping the inline persist allocation-free. When unset,
 	// inline appends fall back to OnBatch.
 	OnInline func(key ddp.Key)
+	// OnAck, when set, runs on the drain worker for every EnqueueAck
+	// entry strictly after its batch is appended — the persist-before-
+	// ack order — carrying the acknowledgment's addressing as plain
+	// values. One hook for the pipeline replaces one closure per entry.
+	OnAck func(to ddp.NodeID, kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, scope ddp.ScopeID)
 }
 
 // Update is one record update submitted to the pipeline.
@@ -85,31 +97,57 @@ type Update struct {
 	Scope ddp.ScopeID
 }
 
-// batchEntry is one queued update; value is owned by the pipeline.
+// batchEntry is one queued update; value is a queue-owned recycled
+// buffer. An acknowledgment dispatched via the OnAck hook rides the
+// ack fields; then remains for the rare traced path.
 type batchEntry struct {
-	key   ddp.Key
-	ts    ddp.Timestamp
-	value []byte
-	scope ddp.ScopeID
-	then  func()
+	key     ddp.Key
+	ts      ddp.Timestamp
+	value   []byte
+	scope   ddp.ScopeID
+	then    func()
+	ackTo   ddp.NodeID
+	ackKind ddp.MsgKind
+	hasAck  bool
 }
 
-// drainBatch is the group commit currently accumulating on a queue.
-// done closes when the batch has been appended to the log — the single
-// wake shared by every blocked persister of the batch.
+// drainBatch is a reusable group commit. A batch's lifetime is a
+// generation: enqueue captures gen under the queue lock (the batch
+// cannot drain while that lock pins it as cur), the drain bumps gen and
+// broadcasts once appended, and waiters wake when the captured
+// generation is over. Recycling never confuses a late waiter — gen only
+// grows, so "gen moved past mine" stays true forever.
 type drainBatch struct {
 	entries []batchEntry
 	bytes   int
-	done    chan struct{}
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	gen  atomic.Uint64
 }
+
+func newDrainBatch() *drainBatch {
+	b := &drainBatch{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// maxFreeBufs bounds a queue's value-buffer free list; beyond it,
+// drained buffers are dropped for the GC (a burst's memory is not
+// pinned forever).
+const maxFreeBufs = 256
 
 type drainQueue struct {
-	mu   sync.Mutex
-	cur  *drainBatch
-	wake chan struct{} // cap 1: at most one pending wake signal
-}
+	mu    sync.Mutex
+	cur   *drainBatch   // accumulating
+	spare *drainBatch   // recycled, ready to become cur at next swap
+	bufs  [][]byte      // value-buffer free list
+	wake  chan struct{} // cap 1: at most one pending wake signal
 
-func newDrainBatch() *drainBatch { return &drainBatch{done: make(chan struct{})} }
+	// keys is the drain worker's distinct-key scratch; only the queue's
+	// single worker touches it, outside mu.
+	keys []ddp.Key
+}
 
 // NewPipeline builds a pipeline draining into log and starts its
 // workers. Close stops them.
@@ -127,6 +165,7 @@ func NewPipeline(log *Log, cfg PipelineConfig) *Pipeline {
 		lat:      cfg.Lat,
 		onBatch:  cfg.OnBatch,
 		onInline: cfg.OnInline,
+		onAck:    cfg.OnAck,
 		mask:     uint64(n - 1),
 		inline:   cfg.Lat.Zero(),
 		stop:     make(chan struct{}),
@@ -170,40 +209,82 @@ func (p *Pipeline) Describe() string { return "nvm.pipeline" }
 // size and drain latency distributions) to s.
 func (p *Pipeline) Collect(s *obs.Snapshot) { p.reg.Collect(s) }
 
-// Close stops the drain workers. Blocked Persist/PersistMany callers
-// return false; updates still queued are dropped (a closing node makes
-// no further durability promises).
+// Close stops the drain workers and wakes every blocked persister.
+// Blocked Persist/PersistMany callers return false; updates still
+// queued are dropped (a closing node makes no further durability
+// promises).
 func (p *Pipeline) Close() {
 	if !p.closed.CompareAndSwap(false, true) {
 		return
 	}
 	close(p.stop)
 	p.wg.Wait()
+	// Wake waiters on batches that never drained. Collect outside the
+	// broadcast so the queue and batch locks are never nested. Every
+	// waiter either observes closed before parking or holds the batch
+	// mutex from its check to its Wait — the broadcast below cannot
+	// slip into that window.
+	for _, q := range p.queues {
+		q.mu.Lock()
+		cur, spare := q.cur, q.spare
+		q.mu.Unlock()
+		for _, b := range []*drainBatch{cur, spare} {
+			if b == nil {
+				continue
+			}
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		}
+	}
 }
 
 func (p *Pipeline) queueFor(key ddp.Key) *drainQueue {
 	return p.queues[key.Hash()>>32&p.mask]
 }
 
-// enqueue adds one update to its queue's current batch and returns the
-// batch, signalling the drain worker. The value copy rides the pooled
-// append idiom; everything else is field updates and one channel poke.
+// enqueue adds one update to its queue's current batch, signalling the
+// drain worker. It returns the batch and the generation to wait for.
+// The value lands in a recycled queue buffer — the steady-state enqueue
+// allocates nothing. The generation read is stable: the batch cannot
+// swap out (let alone complete) while the queue lock pins it as cur.
 //
 //minos:hotpath
-func (p *Pipeline) enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) *drainBatch {
-	q := p.queueFor(key)
-	owned := append([]byte(nil), value...)
+func (p *Pipeline) enqueue(e batchEntry) (*drainBatch, uint64) {
+	q := p.queueFor(e.key)
 	q.mu.Lock()
+	if n := len(q.bufs); n > 0 {
+		buf := q.bufs[n-1]
+		q.bufs = q.bufs[:n-1]
+		e.value = append(buf[:0], e.value...)
+	} else {
+		e.value = append([]byte(nil), e.value...)
+	}
 	b := q.cur
-	b.entries = append(b.entries, batchEntry{key: key, ts: ts, value: owned, scope: scope, then: then})
-	b.bytes += len(owned)
+	g := b.gen.Load()
+	b.entries = append(b.entries, e)
+	b.bytes += len(e.value)
 	q.mu.Unlock()
 	p.pending.Add(1)
 	select {
 	case q.wake <- struct{}{}:
 	default: // a wake is already pending; the worker will see the entry
 	}
-	return b
+	return b, g
+}
+
+// waitBatch blocks until the batch generation captured at enqueue has
+// drained (true) or the pipeline closed first (false).
+func (p *Pipeline) waitBatch(b *drainBatch, g uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.gen.Load() == g {
+		if p.closed.Load() {
+			return false
+		}
+		b.cond.Wait()
+	}
+	return true
 }
 
 // appendInline is the zero-latency fast path: a synchronous append with
@@ -242,7 +323,8 @@ func (p *Pipeline) Inline() bool { return p.inline }
 // non-nil it runs on the drain worker strictly after the batch holding
 // the update has been appended to the log — the hook used to send
 // durable acknowledgments without blocking the submitter. Returns false
-// (and drops the update) if the pipeline is closed.
+// (and drops the update) if the pipeline is closed. Closure-free
+// callers should prefer EnqueueAck.
 func (p *Pipeline) Enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, then func()) bool {
 	if p.closed.Load() {
 		return false
@@ -251,7 +333,29 @@ func (p *Pipeline) Enqueue(key ddp.Key, ts ddp.Timestamp, value []byte, scope dd
 		p.appendInline(key, ts, value, scope, then)
 		return true
 	}
-	p.enqueue(key, ts, value, scope, then)
+	p.enqueue(batchEntry{key: key, ts: ts, value: value, scope: scope, then: then})
+	return true
+}
+
+// EnqueueAck submits an update whose durable acknowledgment — kind,
+// addressed to to — is dispatched through the OnAck hook strictly after
+// the group commit holding the update drains. It is Enqueue's
+// continuation without the closure: the addressing rides the entry as
+// plain values, so the untraced follower ack path allocates nothing.
+//
+//minos:hotpath
+func (p *Pipeline) EnqueueAck(key ddp.Key, ts ddp.Timestamp, value []byte, scope ddp.ScopeID, to ddp.NodeID, kind ddp.MsgKind) bool {
+	if p.closed.Load() {
+		return false
+	}
+	if p.inline {
+		p.appendInline(key, ts, value, scope, nil)
+		if p.onAck != nil {
+			p.onAck(to, kind, key, ts, scope)
+		}
+		return true
+	}
+	p.enqueue(batchEntry{key: key, ts: ts, value: value, scope: scope, ackTo: to, ackKind: kind, hasAck: true})
 	return true
 }
 
@@ -265,13 +369,8 @@ func (p *Pipeline) Persist(key ddp.Key, ts ddp.Timestamp, value []byte, scope dd
 		p.appendInline(key, ts, value, scope, nil)
 		return true
 	}
-	b := p.enqueue(key, ts, value, scope, nil)
-	select {
-	case <-b.done:
-		return true
-	case <-p.stop:
-		return false
-	}
+	b, g := p.enqueue(batchEntry{key: key, ts: ts, value: value, scope: scope})
+	return p.waitBatch(b, g)
 }
 
 // PersistMany submits a set of updates (a scope flush) and blocks until
@@ -287,24 +386,29 @@ func (p *Pipeline) PersistMany(updates []Update) bool {
 		}
 		return true
 	}
-	var waits []*drainBatch
+	type wait struct {
+		b *drainBatch
+		g uint64
+	}
+	var waits []wait
 	for _, u := range updates {
-		b := p.enqueue(u.Key, u.TS, u.Value, u.Scope, nil)
+		b, g := p.enqueue(batchEntry{key: u.Key, ts: u.TS, value: u.Value, scope: u.Scope})
 		dup := false
 		for _, w := range waits {
-			if w == b {
+			// Same batch implies same generation: the batch cannot have
+			// completed (and re-accumulated) between two enqueues that
+			// both found it as cur.
+			if w.b == b {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			waits = append(waits, b)
+			waits = append(waits, wait{b, g})
 		}
 	}
-	for _, b := range waits {
-		select {
-		case <-b.done:
-		case <-p.stop:
+	for _, w := range waits {
+		if !p.waitBatch(w.b, w.g) {
 			return false
 		}
 	}
@@ -320,9 +424,15 @@ func (p *Pipeline) PersistMany(updates []Update) bool {
 // yield-spin models that (and still lets other goroutines run).
 const spinLatencyNs = 100_000
 
+// timerPool recycles the park timers of the long-latency charge path so
+// a sweep of 100µs+ batches costs one timer allocation total, not one
+// per batch. Timers are only pooled drained (fired or stopped+drained),
+// so Reset is always safe.
+var timerPool sync.Pool
+
 // chargeLatency models the device write for one batch: short latencies
-// yield-spin, long ones park on a stop-aware timer. Returns false when
-// the pipeline stopped mid-charge.
+// yield-spin, long ones park on a pooled stop-aware timer. Returns
+// false when the pipeline stopped mid-charge.
 func (p *Pipeline) chargeLatency(ns int64) bool {
 	if ns <= 0 {
 		return true
@@ -340,12 +450,21 @@ func (p *Pipeline) chargeLatency(ns int64) bool {
 		return true
 	}
 	p.timerParks.Add(1)
-	t := time.NewTimer(time.Duration(ns))
+	t, _ := timerPool.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(time.Duration(ns))
+	} else {
+		t.Reset(time.Duration(ns))
+	}
 	select {
 	case <-p.stop:
-		t.Stop()
+		if !t.Stop() {
+			<-t.C // drain so the pooled timer is Reset-safe
+		}
+		timerPool.Put(t)
 		return false
 	case <-t.C:
+		timerPool.Put(t)
 		return true
 	}
 }
@@ -369,7 +488,9 @@ func (p *Pipeline) drainWorker(q *drainQueue) {
 }
 
 // drain processes every batch accumulated on q, returning false when
-// the pipeline stopped mid-drain.
+// the pipeline stopped mid-drain. Steady state alternates two batches
+// per queue: while one accumulates as cur, the other drains here and is
+// recycled to spare at the end.
 func (p *Pipeline) drain(q *drainQueue) bool {
 	for {
 		q.mu.Lock()
@@ -378,21 +499,30 @@ func (p *Pipeline) drain(q *drainQueue) bool {
 			q.mu.Unlock()
 			return true
 		}
-		q.cur = newDrainBatch()
+		if q.spare != nil {
+			q.cur, q.spare = q.spare, nil
+		} else {
+			q.cur = newDrainBatch()
+		}
 		q.mu.Unlock()
 
 		// Group commit: one modeled device write covers the batch.
 		start := time.Now()
 		if !p.chargeLatency(p.lat.PersistNs(b.bytes)) {
+			// Aborted mid-charge: wake the batch's persisters without
+			// bumping gen so they observe closure, not durability.
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
 			return false
 		}
 		p.log.appendBatch(b.entries)
 		p.drainNs.Observe(int64(time.Since(start)))
 
-		// Bookkeeping and the batch hook run before anyone unblocks so
-		// a returned Persist (or a sent continuation ack) implies the
+		// Bookkeeping and the hooks run before anyone unblocks so a
+		// returned Persist (or a dispatched durable ack) implies the
 		// counters already include its entry.
-		var keys []ddp.Key
+		keys := q.keys[:0]
 		for i := range b.entries {
 			e := &b.entries[i]
 			seen := false
@@ -406,6 +536,7 @@ func (p *Pipeline) drain(q *drainQueue) bool {
 				keys = append(keys, e.key)
 			}
 		}
+		q.keys = keys
 		p.entries.Add(int64(len(b.entries)))
 		p.batches.Add(1)
 		p.batchEntries.Observe(int64(len(b.entries)))
@@ -414,10 +545,36 @@ func (p *Pipeline) drain(q *drainQueue) bool {
 			p.onBatch(keys, len(b.entries))
 		}
 		for i := range b.entries {
-			if then := b.entries[i].then; then != nil {
-				then()
+			e := &b.entries[i]
+			if e.hasAck && p.onAck != nil {
+				p.onAck(e.ackTo, e.ackKind, e.key, e.ts, e.scope)
+			}
+			if e.then != nil {
+				e.then()
 			}
 		}
-		close(b.done) // one wake for every persister blocked on the batch
+
+		// One wake for every persister blocked on the batch.
+		b.mu.Lock()
+		b.gen.Add(1)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+
+		// Recycle: value buffers back on the free list, entries cleared
+		// (dropping value/closure references), batch parked as spare.
+		q.mu.Lock()
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.value != nil && len(q.bufs) < maxFreeBufs {
+				q.bufs = append(q.bufs, e.value)
+			}
+			*e = batchEntry{}
+		}
+		b.entries = b.entries[:0]
+		b.bytes = 0
+		if q.spare == nil {
+			q.spare = b
+		}
+		q.mu.Unlock()
 	}
 }

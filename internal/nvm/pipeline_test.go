@@ -240,6 +240,123 @@ func TestPipelineInlineFastPath(t *testing.T) {
 	}
 }
 
+// TestEnqueueAckDispatchesAfterDurable pins the closure-free ack path:
+// the OnAck hook fires with the entry's addressing, strictly after the
+// entry's group commit reached the log.
+func TestEnqueueAckDispatchesAfterDurable(t *testing.T) {
+	log := NewLog()
+	type ack struct {
+		to      ddp.NodeID
+		kind    ddp.MsgKind
+		key     ddp.Key
+		ts      ddp.Timestamp
+		durable bool
+	}
+	acks := make(chan ack, 16)
+	p := NewPipeline(log, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: int64(time.Millisecond)},
+		Drains: 1,
+		OnAck: func(to ddp.NodeID, kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
+			acks <- ack{to, kind, key, ts, log.LocallyDurable(key, ts)}
+		},
+	})
+	defer p.Close()
+	if !p.EnqueueAck(9, ts(0, 3), []byte("payload"), 0, 4, ddp.KindAckP) {
+		t.Fatal("EnqueueAck failed on an open pipeline")
+	}
+	select {
+	case a := <-acks:
+		if a.to != 4 || a.kind != ddp.KindAckP || a.key != 9 || a.ts != ts(0, 3) {
+			t.Fatalf("ack carried %+v", a)
+		}
+		if !a.durable {
+			t.Fatal("ack dispatched before the entry was durable")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnAck never fired")
+	}
+}
+
+// TestEnqueueAckInline: with zero modeled latency the append and the
+// ack dispatch both happen synchronously in the caller.
+func TestEnqueueAckInline(t *testing.T) {
+	log := NewLog()
+	var got int
+	p := NewPipeline(log, PipelineConfig{
+		OnAck: func(to ddp.NodeID, kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
+			got++
+			if !log.LocallyDurable(key, ts) {
+				t.Error("inline ack before durability")
+			}
+		},
+	})
+	defer p.Close()
+	if !p.EnqueueAck(1, ts(0, 1), []byte("v"), 0, 2, ddp.KindAck) {
+		t.Fatal("inline EnqueueAck failed")
+	}
+	if got != 1 {
+		t.Fatalf("OnAck ran %d times synchronously, want 1", got)
+	}
+}
+
+// TestPipelineRecycledBuffersDoNotAlias drives many distinct values
+// through one queue so its recycled value buffers and batches are
+// reused many times over, then checks every logged value survived
+// intact — a recycle that aliased a live log entry would corrupt them.
+func TestPipelineRecycledBuffersDoNotAlias(t *testing.T) {
+	log := NewLog()
+	p := NewPipeline(log, PipelineConfig{
+		Lat:    LatencyModel{FixedNs: int64(10 * time.Microsecond)},
+		Drains: 1,
+	})
+	const rounds = 500
+	for v := 1; v <= rounds; v++ {
+		val := []byte{byte(v), byte(v >> 8), 0xEE}
+		if !p.Persist(7, ts(0, v), val, 0) {
+			t.Fatalf("persist v%d failed", v)
+		}
+	}
+	p.Close()
+	entries := log.EntriesSince(0)
+	if len(entries) != rounds {
+		t.Fatalf("log has %d entries, want %d", len(entries), rounds)
+	}
+	for _, e := range entries {
+		v := int(e.TS.Version)
+		want := []byte{byte(v), byte(v >> 8), 0xEE}
+		if string(e.Value) != string(want) {
+			t.Fatalf("v%d: logged value %v, want %v (recycled buffer aliased)", v, e.Value, want)
+		}
+	}
+}
+
+// TestPipelineTimerParkPath exercises the pooled-timer charge path
+// (modeled latency above the spin threshold) across several batches:
+// parks are counted, persists complete, and Close stays prompt.
+func TestPipelineTimerParkPath(t *testing.T) {
+	p := NewPipeline(NewLog(), PipelineConfig{
+		Lat:    LatencyModel{FixedNs: int64(200 * time.Microsecond)}, // > spinLatencyNs
+		Drains: 1,
+	})
+	for i := 0; i < 8; i++ {
+		if !p.Persist(ddp.Key(i), ts(0, 1), []byte("v"), 0) {
+			t.Fatal("persist failed on an open pipeline")
+		}
+	}
+	s := obs.Collect(p)
+	if got := s.Counter("nvm.pipeline.timer_parks"); got == 0 {
+		t.Fatal("200 µs latency never took the timer-park path")
+	}
+	if got := s.Counter("nvm.pipeline.spin_charges"); got != 0 {
+		t.Fatalf("spin_charges = %d above the spin threshold, want 0", got)
+	}
+	begin := time.Now()
+	p.Close()
+	if e := time.Since(begin); e > time.Second {
+		t.Fatalf("close took %v with pooled timers in flight", e)
+	}
+}
+
 // TestPipelineInstruments pins the registry export: drained batches
 // show up as counters and distributions, the pending gauge returns to
 // zero after a quiesce, and the spin-vs-park accounting matches the
