@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check bench-smoke bench-live bench-node bench-obs clean
+.PHONY: all build test race lint vet check bench-smoke bench-live bench-node bench-obs bench-offload clean
 
 all: build
 
@@ -52,6 +52,14 @@ bench-live:
 # result as the bench-node artifact.
 bench-node:
 	$(GO) run ./cmd/minos-benchnode -label after -json BENCH_node.json
+
+# MINOS-B vs MINOS-O: the same livebench cells with the soft-NIC
+# offload engine off ("before") and on ("after"), across both
+# in-process fabrics, uniform/zipfian/hot-churn key distributions, and
+# two persistency models (Lin-Synch, Lin-Strict). Writes both labels
+# of BENCH_offload.json in one run. CI uploads it as bench-offload.
+bench-offload:
+	$(GO) run ./cmd/minos-benchoffload -requests 1500 -json BENCH_offload.json
 
 # Observability overhead: the serial write microbenchmark with tracing
 # off, sampled (1-in-8, the production default), and full, per model.

@@ -44,10 +44,23 @@ import (
 
 var benchDelays = []time.Duration{0, 1295 * time.Nanosecond}
 
+// Livebench knobs surfaced as flags. Like PreloadRecords below, the
+// post-offload fields are applied reflectively so this source still
+// compiles in a "before" worktree that predates them (the flags are
+// then silently inert).
+var (
+	flagOffload bool
+	flagTheta   float64
+	flagChurn   int
+)
+
 func main() {
 	label := flag.String("label", "after", "JSON key to store this run under (before|after)")
 	jsonPath := flag.String("json", "", "merge results into this JSON file (other labels preserved)")
 	liveRequests := flag.Int("live-requests", 4000, "requests per node for the livebench runs")
+	flag.BoolVar(&flagOffload, "offload", false, "enable the soft-NIC offload engine (MINOS-O) in the livebench runs")
+	flag.Float64Var(&flagTheta, "theta", 0, "zipfian skew for the livebench runs (0 = workload default)")
+	flag.IntVar(&flagChurn, "churn", 0, "rotate the livebench hot key set every N ops (0 = stable)")
 	flag.Parse()
 
 	doc := map[string]any{}
@@ -367,6 +380,12 @@ func runLive(requests int) []liveResult {
 }
 
 func runLiveCell(fabric, mix string, wl workload.Config, workers int, d time.Duration, requests int) liveResult {
+	if flagTheta > 0 {
+		wl.ZipfTheta = flagTheta
+	}
+	if f := reflect.ValueOf(&wl).Elem().FieldByName("HotChurnEvery"); f.IsValid() && f.CanSet() {
+		f.SetInt(int64(flagChurn))
+	}
 	cfg := livebench.Config{
 		Nodes:           3,
 		Model:           ddp.LinSynch,
@@ -385,6 +404,11 @@ func runLiveCell(fabric, mix string, wl workload.Config, workers int, d time.Dur
 		// labeled all the same).
 		if f := reflect.ValueOf(&cfg).Elem().FieldByName("PreloadRecords"); f.IsValid() && f.CanSet() {
 			f.SetInt(int64(wl.Records))
+		}
+	}
+	if flagOffload {
+		if f := reflect.ValueOf(&cfg).Elem().FieldByName("Offload"); f.IsValid() && f.CanSet() {
+			f.SetBool(true)
 		}
 	}
 	res, err := livebench.Run(cfg)

@@ -38,11 +38,18 @@ func main() {
 	jsonPath := flag.String("json", "", "write results into this JSON file (existing 'before' and 'after.microbench' keys are preserved)")
 	tracePath := flag.String("trace", "", "record per-transaction phase spans and write them to this JSON file (minos-trace's input)")
 	traceSample := flag.Int("trace-sample", obs.DefaultSampleEvery, "trace one transaction in N (1 = every transaction)")
+	offload := flag.Bool("offload", false, "enable the soft-NIC offload engine (MINOS-O) on every node")
+	theta := flag.Float64("theta", 0, "zipfian skew (0 = workload default 0.99)")
+	churn := flag.Int("churn", 0, "rotate the hot key set every N ops (0 = stable hot set)")
 	flag.Parse()
 
 	wl := workload.Default()
 	wl.WriteRatio = *writes
 	wl.ValueSize = *valueSize
+	if *theta > 0 {
+		wl.ZipfTheta = *theta
+	}
+	wl.HotChurnEvery = *churn
 
 	fabric := *fabricFlag
 	if fabric == "" && *tcp {
@@ -55,8 +62,12 @@ func main() {
 	if fabricDesc == "" {
 		fabricDesc = fabric
 	}
-	fmt.Printf("live MINOS-B: %d nodes × %d workers, %d req/node, %d%% writes, persist %v, %s\n\n",
-		*nodes, *workers, *requests, int(*writes*100), *persist, fabricDesc)
+	mode := "MINOS-B"
+	if *offload {
+		mode = "MINOS-O"
+	}
+	fmt.Printf("live %s: %d nodes × %d workers, %d req/node, %d%% writes, persist %v, %s\n\n",
+		mode, *nodes, *workers, *requests, int(*writes*100), *persist, fabricDesc)
 	results, err := livebench.RunAllModels(livebench.Config{
 		Nodes:           *nodes,
 		WorkersPerNode:  *workers,
@@ -69,6 +80,7 @@ func main() {
 		Fabric:          fabric,
 		Trace:           *tracePath != "",
 		TraceSample:     *traceSample,
+		Offload:         *offload,
 	})
 	for _, r := range results {
 		fmt.Println(r)

@@ -30,6 +30,7 @@ import (
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/node"
 	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/offload"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -44,6 +45,7 @@ func main() {
 	recoverFrom := flag.Int("recover-from", -1, "on startup, pull the log tail from this node (-1 = none)")
 	dispatch := flag.Int("dispatch", 0, "key-affine dispatch workers (0 = default)")
 	drains := flag.Int("drains", 0, "NVM drain engines (0 = default)")
+	offloadOn := flag.Bool("offload", false, "enable the soft-NIC offload engine (MINOS-O)")
 	flag.Parse()
 
 	model, err := ddp.ParseModel(*modelName)
@@ -63,14 +65,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("minos-server: %v", err)
 	}
-	n := node.New(node.Config{
+	cfg := node.Config{
 		Model:           model,
 		PersistDelay:    *persistDelay,
 		HeartbeatEvery:  *heartbeat,
 		FailAfter:       *failAfter,
 		DispatchWorkers: *dispatch,
 		PersistDrains:   *drains,
-	}, tr)
+	}
+	if *offloadOn {
+		cfg.Offload = &offload.Config{}
+	}
+	n := node.New(cfg, tr)
 	n.Start()
 	log.Printf("node %d up: model=%v protocol=%s client=%s", self, model, tr.Addr(), *clientAddr)
 

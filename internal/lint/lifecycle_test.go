@@ -7,5 +7,5 @@ import (
 )
 
 func TestLifecycle(t *testing.T) {
-	linttest.Run(t, "testdata", Lifecycle, "lifecycle/a", "lifecycle/cross")
+	linttest.Run(t, "testdata", Lifecycle, "lifecycle/a", "lifecycle/cross", "lifecycle/nicpool")
 }

@@ -1,0 +1,38 @@
+// The soft-NIC admission shape (internal/offload): a pooled entry
+// checked out with a type assertion, its buffer recycled by amortized
+// append, handed over on a bounded channel. None of it allocates in
+// steady state, so all of it passes the hot-path gate.
+package a
+
+import "sync"
+
+type vEntry struct {
+	buf []byte
+}
+
+//minos:hotpath
+func admitPooledOK(p *sync.Pool, q chan *vEntry, payload []byte) bool {
+	ent := p.Get().(*vEntry)
+	ent.buf = append(ent.buf[:0], payload...)
+	select {
+	case q <- ent:
+		return true
+	default:
+		p.Put(ent)
+		return false
+	}
+}
+
+//minos:hotpath
+func reclaimPooledOK(p *sync.Pool, ent *vEntry) {
+	ent.buf = ent.buf[:0]
+	p.Put(ent)
+}
+
+// The pooled discipline is what earns the pass: building the entry
+// fresh on every admission is still an allocation.
+//
+//minos:hotpath
+func admitFresh(q chan *vEntry, payload []byte) {
+	q <- &vEntry{buf: payload} // want `&composite literal escapes`
+}

@@ -1,0 +1,40 @@
+// NIC-path shapes from the soft-NIC offload engine's ack plumbing
+// (internal/node offload splice). Same package as node.go: the "node"
+// path element keeps the persist-before-ack obligation active here.
+package node
+
+import "persistorder/nvm"
+
+// nicPersistThen is the NIC-side persistThen: the pipeline append makes
+// the function a continuation-deferrer, so call sites naming the ack
+// kind hand it payload — the literal is not a bare ack construction.
+func (n *Node) nicPersistThen(m Message, k MsgKind) {
+	n.pipe.Enqueue(nvm.Entry{}, nil)
+	n.send(m.From, Message{Kind: k, From: 0})
+}
+
+// The NIC INV handler stages durability through the deferrer and names
+// the combined ack kind as payload.
+func (n *Node) nicInvAckOK(m Message) {
+	n.nicPersistThen(m, KindAck)
+}
+
+// The dFIFO drain: one blocking group commit covers the whole staged
+// batch — bailing on its false (closing) return — and only then does
+// the batch's acknowledgment fan-out run.
+func (n *Node) nicDrainBatchOK(ms []Message) {
+	if !n.pipe.PersistMany(n.buffered) {
+		return
+	}
+	for _, m := range ms {
+		n.sendAck(m, KindAckP)
+	}
+}
+
+// Skipping the group commit leaves the fan-out un-evidenced: the
+// obligation survives the batching.
+func (n *Node) nicDrainSkipsPersist(ms []Message) {
+	for _, m := range ms {
+		n.sendAck(m, KindAckP) // want `persist-before-ack`
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/node"
 	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/offload"
 	"github.com/minos-ddp/minos/internal/stats"
 	"github.com/minos-ddp/minos/internal/transport"
 	"github.com/minos-ddp/minos/internal/workload"
@@ -69,6 +70,13 @@ type Config struct {
 	// every transaction; obs.DefaultSampleEvery is the production
 	// rate).
 	TraceSample int
+	// Offload enables each node's soft-NIC offload engine (MINOS-O):
+	// hot keys' protocol messages are handled on the engine's core
+	// pool, with the adaptive per-key policy deciding the boundary.
+	Offload bool
+	// OffloadConfig tunes the engine when Offload is set (nil = engine
+	// defaults).
+	OffloadConfig *offload.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -144,14 +152,22 @@ func Run(cfg Config) (*Result, error) {
 			tracers[i] = obs.NewTracer(cfg.TraceCapacity)
 			tracers[i].SetSampleEvery(cfg.TraceSample)
 		}
-		nodes[i] = node.NewWithOptions(eps[i],
+		opts := []node.Option{
 			node.WithModel(cfg.Model),
 			node.WithPersistDelay(cfg.PersistDelay),
 			node.WithDispatchWorkers(cfg.DispatchWorkers),
 			node.WithPersistDrains(cfg.PersistDrains),
 			node.WithTracer(tracers[i]),
 			node.WithRTC(cfg.RTC),
-		)
+		}
+		if cfg.Offload {
+			oc := cfg.OffloadConfig
+			if oc == nil {
+				oc = &offload.Config{}
+			}
+			opts = append(opts, node.WithOffload(oc))
+		}
+		nodes[i] = node.NewWithOptions(eps[i], opts...)
 		nodes[i].Start()
 	}
 	defer func() {

@@ -1,6 +1,8 @@
 package node
 
 import (
+	"sync/atomic"
+
 	"github.com/minos-ddp/minos/internal/ddp"
 )
 
@@ -21,9 +23,20 @@ import (
 // wait for the superseding write's VAL) are therefore punted to
 // throwaway goroutines; everything else runs inline on the worker.
 type executor struct {
-	n      *Node
-	queues []chan ddp.Message
-	mask   uint64
+	n     *Node
+	lanes []*execLane
+	mask  uint64
+}
+
+// execLane is one worker's mailbox plus the monotonic admission and
+// completion counts the offload engine's promotion fence reads: a key
+// flips from the host path to the NIC pool only once its lane's done
+// count passes the admission count observed at promotion time, so no
+// NIC-handled message can overtake one still queued here.
+type execLane struct {
+	q    chan ddp.Message
+	enq  atomic.Uint64
+	done atomic.Uint64
 }
 
 // execQueueDepth bounds each worker's mailbox. The transport's receive
@@ -38,25 +51,26 @@ func newExecutor(n *Node, workers int) *executor {
 		w <<= 1
 	}
 	e := &executor{n: n, mask: uint64(w - 1)}
-	e.queues = make([]chan ddp.Message, w)
-	for i := range e.queues {
-		e.queues[i] = make(chan ddp.Message, execQueueDepth)
+	e.lanes = make([]*execLane, w)
+	for i := range e.lanes {
+		e.lanes[i] = &execLane{q: make(chan ddp.Message, execQueueDepth)}
 	}
 	return e
 }
 
 // start launches the workers, tracked by the node's WaitGroup.
 func (e *executor) start() {
-	for _, q := range e.queues {
+	for _, l := range e.lanes {
 		e.n.wg.Add(1)
-		go e.worker(q)
+		go e.worker(l)
 	}
 }
 
-func (e *executor) worker(q chan ddp.Message) {
+func (e *executor) worker(l *execLane) {
 	defer e.n.wg.Done()
-	for m := range q {
+	for m := range l.q {
 		e.n.handleMessage(m)
+		l.done.Add(1)
 	}
 }
 
@@ -66,17 +80,25 @@ func (e *executor) worker(q chan ddp.Message) {
 //
 //minos:hotpath
 func (e *executor) dispatch(m ddp.Message) {
-	q := e.queues[affinity(m)&e.mask]
+	l := e.lanes[affinity(m)&e.mask]
 	// High-water lane depth: len on a channel is one atomic read, and
 	// the Max CAS almost always short-circuits on the first compare.
-	e.n.laneDepth.Max(int64(len(q)))
-	q <- m
+	e.n.laneDepth.Max(int64(len(l.q)))
+	l.enq.Add(1)
+	l.q <- m
+}
+
+// laneFor returns the lane that key-carrying messages for key ride.
+// (Scope-control messages route by scope hash instead — see affinity —
+// but those never cross the offload boundary.)
+func (e *executor) laneFor(key ddp.Key) *execLane {
+	return e.lanes[key.Hash()>>32&e.mask]
 }
 
 // closeQueues ends the workers once recvLoop has stopped producing.
 func (e *executor) closeQueues() {
-	for _, q := range e.queues {
-		close(q)
+	for _, l := range e.lanes {
+		close(l.q)
 	}
 }
 

@@ -35,39 +35,9 @@ func (n *Node) handleMessage(m ddp.Message) {
 
 // handleInv is the Follower algorithm (Fig 2 L26-40, Fig 3 deltas).
 func (n *Node) handleInv(m ddp.Message) {
-	n.Stats.InvsHandled.Add(1)
-	r := n.store.GetOrCreate(m.Key)
-
-	r.Lock()
-	if r.Meta.Obsolete(m.TS) { // L27
-		r.Unlock()
-		n.spawnObsolete(r, m)
+	if !n.applyInv(m) {
 		return
 	}
-	r.SnatchRDLock(m.TS) // L31
-
-	for r.Meta.WRLock { // L32
-		if n.closed.Load() {
-			r.Unlock()
-			return
-		}
-		r.Wait()
-	}
-	r.Meta.WRLock = true
-
-	if r.Meta.Obsolete(m.TS) { // L33/L37
-		r.Meta.WRLock = false
-		r.Wake()
-		r.Unlock()
-		n.spawnObsolete(r, m)
-		return
-	}
-
-	r.Publish(m.Value, m.TS) // L34-35: update LLC (seqlocked)
-	r.Meta.WRLock = false // L36
-	r.Wake()
-	r.Unlock()
-
 	switch n.policy.FollowerPersist {
 	case ddp.PersistBeforeAck: // Synch: persist (L39), combined ACK (L40)
 		n.persistThen(m, ddp.KindAck)
@@ -81,6 +51,51 @@ func (n *Node) handleInv(m ddp.Message) {
 		n.bufferScope(m.Scope, m.Key, m.TS, m.Value)
 		n.sendAck(m, ddp.KindAckC)
 	}
+}
+
+// applyInv is the volatile half of the Follower algorithm (Fig 2
+// L26-37): the obsolete checks, the RDLock snatch, the WRLock-guarded
+// publish. It is shared by the host path (handleInv) and the NIC path
+// (handleInvOffloaded), which differ only in how the persistency step
+// that follows is staged. A false return means the INV took the
+// obsolete path (the spawned spin owns the acknowledgment) or the node
+// closed mid-apply.
+//
+//minos:hotpath
+func (n *Node) applyInv(m ddp.Message) bool {
+	n.Stats.InvsHandled.Add(1)
+	r := n.store.GetOrCreate(m.Key)
+
+	r.Lock()
+	if r.Meta.Obsolete(m.TS) { // L27
+		r.Unlock()
+		n.spawnObsolete(r, m)
+		return false
+	}
+	r.SnatchRDLock(m.TS) // L31
+
+	for r.Meta.WRLock { // L32
+		if n.closed.Load() {
+			r.Unlock()
+			return false
+		}
+		r.Wait()
+	}
+	r.Meta.WRLock = true
+
+	if r.Meta.Obsolete(m.TS) { // L33/L37
+		r.Meta.WRLock = false
+		r.Wake()
+		r.Unlock()
+		n.spawnObsolete(r, m)
+		return false
+	}
+
+	r.Publish(m.Value, m.TS) // L34-35: update LLC (seqlocked)
+	r.Meta.WRLock = false // L36
+	r.Wake()
+	r.Unlock()
+	return true
 }
 
 // spawnObsolete runs the obsolete-INV path on its own goroutine: its

@@ -19,6 +19,7 @@ import (
 	"github.com/minos-ddp/minos/internal/kv"
 	"github.com/minos-ddp/minos/internal/nvm"
 	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/offload"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -60,6 +61,13 @@ type Config struct {
 	// transport.InlinePoller; RTCAuto enables it whenever the transport
 	// supports it.
 	RTC RTCMode
+	// Offload, when non-nil, enables the soft-NIC offload engine
+	// (MINOS-O): protocol messages for keys the adaptive policy deems
+	// hot are handled on the engine's core pool instead of the host
+	// dispatch path. The config's callback fields (Handler, Durable,
+	// HostFence, HostDrained, Now) are owned by the node and overwritten;
+	// set only the tuning knobs. &offload.Config{} selects all defaults.
+	Offload *offload.Config
 }
 
 // RTCMode controls the run-to-completion dispatch mode.
@@ -95,6 +103,11 @@ type writeTxn struct {
 	followers []ddp.NodeID
 	ackCn     atomic.Int32
 	ackPn     atomic.Int32
+	// valCSent deduplicates the consistency-point VAL_C broadcast
+	// between the writer and the offload engine's broadcast FSM
+	// (handleAckOffloaded): whichever observes the quorum first wins
+	// the CAS and fans out; the other skips.
+	valCSent atomic.Bool
 }
 
 // wtPool recycles writeTxn state (including the WriteTxn ack maps, via
@@ -117,6 +130,7 @@ func (n *Node) getWriteTxn(key ddp.Key, ts ddp.Timestamp, followers []ddp.NodeID
 	wt.txn.Reset(n.policy, n.id, key, ts, len(followers))
 	wt.ackCn.Store(0)
 	wt.ackPn.Store(0)
+	wt.valCSent.Store(false)
 	return wt
 }
 
@@ -173,6 +187,9 @@ type Node struct {
 	log   *nvm.Log
 	pipe  *nvm.Pipeline
 	exec  *executor
+	// off is the soft-NIC offload engine (MINOS-O); nil runs pure
+	// MINOS-B, every message on the host dispatch path.
+	off *offload.Engine
 
 	// poller is non-nil when the transport supports inline polling;
 	// inline is true when the node runs messages to completion on the
@@ -306,6 +323,26 @@ func New(cfg Config, tr transport.Transport) *Node {
 		OnAck:    n.sendDurableAck,
 	})
 	n.exec = newExecutor(n, cfg.DispatchWorkers)
+	if cfg.Offload != nil {
+		oc := *cfg.Offload
+		oc.Handler = n.handleOffloaded
+		oc.Durable = n.drainDurable
+		oc.Now = nil
+		if n.tracer.Enabled() {
+			oc.Now = n.tracer.Now
+		}
+		if n.inline {
+			// Run-to-completion delivery is inline: by the time Route
+			// sees a message, its predecessor has fully completed, so
+			// promotion needs no host-lane fence.
+			oc.HostFence, oc.HostDrained = nil, nil
+		} else {
+			oc.HostFence = n.laneMark
+			oc.HostDrained = n.laneDrained
+		}
+		n.off = offload.New(oc)
+		n.obs.Register(n.off)
+	}
 	n.obs.Register(n.pipe)
 	if n.tracer != nil {
 		n.obs.Register(n.tracer)
@@ -359,6 +396,9 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go n.valFlushLoop()
 	}
+	if n.off != nil {
+		n.off.Start()
+	}
 }
 
 // Close shuts the node down, waking every blocked operation.
@@ -395,6 +435,13 @@ func (n *Node) Close() error {
 		r.Unlock()
 		return true
 	})
+	// The offload engine closes after the record wakes: a NIC core
+	// blocked in a handler's record wait needs the wake (and the closed
+	// flag it re-checks) to unwind before the engine's WaitGroup can
+	// drain.
+	if n.off != nil {
+		n.off.Close()
+	}
 	n.wg.Wait()
 	return nil
 }
@@ -428,6 +475,12 @@ func (n *Node) recvLoop() {
 		n.noteAlive(f.From)
 		switch f.Kind {
 		case transport.FrameMessage:
+			// Offload gate: hot keys route to the soft-NIC pool; Route
+			// runs on this single delivery goroutine, which is what
+			// keeps the per-key ownership transitions ordered.
+			if n.off != nil && offloadable(f.Msg) && n.off.Route(f.Msg) {
+				continue
+			}
 			n.exec.dispatch(f.Msg)
 		case transport.FrameHeartbeat:
 			// noteAlive above is the whole job.
@@ -452,6 +505,12 @@ func (n *Node) handleFrame(f transport.Frame) {
 	n.noteAlive(f.From)
 	switch f.Kind {
 	case transport.FrameMessage:
+		// Offload gate: only the poll-token holder reaches here, so
+		// Route's single-caller contract holds in RTC mode too. The
+		// engine copies the (borrowed) frame value at admission.
+		if n.off != nil && offloadable(f.Msg) && n.off.Route(f.Msg) {
+			return
+		}
 		n.handleMessage(f.Msg)
 	case transport.FrameHeartbeat:
 		// noteAlive above is the whole job.

@@ -5,6 +5,7 @@ import (
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/offload"
 	"github.com/minos-ddp/minos/internal/transport"
 )
 
@@ -56,6 +57,13 @@ func WithTracer(t *obs.Tracer) Option {
 // WithRTC selects the run-to-completion dispatch mode (see RTCMode).
 func WithRTC(m RTCMode) Option {
 	return func(c *Config) { c.RTC = m }
+}
+
+// WithOffload enables the soft-NIC offload engine (MINOS-O) with the
+// given tuning; &offload.Config{} selects all defaults. See
+// Config.Offload.
+func WithOffload(oc *offload.Config) Option {
+	return func(c *Config) { c.Offload = oc }
 }
 
 // NewWithOptions creates a node over tr with the given options applied

@@ -1,7 +1,6 @@
 package node
 
 import (
-	"encoding/binary"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,9 +18,9 @@ import (
 // flushing before every send keeps the per-peer streams FIFO anyway, so
 // followers observe exactly the pre-batching order.
 
-// valEntryBytes is the packed size of one staged validation:
-// kind (u8) | key (u64) | ts.Node (i64) | ts.Version (i64) | scope (u64).
-const valEntryBytes = 1 + 8 + 8 + 8 + 8
+// valEntryBytes is the packed size of one staged validation; the
+// layout is the shared codec in ddp (AppendValEntry/DecodeValEntry).
+const valEntryBytes = ddp.ValEntrySize
 
 // valFlushEvery bounds how long a staged validation can wait for a
 // piggyback: an idle coordinator's last VAL still reaches followers
@@ -47,11 +46,7 @@ type valStage struct {
 func (n *Node) stageVal(kind ddp.MsgKind, key ddp.Key, ts ddp.Timestamp, sc ddp.ScopeID) {
 	s := n.vals
 	s.mu.Lock()
-	s.buf = append(s.buf, byte(kind))
-	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(key))
-	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(ts.Node))
-	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(ts.Version))
-	s.buf = binary.LittleEndian.AppendUint64(s.buf, uint64(sc))
+	s.buf = ddp.AppendValEntry(s.buf, kind, key, ts, sc)
 	s.count++
 	s.staged.Store(int32(s.count))
 	s.mu.Unlock()
@@ -85,7 +80,7 @@ func (n *Node) flushVals() {
 // VAL and batching only wins when commits genuinely overlap.
 func (n *Node) broadcastValsLocked(s *valStage) {
 	if s.count == 1 {
-		m := decodeValEntry(s.buf)
+		m := ddp.DecodeValEntry(s.buf)
 		m.From = n.id
 		m.Size = ddp.ControlSize()
 		_ = n.tr.Broadcast(transport.Frame{Kind: transport.FrameMessage, Msg: m})
@@ -103,19 +98,6 @@ func (n *Node) broadcastValsLocked(s *valStage) {
 	s.staged.Store(0)
 }
 
-// decodeValEntry unpacks one staged validation from the front of b.
-func decodeValEntry(b []byte) ddp.Message {
-	return ddp.Message{
-		Kind: ddp.MsgKind(b[0]),
-		Key:  ddp.Key(binary.LittleEndian.Uint64(b[1:])),
-		TS: ddp.Timestamp{
-			Node:    ddp.NodeID(binary.LittleEndian.Uint64(b[9:])),
-			Version: ddp.Version(binary.LittleEndian.Uint64(b[17:])),
-		},
-		Scope: ddp.ScopeID(binary.LittleEndian.Uint64(b[25:])),
-	}
-}
-
 // handleValBatch unpacks a coalesced validation frame and routes each
 // entry through the normal dispatch, exactly as if it had arrived
 // alone. Decoding walks the borrowed frame value in place; every
@@ -124,7 +106,7 @@ func decodeValEntry(b []byte) ddp.Message {
 func (n *Node) handleValBatch(m ddp.Message) {
 	b := m.Value
 	for len(b) >= valEntryBytes {
-		e := decodeValEntry(b)
+		e := ddp.DecodeValEntry(b)
 		e.From = m.From
 		e.Size = ddp.ControlSize()
 		n.handleMessage(e)

@@ -133,7 +133,12 @@ func (n *Node) writeScoped(key ddp.Key, value []byte, sc ddp.ScopeID) error {
 	}
 	r.Unlock()
 	if n.policy.SendsValAtConsistency() {
-		n.sendVal(ddp.KindValC, key, ts, sc, followers)
+		// With offload enabled the NIC's broadcast FSM may have fanned
+		// VAL_C out already (handleAckOffloaded, on the final ack); the
+		// CAS makes exactly one of the two broadcasts happen.
+		if wt.valCSent.CompareAndSwap(false, true) {
+			n.sendVal(ddp.KindValC, key, ts, sc, followers)
+		}
 		tc.mark(obs.PhaseVal)
 	}
 

@@ -34,6 +34,13 @@ const (
 	// PhaseCompletion covers final bookkeeping until the client call
 	// returns (or, on a follower, until the handler retires).
 	PhaseCompletion
+	// PhaseNICQueue covers a protocol message's residency in the
+	// offload engine's vFIFO, from admission to the moment a soft-NIC
+	// core picks it up (MINOS-O only).
+	PhaseNICQueue
+	// PhaseNICHandle covers the message's handling on the soft-NIC core
+	// (MINOS-O only).
+	PhaseNICHandle
 
 	// NumPhases is the size of the phase enum.
 	NumPhases
@@ -41,7 +48,7 @@ const (
 
 var phaseNames = [NumPhases]string{
 	"issue", "inv_fanout", "ack_wait", "persist_enqueue",
-	"group_commit", "val", "completion",
+	"group_commit", "val", "completion", "nic_queue", "nic_handle",
 }
 
 func (p Phase) String() string {

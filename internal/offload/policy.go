@@ -1,0 +1,82 @@
+package offload
+
+// This file is the adaptive half of the offload boundary: a pure
+// feedback rule that retunes the promotion threshold once per epoch
+// from what the engine observed — the control loop of the SmartNIC
+// flow-offload literature (offload counts, over-offload counts, drop
+// counts per round), applied to MINOS's per-key heat instead of per
+// five-tuple flows. Keeping the rule pure (no clocks, no engine state)
+// is what makes the satellite tests deterministic: drive synthetic
+// epochs through NextThreshold and pin the exact trajectory.
+
+// Feedback is one epoch's observations, the inputs to the threshold
+// rule.
+type Feedback struct {
+	// Promoted counts keys installed onto the NIC path this epoch.
+	Promoted int64
+	// Denied counts promotions refused because the per-epoch install
+	// budget was exhausted (the flow table's insertion-rate limit).
+	Denied int64
+	// Overflows counts vFIFO overflow events — each one demoted a key
+	// back to the host path, the engine's analogue of a dropped
+	// offloaded packet.
+	Overflows int64
+	// NICFrames and HostFrames split the epoch's routed protocol
+	// messages by which path handled them.
+	NICFrames  int64
+	HostFrames int64
+}
+
+// PolicyConfig bounds the threshold the rule may choose.
+type PolicyConfig struct {
+	Min, Max uint32
+}
+
+// NextThreshold returns the promotion threshold for the next epoch.
+//
+// The rule, in priority order:
+//
+//  1. Any vFIFO overflow means the NIC pool is over-committed: keys
+//     that qualified were too many or too hot to drain. Double the
+//     threshold so only genuinely hotter keys qualify next epoch.
+//  2. Budget-denied promotions with no overflow mean demand outpaces
+//     the install rate but the pool itself kept up: raise the
+//     threshold by half to shed the marginal candidates.
+//  3. No promotions while the host path still carries most traffic
+//     means the threshold overshot the workload's heat: halve it so
+//     warm keys can qualify again.
+//  4. Otherwise the boundary is in equilibrium: keep it.
+//
+// The result is always clamped to [cfg.Min, cfg.Max].
+func NextThreshold(cur uint32, fb Feedback, cfg PolicyConfig) uint32 {
+	next := cur
+	switch {
+	case fb.Overflows > 0:
+		next = saturatingDouble(cur)
+	case fb.Denied > 0:
+		next = saturatingAdd(cur, cur/2)
+	case fb.Promoted == 0 && fb.HostFrames > fb.NICFrames:
+		next = cur / 2
+	}
+	if next < cfg.Min {
+		next = cfg.Min
+	}
+	if cfg.Max > 0 && next > cfg.Max {
+		next = cfg.Max
+	}
+	return next
+}
+
+func saturatingDouble(v uint32) uint32 {
+	if v > 1<<30 {
+		return 1 << 31
+	}
+	return v * 2
+}
+
+func saturatingAdd(a, b uint32) uint32 {
+	if a > ^uint32(0)-b {
+		return ^uint32(0)
+	}
+	return a + b
+}

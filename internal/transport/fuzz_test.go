@@ -167,3 +167,86 @@ func FuzzBatchRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzValBatchRoundTrip exercises the KindValBatch wire format — the
+// coalesced-validation payload of run-to-completion mode. It derives a
+// run of validation entries from the fuzz input, packs them with
+// ddp.AppendValEntry (exactly what the node's release-side stage
+// builds), ships the packed buffer through the transport codec as a
+// KindValBatch message frame, then unpacks entry by entry with
+// ddp.DecodeValEntry the way handleValBatch does — every entry must
+// come back intact, in order, with no leftover bytes.
+func FuzzValBatchRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(bytes.Repeat([]byte{0x5A}, 128))
+
+	valKinds := []ddp.MsgKind{ddp.KindVal, ddp.KindValC, ddp.KindValP}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		count := int(next())%32 + 1
+		type entry struct {
+			kind ddp.MsgKind
+			key  ddp.Key
+			ts   ddp.Timestamp
+			sc   ddp.ScopeID
+		}
+		entries := make([]entry, 0, count)
+		var packed []byte
+		for i := 0; i < count; i++ {
+			e := entry{
+				kind: valKinds[int(next())%len(valKinds)],
+				key:  ddp.Key(next())<<16 | ddp.Key(next())<<8 | ddp.Key(next()),
+				ts: ddp.Timestamp{
+					Node:    ddp.NodeID(int8(next())),
+					Version: ddp.Version(uint64(next())<<8 | uint64(next())),
+				},
+				sc: ddp.ScopeID(next()),
+			}
+			entries = append(entries, e)
+			packed = ddp.AppendValEntry(packed, e.kind, e.key, e.ts, e.sc)
+		}
+		if len(packed) != count*ddp.ValEntrySize {
+			t.Fatalf("packed %d bytes for %d entries, want %d", len(packed), count, count*ddp.ValEntrySize)
+		}
+
+		// Ship the batch through the frame codec, as Broadcast does.
+		fr := Frame{Kind: FrameMessage, From: 1, Msg: ddp.Message{
+			Kind:  ddp.KindValBatch,
+			Value: packed,
+			Size:  ddp.DataSize(len(packed)),
+		}}
+		got, err := DecodeFrame(EncodeFrame(fr)[4:])
+		if err != nil {
+			t.Fatalf("val batch frame failed to decode: %v", err)
+		}
+		if got.Msg.Kind != ddp.KindValBatch || !bytes.Equal(got.Msg.Value, packed) {
+			t.Fatalf("val batch payload mangled in transit")
+		}
+
+		// Unpack like handleValBatch: fixed strides, one decode each.
+		b := got.Msg.Value
+		for i, want := range entries {
+			if len(b) < ddp.ValEntrySize {
+				t.Fatalf("payload truncated before entry %d", i)
+			}
+			e := ddp.DecodeValEntry(b)
+			if e.Kind != want.kind || e.Key != want.key || e.TS != want.ts || e.Scope != want.sc {
+				t.Fatalf("entry %d mismatch: got {%v %v %v %v} want %+v",
+					i, e.Kind, e.Key, e.TS, e.Scope, want)
+			}
+			b = b[ddp.ValEntrySize:]
+		}
+		if len(b) != 0 {
+			t.Fatalf("%d trailing bytes after unpacking all entries", len(b))
+		}
+	})
+}

@@ -91,6 +91,13 @@ type Config struct {
 	// (YCSB-F): each "write" op is a read of the key followed by a
 	// write to it.
 	RMW bool
+	// HotChurnEvery, when positive, rotates the hot set every
+	// HotChurnEvery operations: the generator's key stream is permuted
+	// by a phase-dependent affine map, so the keys the distribution
+	// favors change each phase while the skew itself is untouched. It
+	// models hot-key churn — the adversarial case for any per-key
+	// offload/caching policy, which must chase the moving hot set.
+	HotChurnEvery int
 }
 
 // Default returns the paper's default workload configuration.
@@ -126,6 +133,9 @@ type Generator struct {
 	zipf         *zipfGen
 	writesSince  int
 	pendingFlush bool
+	// ops counts keyed operations drawn so far; ops/HotChurnEvery is
+	// the churn phase.
+	ops int
 }
 
 // NewGenerator returns a generator for cfg seeded with seed.
@@ -167,14 +177,24 @@ func (g *Generator) Next() Op {
 
 func (g *Generator) nextKey() uint64 {
 	n := uint64(g.cfg.Records)
+	var raw uint64
 	switch g.cfg.Dist {
 	case Uniform:
-		return uint64(g.rng.Int63n(int64(n)))
+		raw = uint64(g.rng.Int63n(int64(n)))
 	case Latest:
-		return n - 1 - g.zipf.next(g.rng)
+		raw = n - 1 - g.zipf.next(g.rng)
 	default:
-		return g.zipf.next(g.rng)
+		raw = g.zipf.next(g.rng)
 	}
+	if g.cfg.HotChurnEvery > 0 {
+		phase := uint64(g.ops / g.cfg.HotChurnEvery)
+		g.ops++
+		// Affine remap per phase (Knuth's multiplicative constant):
+		// phase 0 is the identity, so churn-free configurations and
+		// the first phase of churning ones draw identical streams.
+		raw = (raw + phase*2654435761) % n
+	}
+	return raw
 }
 
 // zipfGen draws from a zipfian distribution over [0, n) with parameter

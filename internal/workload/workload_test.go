@@ -148,3 +148,54 @@ func BenchmarkZipfianNext(b *testing.B) {
 		g.Next()
 	}
 }
+
+// TestHotChurnPhases pins the hot-key-churn remap: phase 0 is the
+// identity (a churning generator's first phase draws exactly the
+// churn-free stream), later phases apply the per-phase affine map to
+// the same underlying draws, and keys stay in range throughout.
+func TestHotChurnPhases(t *testing.T) {
+	const every, n = 10, 100
+	cfg := Config{Records: n, WriteRatio: 1, Dist: Uniform, HotChurnEvery: every}
+	plain := Config{Records: n, WriteRatio: 1, Dist: Uniform}
+	g := NewGenerator(cfg, 7)
+	ref := NewGenerator(plain, 7) // same seed: same underlying raw draws
+	for i := 0; i < 3*every; i++ {
+		got := g.Next().Key
+		raw := ref.Next().Key
+		phase := uint64(i / every)
+		want := (raw + phase*2654435761) % n
+		if got != want {
+			t.Fatalf("op %d (phase %d): key %d, want %d (raw %d)", i, phase, got, want, raw)
+		}
+		if got >= n {
+			t.Fatalf("op %d: key %d out of range", i, got)
+		}
+	}
+}
+
+// TestHotChurnMovesHotSet: under zipfian skew, the most-drawn key of
+// one phase differs from the most-drawn key of a later phase — the
+// moving target a per-key offload policy has to chase.
+func TestHotChurnMovesHotSet(t *testing.T) {
+	const every = 2000
+	cfg := Default()
+	cfg.WriteRatio = 1
+	cfg.HotChurnEvery = every
+	g := NewGenerator(cfg, 42)
+	hottest := func() uint64 {
+		counts := map[uint64]int{}
+		for i := 0; i < every; i++ {
+			counts[g.Next().Key]++
+		}
+		best, bestN := uint64(0), -1
+		for k, c := range counts {
+			if c > bestN {
+				best, bestN = k, c
+			}
+		}
+		return best
+	}
+	if a, b := hottest(), hottest(); a == b {
+		t.Fatalf("hot key %d did not move across churn phases", a)
+	}
+}
