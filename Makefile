@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet check bench-smoke bench-live bench-node bench-obs bench-offload clean
+.PHONY: all build test race lint vet check bench-smoke bench-live bench-node bench-obs bench-offload bench-scale clean
 
 all: build
 
@@ -60,6 +60,15 @@ bench-node:
 # of BENCH_offload.json in one run. CI uploads it as bench-offload.
 bench-offload:
 	$(GO) run ./cmd/minos-benchoffload -requests 1500 -json BENCH_offload.json
+
+# Open-loop scale sweep: the coordinated-omission-safe load engine
+# drives 1M logical clients over 16 connections against a 5-node
+# cluster, doubling the offered rate until goodput falls off the knee,
+# per persistency model × fabric (ring, tcp) × offload mode. Writes
+# BENCH_scale.json. Pass SCALE_FLAGS=-smoke for the short CI variant
+# (one small ring cell); CI uploads the result as bench-scale.
+bench-scale:
+	$(GO) run ./cmd/minos-benchscale $(SCALE_FLAGS) -json BENCH_scale.json
 
 # Observability overhead: the serial write microbenchmark with tracing
 # off, sampled (1-in-8, the production default), and full, per model.

@@ -14,6 +14,7 @@ import (
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/experiments"
 	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/node"
 	"github.com/minos-ddp/minos/internal/simcluster"
 	"github.com/minos-ddp/minos/internal/transport"
@@ -227,10 +228,8 @@ func BenchmarkAblations(b *testing.B) {
 func BenchmarkLiveModels(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results, err := livebench.RunAllModels(livebench.Config{
-			Nodes:           3,
-			WorkersPerNode:  2,
-			RequestsPerNode: 200,
-			Seed:            7,
+			Cluster: loadgen.Cluster{Nodes: 3},
+			Load:    livebench.Load{WorkersPerNode: 2, RequestsPerNode: 200, Seed: 7},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -17,10 +17,6 @@
 // fabric field — their rows read as mem), "ring" is the shared-memory
 // SPSC datapath, which also engages the nodes' run-to-completion mode.
 //
-// Before/after discipline: this file compiles against both the pre- and
-// post-seqlock node package. Features the baseline tree lacks (ReadInto,
-// livebench store preload) are reached through interface assertions and
-// reflection, so a "before" worktree run simply skips those rows.
 package main
 
 import (
@@ -29,7 +25,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -37,7 +32,9 @@ import (
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/stats"
 	"github.com/minos-ddp/minos/internal/transport"
 	"github.com/minos-ddp/minos/internal/workload"
 )
@@ -336,18 +333,16 @@ func toResult(fabric string, model ddp.Model, d time.Duration, variant string, r
 
 // liveResult is one livebench throughput point.
 type liveResult struct {
-	Fabric         string  `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
-	Model          string  `json:"model"`
-	Mix            string  `json:"mix,omitempty"` // "" == 100% writes
-	DelayNs        int64   `json:"delay_ns"`
-	Workers        int     `json:"workers_per_node"`
-	Ops            int     `json:"ops"`
-	ElapsedNs      int64   `json:"elapsed_ns"`
-	ThroughputOpsS float64 `json:"throughput_ops_s"`
-	WriteAvgNs     float64 `json:"write_avg_ns"`
-	WriteP99Ns     float64 `json:"write_p99_ns"`
-	ReadAvgNs      float64 `json:"read_avg_ns,omitempty"`
-	ReadP99Ns      float64 `json:"read_p99_ns,omitempty"`
+	Fabric         string       `json:"fabric,omitempty"` // "" (pre-fabric rows) == mem
+	Model          string       `json:"model"`
+	Mix            string       `json:"mix,omitempty"` // "" == 100% writes
+	DelayNs        int64        `json:"delay_ns"`
+	Workers        int          `json:"workers_per_node"`
+	Ops            int          `json:"ops"`
+	ElapsedNs      int64        `json:"elapsed_ns"`
+	ThroughputOpsS float64      `json:"throughput_ops_s"`
+	Write          stats.Report `json:"write"`
+	Read           stats.Report `json:"read"`
 }
 
 // runLive measures Lin-Synch on the in-process fabrics: the all-write
@@ -383,33 +378,26 @@ func runLiveCell(fabric, mix string, wl workload.Config, workers int, d time.Dur
 	if flagTheta > 0 {
 		wl.ZipfTheta = flagTheta
 	}
-	if f := reflect.ValueOf(&wl).Elem().FieldByName("HotChurnEvery"); f.IsValid() && f.CanSet() {
-		f.SetInt(int64(flagChurn))
-	}
+	wl.HotChurnEvery = flagChurn
 	cfg := livebench.Config{
-		Nodes:           3,
-		Model:           ddp.LinSynch,
-		WorkersPerNode:  workers,
-		RequestsPerNode: requests,
-		PersistDelay:    d,
-		Workload:        wl,
-		Seed:            42,
-		Fabric:          fabric,
+		Cluster: loadgen.Cluster{
+			Nodes:        3,
+			Model:        ddp.LinSynch,
+			PersistDelay: d,
+			Fabric:       fabric,
+		},
+		Load: livebench.Load{
+			WorkersPerNode:  workers,
+			RequestsPerNode: requests,
+			Workload:        wl,
+			Seed:            42,
+		},
+		Offload: loadgen.Offload{Enabled: flagOffload},
 	}
 	if mix != "" {
 		// Read-mostly mixes only measure real value copies when the
-		// store is preloaded. The field is set reflectively so this
-		// source still compiles in a "before" worktree whose livebench
-		// predates it (the cell then reads empty records — the row is
-		// labeled all the same).
-		if f := reflect.ValueOf(&cfg).Elem().FieldByName("PreloadRecords"); f.IsValid() && f.CanSet() {
-			f.SetInt(int64(wl.Records))
-		}
-	}
-	if flagOffload {
-		if f := reflect.ValueOf(&cfg).Elem().FieldByName("Offload"); f.IsValid() && f.CanSet() {
-			f.SetBool(true)
-		}
+		// store is preloaded.
+		cfg.Load.PreloadRecords = wl.Records
 	}
 	res, err := livebench.Run(cfg)
 	if err != nil {
@@ -420,10 +408,8 @@ func runLiveCell(fabric, mix string, wl workload.Config, workers int, d time.Dur
 		Fabric: fabric, Model: fmt.Sprint(res.Model), Mix: mix, DelayNs: d.Nanoseconds(), Workers: workers,
 		Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
 		ThroughputOpsS: res.Throughput(),
-		WriteAvgNs:     res.WriteLat.Mean(),
-		WriteP99Ns:     res.WriteLat.Percentile(99),
-		ReadAvgNs:      res.ReadLat.Mean(),
-		ReadP99Ns:      res.ReadLat.Percentile(99),
+		Write:          res.WriteReport(),
+		Read:           res.ReadReport(),
 	}
 	label := mix
 	if label == "" {

@@ -27,7 +27,9 @@ import (
 
 	"github.com/minos-ddp/minos/internal/ddp"
 	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/offload"
+	"github.com/minos-ddp/minos/internal/stats"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
@@ -50,20 +52,19 @@ var workloadCells = []workloadCell{
 
 // row is one measured cell.
 type row struct {
-	Fabric         string  `json:"fabric"`
-	Model          string  `json:"model"`
-	Workload       string  `json:"workload"`
-	Offload        bool    `json:"offload"`
-	Ops            int     `json:"ops"`
-	ElapsedNs      int64   `json:"elapsed_ns"`
-	ThroughputOpsS float64 `json:"throughput_ops_s"`
-	WriteAvgNs     float64 `json:"write_avg_ns"`
-	WriteP99Ns     float64 `json:"write_p99_ns"`
-	NICFrames      int64   `json:"nic_frames,omitempty"`
-	HostFrames     int64   `json:"host_frames,omitempty"`
-	Promotions     int64   `json:"promotions,omitempty"`
-	Demotions      int64   `json:"demotions,omitempty"`
-	Overflows      int64   `json:"vfifo_overflows,omitempty"`
+	Fabric         string       `json:"fabric"`
+	Model          string       `json:"model"`
+	Workload       string       `json:"workload"`
+	Offload        bool         `json:"offload"`
+	Ops            int          `json:"ops"`
+	ElapsedNs      int64        `json:"elapsed_ns"`
+	ThroughputOpsS float64      `json:"throughput_ops_s"`
+	Write          stats.Report `json:"write"`
+	NICFrames      int64        `json:"nic_frames,omitempty"`
+	HostFrames     int64        `json:"host_frames,omitempty"`
+	Promotions     int64        `json:"promotions,omitempty"`
+	Demotions      int64        `json:"demotions,omitempty"`
+	Overflows      int64        `json:"vfifo_overflows,omitempty"`
 }
 
 func main() {
@@ -115,22 +116,26 @@ func runCell(fabric string, wc workloadCell, model ddp.Model, off bool, nodes, w
 	wl.HotChurnEvery = wc.churn
 
 	cfg := livebench.Config{
-		Nodes:           nodes,
-		Model:           model,
-		WorkersPerNode:  workers,
-		RequestsPerNode: requests,
-		PersistDelay:    persist,
-		Workload:        wl,
-		Seed:            42,
-		Fabric:          fabric,
-		Offload:         off,
+		Cluster: loadgen.Cluster{
+			Nodes:        nodes,
+			Model:        model,
+			PersistDelay: persist,
+			Fabric:       fabric,
+		},
+		Load: livebench.Load{
+			WorkersPerNode:  workers,
+			RequestsPerNode: requests,
+			Workload:        wl,
+			Seed:            42,
+		},
+		Offload: loadgen.Offload{Enabled: off},
 	}
 	if off {
 		// Bench cells are short (hundreds of ms), so engage the policy
 		// faster than the server defaults: 2 ms epochs and a low initial
 		// threshold let the hot set promote within the measured window;
 		// the feedback loop still raises the bar if the NIC saturates.
-		cfg.OffloadConfig = &offload.Config{
+		cfg.Offload.Config = &offload.Config{
 			Epoch:            2 * time.Millisecond,
 			InitialThreshold: 8,
 			MinThreshold:     4,
@@ -145,8 +150,7 @@ func runCell(fabric string, wc workloadCell, model ddp.Model, off bool, nodes, w
 		Fabric: fabric, Model: fmt.Sprint(model), Workload: wc.name, Offload: off,
 		Ops: res.Ops, ElapsedNs: res.Elapsed.Nanoseconds(),
 		ThroughputOpsS: res.Throughput(),
-		WriteAvgNs:     res.WriteLat.Mean(),
-		WriteP99Ns:     res.WriteLat.Percentile(99),
+		Write:          res.WriteReport(),
 	}
 	if off && res.Obs != nil {
 		r.NICFrames = res.Obs.Counter("offload.frames_nic")
@@ -160,7 +164,7 @@ func runCell(fabric string, wc workloadCell, model ddp.Model, off bool, nodes, w
 		mode = "O"
 	}
 	fmt.Printf("%-5s %-10s %-10v %s %9.0f op/s (wr avg %7.0f ns, p99 %8.0f ns) nic=%d promo=%d demo=%d\n",
-		fabric, wc.name, model, mode, r.ThroughputOpsS, r.WriteAvgNs, r.WriteP99Ns,
+		fabric, wc.name, model, mode, r.ThroughputOpsS, r.Write.MeanNs, r.Write.P99Ns,
 		r.NICFrames, r.Promotions, r.Demotions)
 	return r
 }

@@ -19,7 +19,9 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/livebench"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/obs"
+	"github.com/minos-ddp/minos/internal/stats"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
@@ -69,18 +71,21 @@ func main() {
 	fmt.Printf("live %s: %d nodes × %d workers, %d req/node, %d%% writes, persist %v, %s\n\n",
 		mode, *nodes, *workers, *requests, int(*writes*100), *persist, fabricDesc)
 	results, err := livebench.RunAllModels(livebench.Config{
-		Nodes:           *nodes,
-		WorkersPerNode:  *workers,
-		RequestsPerNode: *requests,
-		PersistDelay:    *persist,
-		DispatchWorkers: *dispatch,
-		PersistDrains:   *drains,
-		Workload:        wl,
-		Seed:            *seed,
-		Fabric:          fabric,
-		Trace:           *tracePath != "",
-		TraceSample:     *traceSample,
-		Offload:         *offload,
+		Cluster: loadgen.Cluster{
+			Nodes:           *nodes,
+			PersistDelay:    *persist,
+			DispatchWorkers: *dispatch,
+			PersistDrains:   *drains,
+			Fabric:          fabric,
+		},
+		Load: livebench.Load{
+			WorkersPerNode:  *workers,
+			RequestsPerNode: *requests,
+			Workload:        wl,
+			Seed:            *seed,
+		},
+		Observe: loadgen.Observe{Trace: *tracePath != "", TraceSample: *traceSample},
+		Offload: loadgen.Offload{Enabled: *offload},
 	})
 	for _, r := range results {
 		fmt.Println(r)
@@ -127,15 +132,13 @@ func writeTrace(path string, results []*livebench.Result) error {
 
 // liveResult is the JSON shape of one model's measurements.
 type liveResult struct {
-	Model          string  `json:"model"`
-	Ops            int     `json:"ops"`
-	ElapsedNs      int64   `json:"elapsed_ns"`
-	ThroughputOpsS float64 `json:"throughput_ops_s"`
-	WriteAvgNs     float64 `json:"write_avg_ns"`
-	WriteP99Ns     float64 `json:"write_p99_ns"`
-	ReadAvgNs      float64 `json:"read_avg_ns"`
-	ReadP99Ns      float64 `json:"read_p99_ns"`
-	FramesSent     int64   `json:"frames_sent"`
+	Model          string       `json:"model"`
+	Ops            int          `json:"ops"`
+	ElapsedNs      int64        `json:"elapsed_ns"`
+	ThroughputOpsS float64      `json:"throughput_ops_s"`
+	Write          stats.Report `json:"write"`
+	Read           stats.Report `json:"read"`
+	FramesSent     int64        `json:"frames_sent"`
 	BatchesSent    int64   `json:"batches_sent"`
 	FramesPerBatch float64 `json:"frames_per_batch"`
 	BytesSent      int64   `json:"bytes_sent"`
@@ -169,10 +172,8 @@ func writeJSON(path string, nodes, workers, requests int, fabric string, results
 			Ops:            r.Ops,
 			ElapsedNs:      r.Elapsed.Nanoseconds(),
 			ThroughputOpsS: r.Throughput(),
-			WriteAvgNs:     r.WriteLat.Mean(),
-			WriteP99Ns:     r.WriteLat.Percentile(99),
-			ReadAvgNs:      r.ReadLat.Mean(),
-			ReadP99Ns:      r.ReadLat.Percentile(99),
+			Write:          r.WriteReport(),
+			Read:           r.ReadReport(),
 			FramesSent:     r.Obs.Counter("transport.frames_sent"),
 			BatchesSent:    r.Obs.Counter("transport.batches_sent"),
 			FramesPerBatch: r.Obs.Ratio("transport.frames_sent", "transport.batches_sent"),

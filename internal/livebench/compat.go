@@ -1,0 +1,72 @@
+package livebench
+
+import (
+	"time"
+
+	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/loadgen"
+	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/offload"
+	"github.com/minos-ddp/minos/internal/workload"
+)
+
+// LegacyConfig is the pre-grouping flat configuration.
+//
+// Deprecated: build a Config directly — the flat shape hid which knobs
+// describe the cluster versus the load and could not be shared with
+// internal/loadgen. The TCP bool is gone entirely; say Fabric: "tcp".
+// This shim exists for one release so external callers migrate without
+// a flag-day; it will be removed.
+type LegacyConfig struct {
+	Nodes           int
+	Model           ddp.Model
+	WorkersPerNode  int
+	RequestsPerNode int
+	PersistDelay    time.Duration
+	DispatchWorkers int
+	PersistDrains   int
+	Workload        workload.Config
+	PreloadRecords  int
+	Seed            int64
+	Fabric          string
+	RTC             node.RTCMode
+	Trace           bool
+	TraceCapacity   int
+	TraceSample     int
+	Offload         bool
+	OffloadConfig   *offload.Config
+}
+
+// Config converts the flat shape to the grouped one.
+func (lc LegacyConfig) Config() Config {
+	return Config{
+		Cluster: loadgen.Cluster{
+			Nodes:           lc.Nodes,
+			Model:           lc.Model,
+			PersistDelay:    lc.PersistDelay,
+			DispatchWorkers: lc.DispatchWorkers,
+			PersistDrains:   lc.PersistDrains,
+			Fabric:          lc.Fabric,
+			RTC:             lc.RTC,
+		},
+		Load: Load{
+			WorkersPerNode:  lc.WorkersPerNode,
+			RequestsPerNode: lc.RequestsPerNode,
+			Workload:        lc.Workload,
+			PreloadRecords:  lc.PreloadRecords,
+			Seed:            lc.Seed,
+		},
+		Observe: loadgen.Observe{
+			Trace:         lc.Trace,
+			TraceCapacity: lc.TraceCapacity,
+			TraceSample:   lc.TraceSample,
+		},
+		Offload: loadgen.Offload{Enabled: lc.Offload, Config: lc.OffloadConfig},
+	}
+}
+
+// RunLegacy runs a flat-config cell.
+//
+// Deprecated: use Run(lc.Config()) — or better, build the grouped
+// Config directly.
+func RunLegacy(lc LegacyConfig) (*Result, error) { return Run(lc.Config()) }

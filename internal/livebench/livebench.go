@@ -4,6 +4,15 @@
 // of the paper's §IV, where MINOS-B is measured on a real 5-node
 // cluster before any simulation. The emulated NVM persist delay plays
 // Table II's 1295 ns/KB role.
+//
+// livebench is the *closed-loop* harness: N workers per node issue
+// requests back-to-back, so it measures service time under a fixed
+// concurrency — the right tool for microbenchmark-style comparisons
+// between code paths. For offered-load throughput/latency curves (and
+// any latency number quoted under overload) use internal/loadgen, the
+// open-loop engine whose accounting is coordinated-omission-safe.
+// Both harnesses share the same cluster bring-up (loadgen.StartCluster)
+// and the same Cluster/Observe/Offload config groups.
 package livebench
 
 import (
@@ -12,88 +21,54 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
-	"github.com/minos-ddp/minos/internal/node"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/obs"
-	"github.com/minos-ddp/minos/internal/offload"
 	"github.com/minos-ddp/minos/internal/stats"
-	"github.com/minos-ddp/minos/internal/transport"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
-// Config describes one live run.
-type Config struct {
-	// Nodes is the cluster size (default 5, Table II).
-	Nodes int
-	// Model is the DDP model to run.
-	Model ddp.Model
+// Load groups the closed-loop knobs: how many workers hammer each node
+// and for how many requests.
+type Load struct {
 	// WorkersPerNode is the number of concurrent client goroutines per
 	// node (default 5, the paper's busy cores).
 	WorkersPerNode int
-	// RequestsPerNode is the closed-loop request count per node.
+	// RequestsPerNode is the closed-loop request count per node
+	// (default 2000).
 	RequestsPerNode int
-	// PersistDelay emulates the NVM persist latency.
-	PersistDelay time.Duration
-	// DispatchWorkers sizes each node's key-affine executor (0 = node
-	// default).
-	DispatchWorkers int
-	// PersistDrains sizes each node's NVM drain-engine pool (0 = node
-	// default).
-	PersistDrains int
-	// Workload is the request mix (default: the paper's default).
+	// Workload is the request mix (default: the paper's default with
+	// 128-byte values).
 	Workload workload.Config
 	// PreloadRecords, when positive, pre-populates every node's store
-	// with that many records (keys 0..n-1, workload-sized values)
-	// before the clock starts, so read-mostly mixes measure real value
-	// copies instead of not-found lookups.
+	// with that many records before the clock starts, so read-mostly
+	// mixes measure real value copies instead of not-found lookups.
 	PreloadRecords int
 	// Seed fixes the workload streams.
 	Seed int64
-	// TCP runs the cluster over loopback TCP transports instead of the
-	// in-process fabric, exercising the real batched wire path (framing,
-	// per-peer writer coalescing, broadcast fan-out). Equivalent to
-	// Fabric == "tcp"; kept for existing callers.
-	TCP bool
-	// Fabric selects the cluster interconnect: "mem" (channel-based
-	// in-process fabric, the default), "tcp" (loopback TCP mesh), or
-	// "ring" (shared-memory SPSC rings with inline polling — the fast
-	// datapath, which also enables the nodes' run-to-completion mode).
-	Fabric string
-	// RTC overrides the nodes' run-to-completion mode (default: auto —
-	// on over fabrics that support inline polling, off otherwise).
-	RTC node.RTCMode
-	// Trace records per-transaction phase spans on every node; the
-	// collected spans land in Result.Spans (minos-trace's input).
-	Trace bool
-	// TraceCapacity sizes each node's span ring (0 = obs default).
-	TraceCapacity int
-	// TraceSample traces one transaction in TraceSample (0 or 1 =
-	// every transaction; obs.DefaultSampleEvery is the production
-	// rate).
-	TraceSample int
-	// Offload enables each node's soft-NIC offload engine (MINOS-O):
-	// hot keys' protocol messages are handled on the engine's core
-	// pool, with the adaptive per-key policy deciding the boundary.
-	Offload bool
-	// OffloadConfig tunes the engine when Offload is set (nil = engine
-	// defaults).
-	OffloadConfig *offload.Config
+}
+
+// Config describes one closed-loop run. Cluster, Observe and Offload
+// are the same groups the open-loop engine uses — one cluster
+// definition, two ways to drive it.
+type Config struct {
+	Cluster loadgen.Cluster
+	Load    Load
+	Observe loadgen.Observe
+	Offload loadgen.Offload
 }
 
 func (c Config) withDefaults() Config {
-	if c.Nodes <= 0 {
-		c.Nodes = 5
+	if c.Load.WorkersPerNode <= 0 {
+		c.Load.WorkersPerNode = 5
 	}
-	if c.WorkersPerNode <= 0 {
-		c.WorkersPerNode = 5
+	if c.Load.RequestsPerNode <= 0 {
+		c.Load.RequestsPerNode = 2000
 	}
-	if c.RequestsPerNode <= 0 {
-		c.RequestsPerNode = 2000
-	}
-	if c.Workload.Records == 0 {
-		c.Workload = workload.Default()
+	if c.Load.Workload.Records == 0 {
+		c.Load.Workload = workload.Default()
 		// Live clusters move real bytes; smaller values keep runs brisk
 		// without changing protocol behavior.
-		c.Workload.ValueSize = 128
+		c.Load.Workload.ValueSize = 128
 	}
 	return c
 }
@@ -109,7 +84,7 @@ type Result struct {
 	// cluster: every node's protocol counters and NVM pipeline plus
 	// every endpoint's wire counters, merged (summed) into one tree.
 	Obs *obs.Snapshot
-	// Spans holds the trace spans recorded when Config.Trace was set,
+	// Spans holds the trace spans recorded when Observe.Trace was set,
 	// concatenated across nodes — the input minos-trace replays.
 	Spans []obs.Span
 }
@@ -121,6 +96,13 @@ func (r *Result) Throughput() float64 {
 	}
 	return float64(r.Ops) / r.Elapsed.Seconds()
 }
+
+// WriteReport summarizes the write latencies in the repo's one
+// percentile-report shape (every BENCH_*.json writer emits it).
+func (r *Result) WriteReport() stats.Report { return stats.ReportFromSampler(&r.WriteLat) }
+
+// ReadReport is WriteReport for the read latencies.
+func (r *Result) ReadReport() stats.Report { return stats.ReportFromSampler(&r.ReadLat) }
 
 func (r *Result) String() string {
 	s := fmt.Sprintf("%v: wr avg %s p99 %s | rd avg %s p99 %s | %.0f op/s",
@@ -141,48 +123,20 @@ func (r *Result) String() string {
 // returns the measurements.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	eps, err := buildFabric(cfg)
+	lc, err := loadgen.StartCluster(cfg.Cluster, cfg.Observe, cfg.Offload, 0)
 	if err != nil {
 		return nil, err
 	}
-	nodes := make([]*node.Node, cfg.Nodes)
-	tracers := make([]*obs.Tracer, cfg.Nodes)
-	for i := range nodes {
-		if cfg.Trace {
-			tracers[i] = obs.NewTracer(cfg.TraceCapacity)
-			tracers[i].SetSampleEvery(cfg.TraceSample)
-		}
-		opts := []node.Option{
-			node.WithModel(cfg.Model),
-			node.WithPersistDelay(cfg.PersistDelay),
-			node.WithDispatchWorkers(cfg.DispatchWorkers),
-			node.WithPersistDrains(cfg.PersistDrains),
-			node.WithTracer(tracers[i]),
-			node.WithRTC(cfg.RTC),
-		}
-		if cfg.Offload {
-			oc := cfg.OffloadConfig
-			if oc == nil {
-				oc = &offload.Config{}
-			}
-			opts = append(opts, node.WithOffload(oc))
-		}
-		nodes[i] = node.NewWithOptions(eps[i], opts...)
-		nodes[i].Start()
-	}
-	defer func() {
-		for _, nd := range nodes {
-			nd.Close()
-		}
-	}()
+	defer lc.Close()
+	nodes := lc.Nodes
 
-	res := &Result{Model: cfg.Model}
-	value := make([]byte, cfg.Workload.ValueSize)
-	if cfg.PreloadRecords > 0 {
+	res := &Result{Model: cfg.Cluster.Model}
+	value := make([]byte, cfg.Load.Workload.ValueSize)
+	if cfg.Load.PreloadRecords > 0 {
 		// Replicas start identical: the preload writes every node's
 		// local store directly, off the protocol (and off the clock).
 		for _, nd := range nodes {
-			nd.Store().Preload(cfg.PreloadRecords, value)
+			nd.Store().Preload(cfg.Load.PreloadRecords, value)
 		}
 	}
 	var mu sync.Mutex
@@ -208,24 +162,25 @@ func Run(cfg Config) (*Result, error) {
 	// Build every worker's generator before starting the clock:
 	// generator construction is O(records) (the zipfian zeta sum), and
 	// charging it to the measured window skewed multi-worker runs.
-	gens := make([]*workload.Generator, 0, cfg.Nodes*cfg.WorkersPerNode)
-	for ni := 0; ni < cfg.Nodes; ni++ {
-		for w := 0; w < cfg.WorkersPerNode; w++ {
-			gens = append(gens, workload.NewGenerator(cfg.Workload, cfg.Seed+int64(ni)*1009+int64(w)*7919))
+	workers := cfg.Load.WorkersPerNode
+	gens := make([]*workload.Generator, 0, len(nodes)*workers)
+	for ni := range nodes {
+		for w := 0; w < workers; w++ {
+			gens = append(gens, workload.NewGenerator(cfg.Load.Workload, cfg.Load.Seed+int64(ni)*1009+int64(w)*7919))
 		}
 	}
 
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ni, nd := range nodes {
-		per := cfg.RequestsPerNode / cfg.WorkersPerNode
-		for w := 0; w < cfg.WorkersPerNode; w++ {
+		per := cfg.Load.RequestsPerNode / workers
+		for w := 0; w < workers; w++ {
 			nd := nd
 			count := per
-			if w == cfg.WorkersPerNode-1 {
-				count = cfg.RequestsPerNode - per*(cfg.WorkersPerNode-1)
+			if w == workers-1 {
+				count = cfg.Load.RequestsPerNode - per*(workers-1)
 			}
-			gen := gens[ni*cfg.WorkersPerNode+w]
+			gen := gens[ni*workers+w]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -249,7 +204,7 @@ func Run(cfg Config) (*Result, error) {
 							}
 						}
 						var err error
-						if cfg.Model == ddp.LinScope {
+						if cfg.Cluster.Model == ddp.LinScope {
 							err = nd.WriteScoped(ddp.Key(op.Key), value, sc)
 							scOpen = true
 						} else {
@@ -261,7 +216,7 @@ func Run(cfg Config) (*Result, error) {
 						}
 						record(true, time.Since(opStart))
 					case workload.OpPersist:
-						if cfg.Model == ddp.LinScope && scOpen {
+						if cfg.Cluster.Model == ddp.LinScope && scOpen {
 							if err := nd.Persist(sc); err != nil {
 								fail(err)
 								return
@@ -271,7 +226,7 @@ func Run(cfg Config) (*Result, error) {
 						}
 					}
 				}
-				if cfg.Model == ddp.LinScope && scOpen {
+				if cfg.Cluster.Model == ddp.LinScope && scOpen {
 					if err := nd.Persist(sc); err != nil {
 						fail(err)
 					}
@@ -282,78 +237,11 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	res.Elapsed = time.Since(start)
 	// Collect the unified snapshot before the deferred Close tears the
-	// cluster down (reading after Close is safe too, but this keeps the
-	// snapshot unambiguous). Same-named instruments from different nodes
-	// merge by summing in Compact — the cluster-wide totals.
-	snap := &obs.Snapshot{}
-	for _, nd := range nodes {
-		nd.Collect(snap)
-	}
-	for _, ep := range eps {
-		if src, ok := ep.(transport.StatsSource); ok {
-			src.Collect(snap)
-		}
-	}
-	snap.Compact()
-	res.Obs = snap
-	for _, tr := range tracers {
-		res.Spans = append(res.Spans, tr.Spans()...)
-	}
+	// cluster down. Same-named instruments from different nodes merge by
+	// summing in Compact — the cluster-wide totals.
+	res.Obs = lc.Collect()
+	res.Spans = lc.Spans()
 	return res, firstErr
-}
-
-// buildFabric creates one endpoint per node: the in-process channel
-// fabric by default, shared-memory rings for Fabric "ring", or a
-// fully-meshed loopback TCP cluster for Fabric "tcp" / cfg.TCP.
-func buildFabric(cfg Config) ([]transport.Transport, error) {
-	fabric := cfg.Fabric
-	if fabric == "" {
-		if cfg.TCP {
-			fabric = "tcp"
-		} else {
-			fabric = "mem"
-		}
-	}
-	eps := make([]transport.Transport, cfg.Nodes)
-	switch fabric {
-	case "mem":
-		net := transport.NewMemNetwork(cfg.Nodes)
-		for i := range eps {
-			eps[i] = net.Endpoint(ddp.NodeID(i))
-		}
-		return eps, nil
-	case "ring":
-		net := transport.NewRingNetwork(cfg.Nodes)
-		for i := range eps {
-			eps[i] = net.Endpoint(ddp.NodeID(i))
-		}
-		return eps, nil
-	case "tcp":
-		// fallthrough to the TCP mesh below
-	default:
-		return nil, fmt.Errorf("livebench: unknown fabric %q (want mem, ring, or tcp)", fabric)
-	}
-	tcps := make([]*transport.TCPTransport, cfg.Nodes)
-	for i := range tcps {
-		tr, err := transport.NewTCPTransport(ddp.NodeID(i),
-			map[ddp.NodeID]string{ddp.NodeID(i): "127.0.0.1:0"})
-		if err != nil {
-			for _, prev := range tcps[:i] {
-				prev.Close()
-			}
-			return nil, fmt.Errorf("livebench: tcp fabric: %w", err)
-		}
-		tcps[i] = tr
-		eps[i] = tr
-	}
-	for i := range tcps {
-		for j := range tcps {
-			if i != j {
-				tcps[i].SetPeerAddr(ddp.NodeID(j), tcps[j].Addr())
-			}
-		}
-	}
-	return eps, nil
 }
 
 // RunAllModels measures every model under the same configuration —
@@ -362,15 +250,15 @@ func RunAllModels(cfg Config) ([]*Result, error) {
 	out := make([]*Result, 0, len(ddp.Models))
 	for _, m := range ddp.Models {
 		c := cfg
-		c.Model = m
-		if c.Model == ddp.LinScope && c.Workload.PersistEvery == 0 {
-			wl := c.Workload
+		c.Cluster.Model = m
+		if m == ddp.LinScope && c.Load.Workload.PersistEvery == 0 {
+			wl := c.Load.Workload
 			if wl.Records == 0 {
 				wl = workload.Default()
 				wl.ValueSize = 128
 			}
 			wl.PersistEvery = 8
-			c.Workload = wl
+			c.Load.Workload = wl
 		}
 		r, err := Run(c)
 		if err != nil {

@@ -5,17 +5,15 @@ import (
 	"time"
 
 	"github.com/minos-ddp/minos/internal/ddp"
+	"github.com/minos-ddp/minos/internal/loadgen"
 	"github.com/minos-ddp/minos/internal/obs"
 	"github.com/minos-ddp/minos/internal/workload"
 )
 
 func TestRunCompletesAllOps(t *testing.T) {
 	res, err := Run(Config{
-		Nodes:           3,
-		Model:           ddp.LinSynch,
-		WorkersPerNode:  2,
-		RequestsPerNode: 100,
-		Seed:            1,
+		Cluster: loadgen.Cluster{Nodes: 3, Model: ddp.LinSynch},
+		Load:    Load{WorkersPerNode: 2, RequestsPerNode: 100, Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -32,6 +30,9 @@ func TestRunCompletesAllOps(t *testing.T) {
 	if res.String() == "" {
 		t.Fatal("empty summary")
 	}
+	if res.WriteReport().Count != int64(res.WriteLat.N()) {
+		t.Fatal("write report count disagrees with sampler")
+	}
 }
 
 // TestRunReadMostlyPreloaded runs the YCSB-B (95/5) and YCSB-C (pure
@@ -47,14 +48,14 @@ func TestRunReadMostlyPreloaded(t *testing.T) {
 			wl.Records = 512
 			wl.ValueSize = 64
 			res, err := Run(Config{
-				Nodes:           3,
-				Model:           ddp.LinSynch,
-				WorkersPerNode:  2,
-				RequestsPerNode: 200,
-				Seed:            1,
-				Fabric:          "ring",
-				Workload:        wl,
-				PreloadRecords:  512,
+				Cluster: loadgen.Cluster{Nodes: 3, Model: ddp.LinSynch, Fabric: "ring"},
+				Load: Load{
+					WorkersPerNode:  2,
+					RequestsPerNode: 200,
+					Seed:            1,
+					Workload:        wl,
+					PreloadRecords:  512,
+				},
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -82,12 +83,8 @@ func TestRunReadMostlyPreloaded(t *testing.T) {
 // whole cluster).
 func TestRunTCPFabric(t *testing.T) {
 	res, err := Run(Config{
-		Nodes:           3,
-		Model:           ddp.LinSynch,
-		WorkersPerNode:  2,
-		RequestsPerNode: 100,
-		Seed:            1,
-		TCP:             true,
+		Cluster: loadgen.Cluster{Nodes: 3, Model: ddp.LinSynch, Fabric: "tcp"},
+		Load:    Load{WorkersPerNode: 2, RequestsPerNode: 100, Seed: 1},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -117,12 +114,9 @@ func TestRunTCPFabric(t *testing.T) {
 // line up with the writes performed.
 func TestRunTraced(t *testing.T) {
 	res, err := Run(Config{
-		Nodes:           3,
-		Model:           ddp.LinSynch,
-		WorkersPerNode:  2,
-		RequestsPerNode: 50,
-		Seed:            2,
-		Trace:           true,
+		Cluster: loadgen.Cluster{Nodes: 3, Model: ddp.LinSynch},
+		Load:    Load{WorkersPerNode: 2, RequestsPerNode: 50, Seed: 2},
+		Observe: loadgen.Observe{Trace: true},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -158,13 +152,8 @@ func TestLiveModelOrdering(t *testing.T) {
 	lat := map[ddp.Model]float64{}
 	for _, m := range []ddp.Model{ddp.LinSynch, ddp.LinEvent} {
 		res, err := Run(Config{
-			Nodes:           3,
-			Model:           m,
-			WorkersPerNode:  2,
-			RequestsPerNode: 60,
-			PersistDelay:    2 * time.Millisecond,
-			Workload:        wl,
-			Seed:            3,
+			Cluster: loadgen.Cluster{Nodes: 3, Model: m, PersistDelay: 2 * time.Millisecond},
+			Load:    Load{WorkersPerNode: 2, RequestsPerNode: 60, Workload: wl, Seed: 3},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -187,11 +176,8 @@ func TestRunAllModels(t *testing.T) {
 	wl := workload.Default()
 	wl.ValueSize = 64
 	results, err := RunAllModels(Config{
-		Nodes:           3,
-		WorkersPerNode:  2,
-		RequestsPerNode: 60,
-		Workload:        wl,
-		Seed:            5,
+		Cluster: loadgen.Cluster{Nodes: 3},
+		Load:    Load{WorkersPerNode: 2, RequestsPerNode: 60, Workload: wl, Seed: 5},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScheduleDeterminism pins the reproducibility contract: the same
+// seed yields the byte-identical arrival sequence, a different seed a
+// different one.
+func TestScheduleDeterminism(t *testing.T) {
+	const n = 1000
+	mk := func(seed int64) []int64 {
+		s, err := NewSchedule("poisson", 100000, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	a, b := mk(42), mk(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs for equal seeds: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := mk(43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced the identical sequence")
+	}
+}
+
+func TestScheduleMonotone(t *testing.T) {
+	for _, arrival := range []string{"poisson", "fixed"} {
+		s, err := NewSchedule(arrival, 1e6, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := int64(-1)
+		for i := 0; i < 10000; i++ {
+			at := s.Next()
+			if at < prev {
+				t.Fatalf("%s: arrival %d at %d before previous %d", arrival, i, at, prev)
+			}
+			prev = at
+		}
+	}
+}
+
+// TestPoissonInterArrivalMean: exponential gaps at rate R must average
+// 1/R. 200k draws put the sample mean within 1% with huge margin; the
+// test allows 3%.
+func TestPoissonInterArrivalMean(t *testing.T) {
+	const rate = 250000.0
+	s, err := NewSchedule("poisson", rate, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var last int64
+	var sum float64
+	for i := 0; i < n; i++ {
+		at := s.Next()
+		sum += float64(at - last)
+		last = at
+	}
+	mean := sum / n
+	want := 1e9 / rate
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("mean inter-arrival = %.1f ns, want within 3%% of %.1f", mean, want)
+	}
+}
+
+func TestFixedScheduleExact(t *testing.T) {
+	s, err := NewSchedule("fixed", 1e6, 0) // 1000 ns gaps
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if at := s.Next(); at != int64(i*1000) {
+			t.Fatalf("arrival %d at %d, want %d", i, at, i*1000)
+		}
+	}
+}
+
+func TestScheduleRejectsBadInputs(t *testing.T) {
+	if _, err := NewSchedule("poisson", 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewSchedule("uniform", 100, 1); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+}

@@ -61,6 +61,15 @@ type Config struct {
 	// transport.InlinePoller; RTCAuto enables it whenever the transport
 	// supports it.
 	RTC RTCMode
+	// ClientWindow, when positive, enables the remote-client frontend:
+	// FrameClientRequest frames are admitted into a bounded queue of
+	// this depth and executed by a worker pool; requests arriving with
+	// the queue full are shed with an explicit StatusShed response.
+	// Zero disables the frontend (client frames are answered StatusErr).
+	ClientWindow int
+	// ClientWorkers sizes the frontend's worker pool; default 8. Only
+	// meaningful with ClientWindow > 0.
+	ClientWorkers int
 	// Offload, when non-nil, enables the soft-NIC offload engine
 	// (MINOS-O): protocol messages for keys the adaptive policy deems
 	// hot are handled on the engine's core pool instead of the host
@@ -190,6 +199,10 @@ type Node struct {
 	// off is the soft-NIC offload engine (MINOS-O); nil runs pure
 	// MINOS-B, every message on the host dispatch path.
 	off *offload.Engine
+	// fe is the remote-client frontend (nil unless Config.ClientWindow
+	// is set): bounded admission plus a worker pool over the same
+	// Write/Read/Persist paths local callers use.
+	fe *frontend
 
 	// poller is non-nil when the transport supports inline polling;
 	// inline is true when the node runs messages to completion on the
@@ -323,6 +336,13 @@ func New(cfg Config, tr transport.Transport) *Node {
 		OnAck:    n.sendDurableAck,
 	})
 	n.exec = newExecutor(n, cfg.DispatchWorkers)
+	if cfg.ClientWindow > 0 {
+		if cfg.ClientWorkers <= 0 {
+			cfg.ClientWorkers = 8
+			n.cfg.ClientWorkers = 8
+		}
+		n.fe = newFrontend(n, cfg.ClientWindow)
+	}
 	if cfg.Offload != nil {
 		oc := *cfg.Offload
 		oc.Handler = n.handleOffloaded
@@ -395,6 +415,9 @@ func (n *Node) Start() {
 	if n.vals != nil {
 		n.wg.Add(1)
 		go n.valFlushLoop()
+	}
+	if n.fe != nil {
+		n.fe.start(n.cfg.ClientWorkers)
 	}
 	if n.off != nil {
 		n.off.Start()
@@ -484,6 +507,8 @@ func (n *Node) recvLoop() {
 			n.exec.dispatch(f.Msg)
 		case transport.FrameHeartbeat:
 			// noteAlive above is the whole job.
+		case transport.FrameClientRequest:
+			n.admitClient(f)
 		case transport.FrameRecoveryRequest:
 			n.spawnRecovery(f.From, f.Since)
 		case transport.FrameRecoveryEntries:
@@ -514,11 +539,31 @@ func (n *Node) handleFrame(f transport.Frame) {
 		n.handleMessage(f.Msg)
 	case transport.FrameHeartbeat:
 		// noteAlive above is the whole job.
+	case transport.FrameClientRequest:
+		// NEVER execute the operation here: this goroutine holds the
+		// poll token, and a client op waiting for its own acks would
+		// deadlock against it. admitClient only enqueues (or sheds).
+		n.admitClient(f)
 	case transport.FrameRecoveryRequest:
 		n.spawnRecovery(f.From, f.Since)
 	case transport.FrameRecoveryEntries:
 		n.applyRecovery(f.Entries)
 	}
+}
+
+// admitClient routes a client request into the frontend; with no
+// frontend configured the node answers StatusErr so remote clients
+// fail fast instead of hanging.
+func (n *Node) admitClient(f transport.Frame) {
+	if n.fe == nil {
+		_ = n.tr.Send(f.From, transport.Frame{
+			Kind:   transport.FrameClientResponse,
+			Client: f.Client,
+			Resp:   transport.ClientResponse{Op: f.Req.Op, Status: transport.StatusErr},
+		})
+		return
+	}
+	n.fe.admit(f)
 }
 
 // spawnRecovery serves a log-shipping request off the delivery path;

@@ -59,6 +59,16 @@ func WithRTC(m RTCMode) Option {
 	return func(c *Config) { c.RTC = m }
 }
 
+// WithClientFrontend enables the remote-client frontend: a bounded
+// admission queue of depth window drained by a pool of workers
+// executing client operations. See Config.ClientWindow.
+func WithClientFrontend(window, workers int) Option {
+	return func(c *Config) {
+		c.ClientWindow = window
+		c.ClientWorkers = workers
+	}
+}
+
 // WithOffload enables the soft-NIC offload engine (MINOS-O) with the
 // given tuning; &offload.Config{} selects all defaults. See
 // Config.Offload.

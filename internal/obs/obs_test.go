@@ -52,8 +52,9 @@ func TestHistogramBuckets(t *testing.T) {
 	if p.Sum != 1010 {
 		t.Fatalf("Sum = %d, want 1010", p.Sum)
 	}
-	// 0, 1, -7 land in le=1; 2 in le=2; 3,4 in le=4; 1000 in le=1024.
-	want := map[int64]int64{1: 3, 2: 1, 4: 2, 1024: 1}
+	// 0, 1, -7 land in le=1; small values get exact buckets; 1000 lands
+	// in the last sub-bucket of the (512, 1024] octave (width 64).
+	want := map[int64]int64{1: 3, 2: 1, 3: 1, 4: 1, 1024: 1}
 	if len(p.Buckets) != len(want) {
 		t.Fatalf("buckets = %+v, want bounds %v", p.Buckets, want)
 	}
@@ -61,6 +62,58 @@ func TestHistogramBuckets(t *testing.T) {
 		if want[b.LE] != b.Count {
 			t.Errorf("bucket le=%d count=%d, want %d", b.LE, b.Count, want[b.LE])
 		}
+	}
+}
+
+// TestHistogramLayoutRoundTrip pins the log-linear layout: every bucket
+// index maps to a bound whose values map back to that index, bounds are
+// strictly increasing, and the lower-bound inversion agrees.
+func TestHistogramLayoutRoundTrip(t *testing.T) {
+	prev := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		le := bucketLE(i)
+		if le <= prev {
+			t.Fatalf("bucket %d: bound %d not > previous %d", i, le, prev)
+		}
+		if got := bucketFor(le); got != i {
+			t.Fatalf("bucketFor(LE=%d) = %d, want %d", le, got, i)
+		}
+		if i > 0 {
+			if got := bucketFor(prev + 1); got != i {
+				t.Fatalf("bucketFor(%d) = %d, want %d", prev+1, got, i)
+			}
+		}
+		if got := bucketLowerBound(le); got != prev {
+			t.Fatalf("bucketLowerBound(%d) = %d, want %d", le, got, prev)
+		}
+		prev = le
+	}
+	// Values beyond the top octave clamp into the last bucket.
+	if got := bucketFor(int64(1)<<62 + 12345); got != histBuckets-1 {
+		t.Fatalf("clamped bucket = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 10000; v++ {
+		h.Observe(v)
+	}
+	p := h.Point("lat")
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 5000}, {0.90, 9000}, {0.99, 9900}, {0.999, 9990},
+	} {
+		got := p.Quantile(tc.q)
+		if got < tc.want*0.85 || got > tc.want*1.15 {
+			t.Errorf("Quantile(%v) = %.0f, want within 15%% of %.0f", tc.q, got, tc.want)
+		}
+	}
+	if got := p.Quantile(1); got < 9000 {
+		t.Errorf("Quantile(1) = %.0f, want near max", got)
+	}
+	var empty HistogramPoint
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
 	}
 }
 

@@ -77,16 +77,25 @@ func (g *Gauge) Max(v int64) {
 // Load returns the gauge's current value.
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
-// histBuckets is the fixed bucket count of every Histogram: bucket i
-// holds observations v with 2^(i-1) < v <= 2^i (bucket 0 holds v <= 1),
-// spanning 1 ns to ~17 minutes when observing latencies in nanoseconds.
-const histBuckets = 40
+// Histogram bucket layout: log-linear, HDR-style. Values 1..8 get one
+// exact bucket each; every power-of-two octave (2^(k-1), 2^k] above that
+// is split into histSubCount linear sub-buckets, bounding the relative
+// quantile-estimation error at ~1/histSubCount (12.5%) instead of the 2×
+// a pure power-of-two layout allows. The top octave ends at 2^histMaxPow
+// (~18 minutes in nanoseconds); larger observations clamp into the last
+// bucket. Snapshots carry explicit bucket upper bounds, so consumers
+// never need these constants.
+const (
+	histSubBits  = 3
+	histSubCount = 1 << histSubBits
+	histMaxPow   = 40
+	histBuckets  = histSubCount + (histMaxPow-histSubBits)*histSubCount
+)
 
-// Histogram is a lock-free fixed-bucket histogram with power-of-two
-// bucket bounds. The zero value is ready to use. One layout serves both
+// Histogram is a lock-free fixed-bucket histogram over the log-linear
+// layout above. The zero value is ready to use. One layout serves both
 // latency distributions (nanoseconds) and size distributions (frames
-// per batch, entries per group commit); the snapshot carries explicit
-// bucket upper bounds, so consumers never need the layout constant.
+// per batch, entries per group commit).
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -95,14 +104,43 @@ type Histogram struct {
 
 // bucketFor maps an observation to its bucket index.
 func bucketFor(v int64) int {
-	if v <= 1 {
+	if v <= histSubCount {
+		if v <= 1 {
+			return 0
+		}
+		return int(v) - 1
+	}
+	k := bits.Len64(uint64(v - 1)) // smallest k with v <= 2^k; k > histSubBits here
+	if k > histMaxPow {
+		return histBuckets - 1
+	}
+	sub := int((v - 1 - int64(1)<<(k-1)) >> (k - 1 - histSubBits))
+	return histSubCount + (k-1-histSubBits)*histSubCount + sub
+}
+
+// bucketLE returns bucket i's inclusive upper bound.
+func bucketLE(i int) int64 {
+	if i < histSubCount {
+		return int64(i + 1)
+	}
+	o := (i - histSubCount) >> histSubBits
+	sub := (i - histSubCount) & (histSubCount - 1)
+	k := o + histSubBits + 1
+	return int64(1)<<(k-1) + int64(sub+1)<<(k-1-histSubBits)
+}
+
+// bucketLowerBound returns the exclusive lower bound of the canonical
+// bucket whose upper bound is le — the interpolation base for quantile
+// estimates from snapshot buckets.
+func bucketLowerBound(le int64) int64 {
+	if le <= 1 {
 		return 0
 	}
-	b := bits.Len64(uint64(v - 1)) // smallest b with v <= 2^b
-	if b >= histBuckets {
-		b = histBuckets - 1
+	if le <= histSubCount {
+		return le - 1
 	}
-	return b
+	k := bits.Len64(uint64(le - 1)) // le lies in octave (2^(k-1), 2^k]
+	return le - int64(1)<<(k-1-histSubBits)
 }
 
 // Observe records one value (negative values clamp to zero).
@@ -124,7 +162,7 @@ func (h *Histogram) Point(name string) HistogramPoint {
 	p := HistogramPoint{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n > 0 {
-			p.Buckets = append(p.Buckets, BucketPoint{LE: int64(1) << i, Count: n})
+			p.Buckets = append(p.Buckets, BucketPoint{LE: bucketLE(i), Count: n})
 		}
 	}
 	return p

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"github.com/minos-ddp/minos/internal/obs"
 )
 
 func TestMeanBasics(t *testing.T) {
@@ -132,5 +134,32 @@ func TestNsFormatting(t *testing.T) {
 		if got := Ns(v); got != want {
 			t.Errorf("Ns(%v) = %q, want %q", v, got, want)
 		}
+	}
+}
+
+func TestReportFromSamplerAndHistogramAgree(t *testing.T) {
+	var s Sampler
+	var h obs.Histogram
+	for v := int64(1); v <= 20000; v++ {
+		s.Add(float64(v))
+		h.Observe(v)
+	}
+	rs := ReportFromSampler(&s)
+	rh := ReportFromHistogram(h.Point("lat"))
+	if rs.Count != 20000 || rh.Count != 20000 {
+		t.Fatalf("counts = %d/%d, want 20000", rs.Count, rh.Count)
+	}
+	check := func(name string, exact, est float64) {
+		if est < exact*0.85 || est > exact*1.15 {
+			t.Errorf("%s: histogram estimate %.0f vs sampler %.0f (>15%% apart)", name, est, exact)
+		}
+	}
+	check("p50", rs.P50Ns, rh.P50Ns)
+	check("p90", rs.P90Ns, rh.P90Ns)
+	check("p99", rs.P99Ns, rh.P99Ns)
+	check("p999", rs.P999Ns, rh.P999Ns)
+	check("p9999", rs.P9999, rh.P9999)
+	if math.Abs(rs.MeanNs-rh.MeanNs) > 1 {
+		t.Errorf("means diverge: %v vs %v", rs.MeanNs, rh.MeanNs)
 	}
 }

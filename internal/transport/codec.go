@@ -27,18 +27,83 @@ const (
 	FrameRecoveryRequest
 	// FrameRecoveryEntries carries a batch of log entries.
 	FrameRecoveryEntries
+	// FrameClientRequest carries one client operation into a node's
+	// admission frontend. Frame.Client identifies the logical client
+	// (many are multiplexed over one endpoint); the response echoes it.
+	FrameClientRequest
+	// FrameClientResponse carries a node's reply to a client request,
+	// demultiplexed at the client endpoint by Frame.Client.
+	FrameClientResponse
+	// FrameHello announces the sender's listen address so a TCP node can
+	// open a return path to a client endpoint it never dialed (payload:
+	// the address string). In-process fabrics wire return paths at
+	// construction and never send it.
+	FrameHello
 )
+
+// ClientOp is the operation a FrameClientRequest asks for.
+type ClientOp uint8
+
+const (
+	// OpClientRead reads a key.
+	OpClientRead ClientOp = iota
+	// OpClientWrite writes a key (scoped when Scope != 0 under
+	// <Lin, Scope>).
+	OpClientWrite
+	// OpClientPersist flushes the serving worker's open scope
+	// (<Lin, Scope>); a no-op acknowledgment elsewhere.
+	OpClientPersist
+)
+
+// ClientStatus is the outcome a FrameClientResponse reports.
+type ClientStatus uint8
+
+const (
+	// StatusOK means the operation completed.
+	StatusOK ClientStatus = iota
+	// StatusShed means the node's admission window was full and the
+	// operation was never executed. Shed work is reported, not retried.
+	StatusShed
+	// StatusErr means the operation was admitted but failed.
+	StatusErr
+)
+
+// ClientRequest is FrameClientRequest's payload.
+type ClientRequest struct {
+	Op    ClientOp
+	Key   ddp.Key
+	Scope ddp.ScopeID
+	Value []byte
+}
+
+// ClientResponse is FrameClientResponse's payload.
+type ClientResponse struct {
+	Op     ClientOp
+	Status ClientStatus
+	Value  []byte
+}
 
 // Frame is one unit on the wire.
 type Frame struct {
 	Kind FrameKind
 	From ddp.NodeID
+	// Client is the logical-client id for FrameClientRequest/Response —
+	// how a load engine multiplexes many clients over one endpoint. It
+	// rides the header as a uvarint, so the protocol frames that never
+	// set it (the overwhelming majority) pay one zero byte.
+	Client uint64
 	// Msg is set for FrameMessage.
 	Msg ddp.Message
 	// Since is set for FrameRecoveryRequest.
 	Since uint64
 	// Entries is set for FrameRecoveryEntries.
 	Entries []LogEntry
+	// Req is set for FrameClientRequest.
+	Req ClientRequest
+	// Resp is set for FrameClientResponse.
+	Resp ClientResponse
+	// Addr is set for FrameHello.
+	Addr string
 }
 
 // LogEntry is a recovery log record shipped to a rejoining node.
@@ -54,7 +119,7 @@ const maxFrameSize = 64 << 20 // hard cap against corrupt length prefixes
 
 // EncodeFrame serializes f with a little-endian binary layout:
 //
-//	u32 payload length | u8 kind | i32 from | payload
+//	u32 payload length | u8 kind | i32 from | uvarint client | payload
 func EncodeFrame(f Frame) []byte {
 	return AppendFrame(nil, f)
 }
@@ -70,6 +135,7 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, 0) // length backpatched below
 	dst = append(dst, byte(f.Kind))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.From))
+	dst = binary.AppendUvarint(dst, f.Client)
 	switch f.Kind {
 	case FrameMessage:
 		dst = appendMessage(dst, f.Msg)
@@ -81,6 +147,19 @@ func AppendFrame(dst []byte, f Frame) []byte {
 		for _, e := range f.Entries {
 			dst = appendLogEntry(dst, e)
 		}
+	case FrameClientRequest:
+		dst = append(dst, byte(f.Req.Op))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Req.Key))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(f.Req.Scope))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Req.Value)))
+		dst = append(dst, f.Req.Value...)
+	case FrameClientResponse:
+		dst = append(dst, byte(f.Resp.Op), byte(f.Resp.Status))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Resp.Value)))
+		dst = append(dst, f.Resp.Value...)
+	case FrameHello:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f.Addr)))
+		dst = append(dst, f.Addr...)
 	}
 	binary.LittleEndian.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
 	return dst
@@ -142,12 +221,24 @@ func decodeFrame(buf []byte, borrow bool) (Frame, error) {
 		return f, err
 	}
 	f.From = ddp.NodeID(int32(from))
+	if f.Client, err = r.uvarint(); err != nil {
+		return f, err
+	}
 	switch f.Kind {
 	case FrameMessage:
 		f.Msg, err = r.message()
 	case FrameHeartbeat:
 	case FrameRecoveryRequest:
 		f.Since, err = r.u64()
+	case FrameClientRequest:
+		f.Req, err = r.clientRequest()
+	case FrameClientResponse:
+		f.Resp, err = r.clientResponse()
+	case FrameHello:
+		var addr []byte
+		if addr, err = r.bytes(); err == nil {
+			f.Addr = string(addr)
+		}
 	case FrameRecoveryEntries:
 		var n uint32
 		if n, err = r.u32(); err == nil {
@@ -201,6 +292,15 @@ func (r *reader) u32() (uint32, error) {
 	}
 	v := binary.LittleEndian.Uint32(r.buf[r.off:])
 	r.off += 4
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint at offset %d", r.off)
+	}
+	r.off += n
 	return v, nil
 }
 
@@ -291,6 +391,46 @@ func (r *reader) message() (ddp.Message, error) {
 	m.Value, err = r.bytesShared()
 	m.Size = ddp.DataSize(len(m.Value))
 	return m, err
+}
+
+func (r *reader) clientRequest() (ClientRequest, error) {
+	var q ClientRequest
+	op, err := r.u8()
+	if err != nil {
+		return q, err
+	}
+	q.Op = ClientOp(op)
+	key, err := r.u64()
+	if err != nil {
+		return q, err
+	}
+	q.Key = ddp.Key(key)
+	sc, err := r.u64()
+	if err != nil {
+		return q, err
+	}
+	q.Scope = ddp.ScopeID(sc)
+	// Like message values, request values borrow the wire buffer on the
+	// zero-copy decode path; the node copies at admission when it queues
+	// the request past the callback.
+	q.Value, err = r.bytesShared()
+	return q, err
+}
+
+func (r *reader) clientResponse() (ClientResponse, error) {
+	var p ClientResponse
+	op, err := r.u8()
+	if err != nil {
+		return p, err
+	}
+	p.Op = ClientOp(op)
+	st, err := r.u8()
+	if err != nil {
+		return p, err
+	}
+	p.Status = ClientStatus(st)
+	p.Value, err = r.bytesShared()
+	return p, err
 }
 
 func (r *reader) logEntry() (LogEntry, error) {

@@ -185,13 +185,41 @@ func NewRingNetwork(n int) *RingNetwork { return NewRingNetworkSize(n, defaultRi
 // capacity (rounded up to a power of two; small rings are how the
 // backpressure tests force ErrBackpressure).
 func NewRingNetworkSize(n, ringBytes int) *RingNetwork {
-	net := &RingNetwork{eps: make([]*RingTransport, n)}
-	for i := 0; i < n; i++ {
+	return NewRingNetworkClients(n, 0, ringBytes, ringBytes)
+}
+
+// defaultClientRingBytes sizes each client<->node ring. Client requests
+// are small and the admission window bounds in-flight depth, so client
+// rings are kept smaller than the node mesh rings: with dozens of
+// client endpoints against a 5-node cluster, ring memory is
+// 2*clients*nodes*size and the smaller default keeps that modest.
+const defaultClientRingBytes = 64 << 10
+
+// NewRingNetworkWithClients is NewRingNetworkClients with the default
+// ring sizes (mesh rings for the nodes, smaller client rings).
+func NewRingNetworkWithClients(nodes, clients int) *RingNetwork {
+	return NewRingNetworkClients(nodes, clients, defaultRingBytes, 0)
+}
+
+// NewRingNetworkClients builds a ring fabric of nodes 0..nodes-1 (full
+// mesh, ringBytes per directed ring) plus clients client endpoints with
+// IDs nodes..nodes+clients-1, each wired to every node (and only to
+// nodes) over clientRingBytes rings. clientRingBytes <= 0 selects the
+// default. Client endpoints are ordinary RingTransports — same codec,
+// same poller, same backpressure — whose peer set is the node list, so
+// a node's Broadcast never lands in a client ring.
+func NewRingNetworkClients(nodes, clients, ringBytes, clientRingBytes int) *RingNetwork {
+	if clientRingBytes <= 0 {
+		clientRingBytes = defaultClientRingBytes
+	}
+	total := nodes + clients
+	net := &RingNetwork{eps: make([]*RingTransport, total)}
+	for i := 0; i < total; i++ {
 		t := &RingTransport{
 			self:  ddp.NodeID(i),
-			ins:   make([]*spscRing, 0, n-1),
-			inIdx: make([]ddp.NodeID, 0, n-1),
-			outs:  make([]*spscRing, n),
+			ins:   make([]*spscRing, 0, total-1),
+			inIdx: make([]ddp.NodeID, 0, total-1),
+			outs:  make([]*spscRing, total),
 			wake:  make(chan struct{}, 1),
 			rx:    make(chan Frame, 4096),
 			stopc: make(chan struct{}),
@@ -199,30 +227,47 @@ func NewRingNetworkSize(n, ringBytes int) *RingNetwork {
 		}
 		t.encBuf = make([]byte, 0, 4096)
 		t.scratch = make([]byte, 0, 4096)
-		for p := 0; p < n; p++ {
-			if ddp.NodeID(p) != t.self {
+		if i < nodes {
+			for p := 0; p < nodes; p++ {
+				if ddp.NodeID(p) != t.self {
+					t.peers = append(t.peers, ddp.NodeID(p))
+				}
+			}
+		} else {
+			for p := 0; p < nodes; p++ {
 				t.peers = append(t.peers, ddp.NodeID(p))
 			}
 		}
 		net.eps[i] = t
 	}
 	// Wire the directed rings: eps[src].outs[dst] and eps[dst].ins share
-	// the same ring.
-	for src := 0; src < n; src++ {
-		for dst := 0; dst < n; dst++ {
-			if src == dst {
-				continue
+	// the same ring. Node pairs mesh at ringBytes; each client pairs
+	// with every node (both directions) at clientRingBytes.
+	wire := func(src, dst, size int) {
+		r := newSPSCRing(size)
+		net.eps[src].outs[dst] = r
+		net.eps[dst].ins = append(net.eps[dst].ins, r)
+		net.eps[dst].inIdx = append(net.eps[dst].inIdx, ddp.NodeID(src))
+	}
+	for src := 0; src < nodes; src++ {
+		for dst := 0; dst < nodes; dst++ {
+			if src != dst {
+				wire(src, dst, ringBytes)
 			}
-			r := newSPSCRing(ringBytes)
-			net.eps[src].outs[dst] = r
-			net.eps[dst].ins = append(net.eps[dst].ins, r)
-			net.eps[dst].inIdx = append(net.eps[dst].inIdx, ddp.NodeID(src))
+		}
+	}
+	for c := nodes; c < total; c++ {
+		for nd := 0; nd < nodes; nd++ {
+			wire(c, nd, clientRingBytes)
+			wire(nd, c, clientRingBytes)
 		}
 	}
 	for _, t := range net.eps {
-		t.peerEndpoints = make([]*RingTransport, n)
-		for _, p := range t.peers {
-			t.peerEndpoints[int(p)] = net.eps[int(p)]
+		t.peerEndpoints = make([]*RingTransport, total)
+		for dst := 0; dst < total; dst++ {
+			if t.outs[dst] != nil {
+				t.peerEndpoints[dst] = net.eps[dst]
+			}
 		}
 		t.wg.Add(1)
 		go t.pollLoop()

@@ -51,12 +51,17 @@ type TCPTransport struct {
 	rx   chan Frame
 	done chan struct{}
 
-	mu      sync.Mutex
-	addrs   map[ddp.NodeID]string // peer ID -> host:port, including self
-	peers   map[ddp.NodeID]*tcpPeer
-	inbound map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
+	mu    sync.Mutex
+	addrs map[ddp.NodeID]string // peer ID -> host:port, including self
+	// extAddrs holds return addresses learned from FrameHello — client
+	// endpoints that dialed in and announced themselves. Kept separate
+	// from addrs so Peers() (and therefore Broadcast's protocol fan-out)
+	// never includes clients; only directed Sends consult it.
+	extAddrs map[ddp.NodeID]string
+	peers    map[ddp.NodeID]*tcpPeer
+	inbound  map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
 
 	stats counters
 }
@@ -104,14 +109,15 @@ func NewTCPTransport(self ddp.NodeID, addrs map[ddp.NodeID]string) (*TCPTranspor
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	t := &TCPTransport{
-		self:    self,
-		addrs:   addrs,
-		ln:      ln,
-		rx:      make(chan Frame, 4096),
-		done:    make(chan struct{}),
-		peers:   make(map[ddp.NodeID]*tcpPeer),
-		inbound: make(map[net.Conn]struct{}),
-		stats:   newCounters(),
+		self:     self,
+		addrs:    addrs,
+		extAddrs: make(map[ddp.NodeID]string),
+		ln:       ln,
+		rx:       make(chan Frame, 4096),
+		done:     make(chan struct{}),
+		peers:    make(map[ddp.NodeID]*tcpPeer),
+		inbound:  make(map[net.Conn]struct{}),
+		stats:    newCounters(),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -145,6 +151,55 @@ func (t *TCPTransport) SetPeerAddr(id ddp.NodeID, addr string) {
 	if conn != nil {
 		conn.Close() // close outside the lock: Close can block on TCP teardown
 	}
+}
+
+// Announce sends a FrameHello carrying this endpoint's bound listen
+// address to peer `to`. A client endpoint (known to the nodes only by
+// ID, not by static address) announces itself on each node connection
+// before its first request; per-link FIFO guarantees the node learns
+// the return address before it needs to respond.
+func (t *TCPTransport) Announce(to ddp.NodeID) error {
+	return t.Send(to, Frame{Kind: FrameHello, Addr: t.Addr()})
+}
+
+// learnPeer records a hello-announced return address. It deliberately
+// writes extAddrs (not addrs) so the protocol peer set is unchanged; if
+// a link to that ID already exists with a different address, its
+// connection and backoff are reset the same way SetPeerAddr does.
+func (t *TCPTransport) learnPeer(id ddp.NodeID, addr string) {
+	if addr == "" || id == t.self {
+		return
+	}
+	t.mu.Lock()
+	prev, had := t.extAddrs[id]
+	t.extAddrs[id] = addr
+	p := t.peers[id]
+	t.mu.Unlock()
+	if p == nil || (had && prev == addr) {
+		return
+	}
+	p.mu.Lock()
+	conn := p.conn
+	p.conn = nil
+	p.lastErr = nil
+	p.backoff = 0
+	p.retryAt = time.Time{}
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// dialAddr resolves the dial address for id: static cluster addresses
+// first, then hello-learned client addresses.
+func (t *TCPTransport) dialAddr(id ddp.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if a, ok := t.addrs[id]; ok {
+		return a, true
+	}
+	a, ok := t.extAddrs[id]
+	return a, ok
 }
 
 // Self returns this endpoint's node ID.
@@ -197,7 +252,9 @@ func (t *TCPTransport) peer(id ddp.NodeID) (*tcpPeer, error) {
 		return p, nil
 	}
 	if _, ok := t.addrs[id]; !ok {
-		return nil, fmt.Errorf("transport: unknown peer %d", id)
+		if _, ok := t.extAddrs[id]; !ok {
+			return nil, fmt.Errorf("transport: unknown peer %d", id)
+		}
 	}
 	p := &tcpPeer{
 		id:  id,
@@ -388,9 +445,7 @@ func (p *tcpPeer) ensureConn() (net.Conn, error) {
 		return conn, nil
 	}
 	t := p.t
-	t.mu.Lock()
-	addr, ok := t.addrs[p.id]
-	t.mu.Unlock()
+	addr, ok := t.dialAddr(p.id)
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %d", p.id)
 	}
@@ -542,6 +597,12 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		}
 		t.stats.framesRecv.Add(1)
 		t.stats.bytesRecv.Add(int64(n) + 4)
+		if f.Kind == FrameHello {
+			// Transport-level control frame: record the announced return
+			// address and do not deliver it to the node.
+			t.learnPeer(f.From, f.Addr)
+			continue
+		}
 		select {
 		case t.rx <- f:
 		case <-t.done:

@@ -54,15 +54,37 @@ type MemNetwork struct {
 
 // NewMemNetwork builds a fully connected in-process network of n nodes
 // and returns one endpoint per node, indexed by NodeID.
-func NewMemNetwork(n int) *MemNetwork {
+func NewMemNetwork(n int) *MemNetwork { return NewMemNetworkClients(n, 0) }
+
+// NewMemNetworkClients builds a network of nodes 0..nodes-1 plus
+// clients client endpoints with IDs nodes..nodes+clients-1. Node
+// endpoints peer with the other nodes (the protocol mesh); client
+// endpoints peer with every node but with no other client — node
+// broadcasts (INV fan-out, heartbeats) never reach them.
+func NewMemNetworkClients(nodes, clients int) *MemNetwork {
 	net := &MemNetwork{down: make(map[ddp.NodeID]bool)}
-	for i := 0; i < n; i++ {
-		net.endpoints = append(net.endpoints, &MemTransport{
+	nodeIDs := make([]ddp.NodeID, nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = ddp.NodeID(i)
+	}
+	for i := 0; i < nodes+clients; i++ {
+		t := &MemTransport{
 			net:   net,
 			self:  ddp.NodeID(i),
 			rx:    make(chan Frame, 4096),
 			stats: newCounters(),
-		})
+		}
+		if i < nodes {
+			t.peers = make([]ddp.NodeID, 0, nodes-1)
+			for _, id := range nodeIDs {
+				if id != t.self {
+					t.peers = append(t.peers, id)
+				}
+			}
+		} else {
+			t.peers = nodeIDs
+		}
+		net.endpoints = append(net.endpoints, t)
 	}
 	return net
 }
@@ -95,8 +117,9 @@ func (n *MemNetwork) isDown(id ddp.NodeID) bool {
 
 // MemTransport is one node's endpoint on a MemNetwork.
 type MemTransport struct {
-	net  *MemNetwork
-	self ddp.NodeID
+	net   *MemNetwork
+	self  ddp.NodeID
+	peers []ddp.NodeID // immutable after construction
 
 	mu     sync.Mutex
 	rx     chan Frame
@@ -111,16 +134,9 @@ var _ StatsSource = (*MemTransport)(nil)
 // Self returns this endpoint's node ID.
 func (t *MemTransport) Self() ddp.NodeID { return t.self }
 
-// Peers returns every other node in the network.
-func (t *MemTransport) Peers() []ddp.NodeID {
-	out := make([]ddp.NodeID, 0, t.net.Size()-1)
-	for i := 0; i < t.net.Size(); i++ {
-		if ddp.NodeID(i) != t.self {
-			out = append(out, ddp.NodeID(i))
-		}
-	}
-	return out
-}
+// Peers returns this endpoint's peer set (the other nodes for a node
+// endpoint, every node for a client endpoint). The slice is immutable.
+func (t *MemTransport) Peers() []ddp.NodeID { return t.peers }
 
 // Recv returns the inbound frame channel.
 func (t *MemTransport) Recv() <-chan Frame { return t.rx }
@@ -167,11 +183,7 @@ func (t *MemTransport) send(to ddp.NodeID, f Frame) error {
 func (t *MemTransport) Broadcast(f Frame) error {
 	t.stats.broadcasts.Add(1)
 	var firstErr error
-	for i := 0; i < t.net.Size(); i++ {
-		id := ddp.NodeID(i)
-		if id == t.self {
-			continue
-		}
+	for _, id := range t.peers {
 		if err := t.Send(id, f); err != nil && firstErr == nil {
 			firstErr = err
 		}
